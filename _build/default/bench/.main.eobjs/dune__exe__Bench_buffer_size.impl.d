@@ -1,0 +1,1 @@
+bench/bench_buffer_size.ml: Bench_support Desim Experiment Harness List Option Power Printf Rapilog Report Scenario Time

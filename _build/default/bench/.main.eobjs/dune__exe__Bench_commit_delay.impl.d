@@ -1,0 +1,1 @@
+bench/bench_commit_delay.ml: Bench_support Dbms Desim Experiment Harness List Printf Report Scenario Time

@@ -1,0 +1,1 @@
+bench/bench_consolidation.ml: Bench_support Dbms Desim Harness Hypervisor List Printf Rapilog Report Sim Storage Time Workload

@@ -1,0 +1,1 @@
+bench/bench_disk_speed.ml: Bench_support Desim Experiment Float Harness List Printf Report Scenario Storage String

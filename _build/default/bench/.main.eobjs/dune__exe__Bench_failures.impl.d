@@ -1,0 +1,1 @@
+bench/bench_failures.ml: Audit Bench_support Desim Experiment Harness Int64 List Power Printf Rapilog Report Scenario Time

@@ -1,0 +1,1 @@
+bench/bench_group_commit.ml: Bench_support Dbms Experiment Harness List Report Scenario

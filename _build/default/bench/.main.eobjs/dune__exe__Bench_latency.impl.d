@@ -1,0 +1,1 @@
+bench/bench_latency.ml: Bench_support Experiment Harness List Report Scenario Workload

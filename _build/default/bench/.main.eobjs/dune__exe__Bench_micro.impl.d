@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Bench_support Benchmark Char Dbms Desim Harness Hashtbl Instance List Measure Printf Rapilog Staged String Test Time Toolkit

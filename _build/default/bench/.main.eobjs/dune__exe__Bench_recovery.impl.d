@@ -1,0 +1,1 @@
+bench/bench_recovery.ml: Audit Bench_support Desim Experiment Harness Int64 List Printf Rapilog Report Scenario Stats Storage Time Workload

@@ -1,0 +1,1 @@
+bench/bench_residual_energy.ml: Audit Bench_support Desim Experiment Harness Int64 List Option Power Printf Rapilog Report Scenario Storage Time

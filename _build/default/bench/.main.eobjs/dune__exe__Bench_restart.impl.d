@@ -1,0 +1,1 @@
+bench/bench_restart.ml: Audit Bench_support Dbms Desim Harness Hashtbl Hypervisor List Printf Process Rapilog Report Sim Storage Time Workload

@@ -1,0 +1,1 @@
+bench/bench_single_disk.ml: Bench_support Desim Experiment Harness List Printf Report Scenario

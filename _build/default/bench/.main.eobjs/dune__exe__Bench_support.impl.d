@@ -1,0 +1,1 @@
+bench/bench_support.ml: Dbms Desim Experiment Harness List Report Scenario Time

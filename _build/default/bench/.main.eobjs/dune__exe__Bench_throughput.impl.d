@@ -1,0 +1,1 @@
+bench/bench_throughput.ml: Bench_support Dbms Harness List Printf Report Scenario Storage

@@ -1,0 +1,1 @@
+bench/bench_virt_overhead.ml: Bench_support Desim Experiment Harness Hypervisor Printf Report Scenario Sim Storage String Time

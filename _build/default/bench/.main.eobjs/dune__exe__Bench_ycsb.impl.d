@@ -1,0 +1,1 @@
+bench/bench_ycsb.ml: Bench_support Experiment Harness List Report Scenario Workload

@@ -1,0 +1,71 @@
+(* fig11-commit-delay: the tuning dance RapiLog makes unnecessary.
+
+   PostgreSQL's commit_delay deliberately stalls a committer before
+   forcing, hoping to gather a larger group — a win at high concurrency,
+   a pure latency tax at low concurrency, and the right value depends on
+   the workload, the disk, and the moon phase. RapiLog sidesteps the
+   whole trade-off: acknowledge from the buffer, no knob. *)
+
+open Desim
+open Harness
+open Bench_support
+
+let fig11 =
+  {
+    id = "fig11-commit-delay";
+    title = "Fig 11: commit_delay tuning vs RapiLog";
+    run =
+      (fun ~quick ->
+        Report.section
+          "Fig 11: sync logging with commit_delay tuning (7200 rpm disk, TPC-C-lite)";
+        let clients_list = if quick then [ 2; 16 ] else [ 1; 2; 4; 16; 64 ] in
+        let delays = [ 0; 1; 3; 6 ] in
+        let run ~clients ~delay_ms =
+          steady
+            {
+              (base_config ~quick) with
+              Scenario.mode = Scenario.Native_sync;
+              clients;
+              profile =
+                {
+                  Dbms.Engine_profile.postgres_like with
+                  Dbms.Engine_profile.commit_delay = Time.ms delay_ms;
+                };
+            }
+        in
+        let rapilog ~clients =
+          steady { (base_config ~quick) with Scenario.mode = Scenario.Rapilog; clients }
+        in
+        List.iter
+          (fun clients ->
+            let rows =
+              List.map
+                (fun delay_ms ->
+                  let r = run ~clients ~delay_ms in
+                  [
+                    Printf.sprintf "sync, delay %dms" delay_ms;
+                    Report.float_cell r.Experiment.throughput;
+                    Report.float_cell r.Experiment.latency_p50_us;
+                  ])
+                delays
+              @ [
+                  (let r = rapilog ~clients in
+                   [
+                     "rapilog (no knob)";
+                     Report.float_cell r.Experiment.throughput;
+                     Report.float_cell r.Experiment.latency_p50_us;
+                   ]);
+                ]
+            in
+            Report.subsection (Printf.sprintf "%d clients" clients);
+            Report.table ~columns:[ "config"; "txn/s"; "p50 us" ] ~rows)
+          clients_list;
+        Report.note
+          "shape target: on a disk the delay hides inside the rotational wait (no tax";
+        Report.note
+          "at 1 client, ~2x at higher concurrency by gathering one force per rotation);";
+        Report.note
+          "yet even the tuned optimum stays 10-40x below rapilog, which has no knob");
+  }
+
+let experiments = [ fig11 ]

@@ -1,0 +1,144 @@
+(* fig10-consolidation: server consolidation, the virtualisation story
+   the paper's platform enables. Two independent databases share one
+   physical log disk. With synchronous logging the two log streams fight
+   over the head — each force pays a seek between the log regions on top
+   of the rotational wait. With RapiLog, one trusted logger absorbs both
+   streams and drains them in large batches, so co-location costs
+   little. *)
+
+open Desim
+open Harness
+open Bench_support
+
+type db = {
+  engine : Dbms.Engine.t;
+  mutable committed : int;
+}
+
+(* Each database gets its own partition; on a real disk the partitions
+   sit far apart, so alternating between the two log regions costs a
+   long seek. 100M sectors = ~100k tracks = ~40% of the stroke. *)
+let log_region_stride = 100_000_000
+
+(* Build [count] databases; [log_path_for i] supplies each database's
+   log device (one shared path, or a dedicated one per database). *)
+let build_databases sim vmm ~count ~log_path_for =
+  List.init count (fun i ->
+      let wal_config =
+        {
+          Dbms.Wal.master_lba = i * log_region_stride;
+          log_start_lba = (i * log_region_stride) + 8;
+          flush_after_write = false;
+        }
+      in
+      let wal = Dbms.Wal.create sim wal_config ~device:(log_path_for i) in
+      let data_dev = Storage.Ssd.create sim Storage.Ssd.default in
+      let pool =
+        Dbms.Buffer_pool.create sim Dbms.Buffer_pool.default_config
+          ~device:data_dev ~wal_force:(Dbms.Wal.force wal)
+      in
+      let engine =
+        Dbms.Engine.create ~vmm ~profile:Dbms.Engine_profile.postgres_like ~wal
+          ~pool ()
+      in
+      { engine; committed = 0 })
+
+let run_consolidated ~rapilog ~count ~shared ~duration =
+  let sim = Sim.create ~seed:42L () in
+  let vmm = Hypervisor.Vmm.create sim Hypervisor.Vmm.default_sel4 in
+  (* One trusted logger (or virtio path) per *virtual* log disk, exactly
+     as the paper interposes per guest disk — when consolidated, both
+     virtual disks map onto the same physical spindle. Per-disk loggers
+     keep each drain stream contiguous; a single FIFO logger over both
+     regions would interleave them into small seek-bound batches. *)
+  let shared_disk =
+    if shared then Some (Storage.Hdd.create sim Storage.Hdd.default_7200rpm)
+    else None
+  in
+  let make_path () =
+    let disk =
+      match shared_disk with
+      | Some disk -> disk
+      | None -> Storage.Hdd.create sim Storage.Hdd.default_7200rpm
+    in
+    if rapilog then fst (Rapilog.attach ~vmm ~device:disk ())
+    else
+      Hypervisor.Vmm.attach_virtio_disk vmm
+        (Hypervisor.Virtio_blk.backend_of_block disk)
+  in
+  let paths = List.init count (fun _ -> make_path ()) in
+  let log_path_for i = List.nth paths i in
+  let databases = build_databases sim vmm ~count ~log_path_for in
+  let gen = Workload.Microbench.create (Sim.rng sim) Workload.Microbench.default_config in
+  List.iter
+    (fun db ->
+      for _ = 1 to 4 do
+        ignore
+          (Hypervisor.Vmm.spawn_guest vmm (fun () ->
+               while true do
+                 ignore (Dbms.Engine.exec db.engine (Workload.Microbench.next gen));
+                 db.committed <- db.committed + 1
+               done))
+      done)
+    databases;
+  Sim.run ~until:(Time.add Time.zero duration) sim;
+  List.map
+    (fun db -> float_of_int db.committed /. Time.span_to_float_sec duration)
+    databases
+
+let fig10 =
+  {
+    id = "fig10-consolidation";
+    title = "Fig 10: two databases consolidated onto one log disk";
+    run =
+      (fun ~quick ->
+        Report.section
+          "Fig 10: consolidation - databases sharing one 7200 rpm log disk";
+        let duration = if quick then Time.ms 800 else Time.sec 2 in
+        let total rates = List.fold_left ( +. ) 0. rates in
+        let rows =
+          List.concat_map
+            (fun rapilog ->
+              let label = if rapilog then "rapilog" else "virt-sync" in
+              let dedicated =
+                run_consolidated ~rapilog ~count:2 ~shared:false ~duration
+              in
+              let shared =
+                run_consolidated ~rapilog ~count:2 ~shared:true ~duration
+              in
+              [
+                [
+                  label;
+                  Report.float_cell (total dedicated);
+                  Report.float_cell (total shared);
+                  Printf.sprintf "%.0f%%"
+                    (100. *. (1. -. (total shared /. total dedicated)));
+                  Printf.sprintf "%.2f"
+                    (match shared with
+                    | [ a; b ] -> min a b /. max a b
+                    | _ -> nan);
+                ];
+              ])
+            [ false; true ]
+        in
+        Report.table
+          ~columns:
+            [
+              "config";
+              "2 DBs, 2 log disks";
+              "2 DBs, 1 shared disk";
+              "consolidation cost";
+              "fairness";
+            ]
+          ~rows;
+        Report.note
+          "shape target: giving up the second spindle costs sync logging roughly half its";
+        Report.note
+          "aggregate commits (the shared head serves ~one force per rotation, split two";
+        Report.note
+          "ways); rapilog's per-disk loggers drain in large contiguous batches, so";
+        Report.note
+          "consolidation is nearly free and fair");
+  }
+
+let experiments = [ fig10 ]

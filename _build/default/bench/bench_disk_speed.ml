@@ -1,0 +1,80 @@
+(* fig6-disk-speed: sensitivity to the device's synchronous-write
+   latency. RapiLog's gain is the ratio between a commit's rotational
+   wait and a buffer ack, so it shrinks as the spindle speeds up and
+   nearly vanishes on flash. *)
+
+open Harness
+open Bench_support
+
+let rpms ~quick = if quick then [ 5400; 15000 ] else [ 4200; 5400; 7200; 10000; 15000 ]
+
+let fig6 =
+  {
+    id = "fig6-disk-speed";
+    title = "Fig 6: speedup vs device sync-write latency";
+    run =
+      (fun ~quick ->
+        Report.section "Fig 6: RapiLog speedup vs device speed (8 clients, TPC-C-lite)";
+        let measure device =
+          let config = { (base_config ~quick) with Scenario.device; clients = 8 } in
+          let sync =
+            (steady { config with Scenario.mode = Scenario.Virt_sync })
+              .Experiment.throughput
+          in
+          let rapilog =
+            (steady { config with Scenario.mode = Scenario.Rapilog })
+              .Experiment.throughput
+          in
+          (sync, rapilog)
+        in
+        let rows =
+          List.map
+            (fun rpm ->
+              let device =
+                Scenario.Disk (Storage.Hdd.config_with_rpm Storage.Hdd.default_7200rpm rpm)
+              in
+              let sync, rapilog = measure device in
+              [
+                Printf.sprintf "disk %d rpm" rpm;
+                Printf.sprintf "%.1f"
+                  (Desim.Time.span_to_float_ms
+                     (Storage.Hdd.rotation_period
+                        (Storage.Hdd.config_with_rpm Storage.Hdd.default_7200rpm rpm)));
+                Report.float_cell sync;
+                Report.float_cell rapilog;
+                Printf.sprintf "%.1fx" (rapilog /. sync);
+              ])
+            (rpms ~quick)
+          @ [
+              (let sync, rapilog = measure (Scenario.Flash Storage.Ssd.default) in
+               [
+                 "ssd";
+                 Printf.sprintf "%.1f"
+                   (Desim.Time.span_to_float_ms
+                      Storage.Ssd.default.Storage.Ssd.program_latency);
+                 Report.float_cell sync;
+                 Report.float_cell rapilog;
+                 Printf.sprintf "%.1fx" (rapilog /. sync);
+               ]);
+            ]
+        in
+        Report.table
+          ~columns:
+            [ "device"; "sync latency ms"; "virt-sync txn/s"; "rapilog txn/s"; "speedup" ]
+          ~rows;
+        Report.bars ~title:"speedup by device" ~unit_label:"x"
+          ~rows:
+            (List.map
+               (fun row ->
+                 match row with
+                 | [ device; _; _; _; speedup ] ->
+                     ( device,
+                       Float.of_string
+                         (String.sub speedup 0 (String.length speedup - 1)) )
+                 | _ -> ("?", nan))
+               rows);
+        Report.note
+          "shape target: speedup decreases monotonically with device speed; smallest on the SSD");
+  }
+
+let experiments = [ fig6 ]

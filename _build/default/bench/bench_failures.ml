@@ -1,0 +1,115 @@
+(* tab2-power-cut and tab3-os-crash: the durability matrix. Repeatedly
+   pull the plug (or crash the guest OS) under load and audit durable
+   media against the client-side acknowledgement record. Safe
+   configurations must never lose an acknowledged commit; the unsafe
+   baselines are expected to. *)
+
+open Desim
+open Harness
+open Bench_support
+
+type tally = {
+  mutable trials : int;
+  mutable acked_total : int;
+  mutable lost_total : int;
+  mutable lossy_trials : int;
+  mutable state_exact_trials : int;
+  mutable violations : int;  (* losses a mode's own promise forbids *)
+}
+
+let new_tally () =
+  {
+    trials = 0;
+    acked_total = 0;
+    lost_total = 0;
+    lossy_trials = 0;
+    state_exact_trials = 0;
+    violations = 0;
+  }
+
+let run_matrix ~quick ~kind =
+  let trials = failure_trials ~quick in
+  List.map
+    (fun mode ->
+      let tally = new_tally () in
+      for trial = 1 to trials do
+        let config =
+          {
+            (base_config ~quick) with
+            Scenario.mode;
+            seed = Int64.of_int (1000 + trial);
+            duration = Time.ms 500;
+          }
+        in
+        let r =
+          Experiment.run_failure config ~kind
+            ~after:(Time.ms (100 + (37 * trial mod 400)))
+        in
+        let lost =
+          List.length r.Experiment.audit.Audit.durability.Rapilog.Durability.lost
+        in
+        tally.trials <- tally.trials + 1;
+        tally.acked_total <- tally.acked_total + r.Experiment.acked;
+        tally.lost_total <- tally.lost_total + lost;
+        if lost > 0 then tally.lossy_trials <- tally.lossy_trials + 1;
+        if r.Experiment.audit.Audit.state_exact then
+          tally.state_exact_trials <- tally.state_exact_trials + 1;
+        if not (Experiment.durability_ok r) then
+          tally.violations <- tally.violations + 1
+      done;
+      (mode, tally))
+    all_modes
+
+let print_matrix results =
+  Report.table
+    ~columns:
+      [ "config"; "trials"; "acked"; "lost"; "lossy trials"; "state-exact"; "promise kept" ]
+    ~rows:
+      (List.map
+         (fun (mode, t) ->
+           [
+             Scenario.mode_name mode;
+             string_of_int t.trials;
+             string_of_int t.acked_total;
+             string_of_int t.lost_total;
+             Printf.sprintf "%d/%d" t.lossy_trials t.trials;
+             Printf.sprintf "%d/%d" t.state_exact_trials t.trials;
+             bool_cell (t.violations = 0);
+           ])
+         results)
+
+let tab2 =
+  {
+    id = "tab2-power-cut";
+    title = "Tab 2: power-cut durability matrix";
+    run =
+      (fun ~quick ->
+        Report.section "Tab 2: power-cut durability (injected mains cuts under load)";
+        Report.kvf "hold-up window" "%a" Desim.Time.pp_span
+          (Power.Psu.window Power.Psu.default);
+        let results = run_matrix ~quick ~kind:Experiment.Power_cut in
+        print_matrix results;
+        Report.note
+          "shape target: zero loss for every safe mode (incl. wcache-flush); unsafe-wcache and async-commit lose";
+        List.iter
+          (fun (mode, t) ->
+            if t.violations > 0 then
+              Report.note
+                (Printf.sprintf "DURABILITY VIOLATION in %s" (Scenario.mode_name mode)))
+          results);
+  }
+
+let tab3 =
+  {
+    id = "tab3-os-crash";
+    title = "Tab 3: guest-OS-crash durability matrix";
+    run =
+      (fun ~quick ->
+        Report.section "Tab 3: OS-crash durability (guest kernel dies under load)";
+        let results = run_matrix ~quick ~kind:Experiment.Os_crash in
+        print_matrix results;
+        Report.note
+          "shape target: only async-commit loses - the disk cache and rapilog's buffer both survive an OS crash");
+  }
+
+let experiments = [ tab2; tab3 ]

@@ -1,0 +1,46 @@
+(* fig4-latency: commit latency under the update microbenchmark. One
+   small update per transaction, nothing to amortise the log force:
+   ack-on-media pays the rotational wait, ack-on-buffer pays IPC plus a
+   memory copy. *)
+
+open Harness
+open Bench_support
+
+let fig4 =
+  {
+    id = "fig4-latency";
+    title = "Fig 4: commit latency, update microbenchmark, 8 clients, disk";
+    run =
+      (fun ~quick ->
+        Report.section
+          "Fig 4: commit latency (us), update microbenchmark, 8 clients, 7200 rpm disk";
+        let config =
+          {
+            (base_config ~quick) with
+            Scenario.clients = 8;
+            workload = Scenario.Micro Workload.Microbench.default_config;
+          }
+        in
+        print_config_line config;
+        let rows =
+          List.map
+            (fun mode ->
+              let r = steady { config with Scenario.mode } in
+              [
+                Scenario.mode_name mode;
+                Report.float_cell r.Experiment.latency_mean_us;
+                Report.float_cell r.Experiment.latency_p50_us;
+                Report.float_cell r.Experiment.latency_p95_us;
+                Report.float_cell r.Experiment.latency_p99_us;
+                Report.float_cell r.Experiment.throughput;
+              ])
+            all_modes
+        in
+        Report.table
+          ~columns:[ "config"; "mean"; "p50"; "p95"; "p99"; "txn/s" ]
+          ~rows;
+        Report.note
+          "shape target: sync p50 ~ one rotation (8300us); rapilog p50 well under 1ms");
+  }
+
+let experiments = [ fig4 ]

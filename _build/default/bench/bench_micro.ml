@@ -1,0 +1,111 @@
+(* Bechamel microbenchmarks of the hot code paths: these measure the
+   *implementation's* wall-clock cost (not simulated time), one
+   Test.make per operation. *)
+
+open Bechamel
+open Toolkit
+
+let crc_payload = String.init 4096 (fun i -> Char.chr (i land 0xff))
+
+let test_crc32 =
+  Test.make ~name:"crc32-4KiB"
+    (Staged.stage (fun () -> ignore (Dbms.Crc32.digest_string crc_payload)))
+
+let update_record =
+  Dbms.Log_record.Update
+    { txid = 42; key = 7; before = String.make 96 'b'; after = String.make 96 'a' }
+
+let test_record_encode =
+  Test.make ~name:"log-record-encode"
+    (Staged.stage (fun () -> ignore (Dbms.Log_record.encode update_record)))
+
+let encoded_update = Dbms.Log_record.encode update_record
+
+let test_record_decode =
+  Test.make ~name:"log-record-decode"
+    (Staged.stage (fun () -> ignore (Dbms.Log_record.decode encoded_update ~pos:0)))
+
+let test_ring_push_pop =
+  let ring = Rapilog.Ring_buffer.create ~sector_size:512 ~capacity_bytes:(1 lsl 20) in
+  let data = String.make 512 'r' in
+  Test.make ~name:"ring-buffer-push-pop"
+    (Staged.stage (fun () ->
+         ignore (Rapilog.Ring_buffer.try_push ring ~lba:0 ~data);
+         ignore (Rapilog.Ring_buffer.pop ring)))
+
+let test_event_queue =
+  let q = Desim.Event_queue.create () in
+  let t = ref 0 in
+  Test.make ~name:"event-queue-add-pop"
+    (Staged.stage (fun () ->
+         incr t;
+         Desim.Event_queue.add q ~time:(Desim.Time.of_ns !t) ();
+         ignore (Desim.Event_queue.pop q)))
+
+let test_rng =
+  let rng = Desim.Rng.create 1L in
+  Test.make ~name:"rng-bits64" (Staged.stage (fun () -> ignore (Desim.Rng.bits64 rng)))
+
+let test_page_serialize =
+  let page = Dbms.Page.create ~id:1 in
+  for key = 0 to 15 do
+    Dbms.Page.set page ~key ~value:(String.make 96 'v') ~lsn:(Dbms.Lsn.of_int 1)
+  done;
+  Test.make ~name:"page-serialize-8KiB"
+    (Staged.stage (fun () -> ignore (Dbms.Page.serialize page ~page_bytes:8192)))
+
+let test_sim_event_throughput =
+  Test.make ~name:"sim-1000-sleeps"
+    (Staged.stage (fun () ->
+         let sim = Desim.Sim.create () in
+         ignore
+           (Desim.Process.spawn sim (fun () ->
+                for _ = 1 to 1000 do
+                  Desim.Process.sleep (Desim.Time.us 1)
+                done));
+         Desim.Sim.run sim))
+
+let tests =
+  [
+    test_crc32;
+    test_record_encode;
+    test_record_decode;
+    test_ring_push_pop;
+    test_event_queue;
+    test_rng;
+    test_page_serialize;
+    test_sim_event_throughput;
+  ]
+
+let run_all () =
+  Harness.Report.section "Core-operation microbenchmarks (bechamel, wall clock)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+        let results = Benchmark.all cfg Instance.[ monotonic_clock ] test in
+        let analysed = Analyze.all ols Instance.monotonic_clock results in
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            let ns =
+              match Analyze.OLS.estimates ols_result with
+              | Some (ns :: _) -> Printf.sprintf "%.1f" ns
+              | Some [] | None -> "-"
+            in
+            [ name; ns ] :: acc)
+          analysed [])
+      tests
+    |> List.concat
+  in
+  Harness.Report.table ~columns:[ "operation"; "ns/op" ]
+    ~rows:(List.sort compare rows)
+
+let experiment =
+  {
+    Bench_support.id = "micro-core-ops";
+    title = "Core-operation microbenchmarks (bechamel)";
+    run = (fun ~quick:_ -> run_all ());
+  }

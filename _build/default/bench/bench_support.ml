@@ -1,0 +1,52 @@
+(* Shared plumbing for the experiment benches. *)
+
+open Desim
+open Harness
+
+type experiment = {
+  id : string;
+  title : string;
+  run : quick:bool -> unit;
+}
+
+let base_config ~quick =
+  {
+    Scenario.default with
+    Scenario.warmup = (if quick then Time.ms 200 else Time.ms 400);
+    duration = (if quick then Time.ms 800 else Time.sec 2);
+  }
+
+let client_sweep ~quick = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let failure_trials ~quick = if quick then 5 else 20
+
+let all_modes = Scenario.all_modes
+
+let mode_columns = List.map Scenario.mode_name all_modes
+
+let steady config = Experiment.run_steady config
+
+(* Throughput of every mode at each client count, as a printable series. *)
+let throughput_sweep ~config ~clients ~modes =
+  List.map
+    (fun n ->
+      let per_mode =
+        List.map
+          (fun mode ->
+            (steady { config with Scenario.mode; clients = n }).Experiment.throughput)
+          modes
+      in
+      (float_of_int n, per_mode))
+    clients
+
+let print_config_line (config : Scenario.config) =
+  Report.kv "engine" config.Scenario.profile.Dbms.Engine_profile.name;
+  Report.kv "device" (Scenario.device_name config.Scenario.device);
+  Report.kv "workload"
+    (match config.Scenario.workload with
+    | Scenario.Tpcc _ -> "tpcc-lite"
+    | Scenario.Micro _ -> "microbench"
+    | Scenario.Ycsb _ -> "ycsb-lite");
+  Report.kvf "seed" "%Ld" config.Scenario.seed
+
+let bool_cell b = if b then "yes" else "NO"

@@ -1,0 +1,107 @@
+(* fig1-tput-hdd, fig2-tput-engines, fig3-tput-ssd: the paper's headline
+   throughput graphs. Shape targets:
+   - on a disk, RapiLog sits with the unsafe baselines, far above sync
+     at low client counts;
+   - group commit narrows the gap as clients grow;
+   - the shape holds across engine profiles;
+   - on an SSD the sync penalty is small, so all curves bunch up. *)
+
+open Harness
+open Bench_support
+
+let sweep_report ~title ~config ~clients ~modes =
+  Report.section title;
+  print_config_line config;
+  let rows = throughput_sweep ~config ~clients ~modes in
+  Report.series ~title:"throughput (txn/s, committed in window)"
+    ~x_label:"clients"
+    ~columns:(List.map Scenario.mode_name modes)
+    ~rows;
+  (* The shape summary the paper's text states. *)
+  (match rows with
+  | (_, first_row) :: _ ->
+      let nth i = List.nth first_row i in
+      let idx mode =
+        let rec find i = function
+          | [] -> None
+          | m :: _ when m = mode -> Some i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 modes
+      in
+      (match (idx Scenario.Native_sync, idx Scenario.Rapilog) with
+      | Some ni, Some ri ->
+          Report.kvf "rapilog vs native-sync at 1 client" "%.1fx" (nth ri /. nth ni)
+      | _ -> ())
+  | [] -> ());
+  match List.rev rows with
+  | (_, last_row) :: _ -> (
+      let idx mode =
+        let rec find i = function
+          | [] -> None
+          | m :: _ when m = mode -> Some i
+          | _ :: rest -> find (i + 1) rest
+        in
+        find 0 modes
+      in
+      match (idx Scenario.Native_sync, idx Scenario.Rapilog) with
+      | Some ni, Some ri ->
+          Report.kvf "rapilog vs native-sync at max clients" "%.1fx"
+            (List.nth last_row ri /. List.nth last_row ni)
+      | _ -> ())
+  | [] -> ()
+
+let fig1 =
+  {
+    id = "fig1-tput-hdd";
+    title = "Fig 1: TPC-C-lite throughput vs clients, 7200rpm disk";
+    run =
+      (fun ~quick ->
+        sweep_report
+          ~title:"Fig 1: TPC-C-lite throughput vs clients, 7200 rpm log disk"
+          ~config:(base_config ~quick)
+          ~clients:(client_sweep ~quick) ~modes:all_modes);
+  }
+
+let fig2 =
+  {
+    id = "fig2-tput-engines";
+    title = "Fig 2: cross-engine throughput (pg / innodb / commercial profiles)";
+    run =
+      (fun ~quick ->
+        Report.section
+          "Fig 2: throughput across engine profiles, 7200 rpm log disk";
+        let clients = if quick then [ 1; 8 ] else [ 1; 8; 32 ] in
+        let modes = [ Scenario.Native_sync; Scenario.Virt_sync; Scenario.Rapilog ] in
+        List.iter
+          (fun profile ->
+            let config = { (base_config ~quick) with Scenario.profile } in
+            let rows = throughput_sweep ~config ~clients ~modes in
+            Report.series
+              ~title:
+                (Printf.sprintf "engine profile: %s"
+                   profile.Dbms.Engine_profile.name)
+              ~x_label:"clients"
+              ~columns:(List.map Scenario.mode_name modes)
+              ~rows)
+          Dbms.Engine_profile.all;
+        Report.note
+          "shape target: rapilog >= virt-sync for every engine, largest gains at 1 client")
+  }
+
+let fig3 =
+  {
+    id = "fig3-tput-ssd";
+    title = "Fig 3: TPC-C-lite throughput vs clients, SSD";
+    run =
+      (fun ~quick ->
+        let config =
+          { (base_config ~quick) with Scenario.device = Scenario.Flash Storage.Ssd.default }
+        in
+        sweep_report ~title:"Fig 3: TPC-C-lite throughput vs clients, SSD"
+          ~config ~clients:(client_sweep ~quick) ~modes:all_modes;
+        Report.note
+          "shape target: curves bunch up - sync logging is cheap on flash, so rapilog's edge shrinks")
+  }
+
+let experiments = [ fig1; fig2; fig3 ]

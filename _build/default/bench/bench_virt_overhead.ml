@@ -1,0 +1,113 @@
+(* tab1-virt-overhead: what running on the seL4-based VMM costs. The
+   paper's claim is that RapiLog never degrades performance *beyond the
+   virtualisation overhead*, so we measure that overhead in isolation:
+   CPU-bound transaction rate, sequential log-device bandwidth through
+   the paravirtual path, the raw IPC round-trip, and an end-to-end
+   TPC-C run on an SSD (where the disk does not mask CPU costs). *)
+
+open Desim
+open Harness
+open Bench_support
+
+let cpu_bound_rate vmm_config =
+  let sim = Sim.create ~seed:1L () in
+  let vmm = Hypervisor.Vmm.create sim vmm_config in
+  let count = ref 0 in
+  for _ = 1 to vmm_config.Hypervisor.Vmm.cores do
+    ignore
+      (Hypervisor.Vmm.spawn_guest vmm (fun () ->
+           while true do
+             Hypervisor.Vmm.exec vmm (Time.us 250);
+             incr count
+           done))
+  done;
+  Sim.run ~until:(Time.add Time.zero (Time.sec 1)) sim;
+  float_of_int !count
+
+let seq_write_bandwidth ~virtualised =
+  let sim = Sim.create ~seed:1L () in
+  let vmm =
+    Hypervisor.Vmm.create sim
+      (if virtualised then Hypervisor.Vmm.default_sel4 else Hypervisor.Vmm.native)
+  in
+  let raw = Storage.Hdd.create sim Storage.Hdd.default_7200rpm in
+  let dev =
+    if virtualised then
+      Hypervisor.Vmm.attach_virtio_disk vmm (Hypervisor.Virtio_blk.backend_of_block raw)
+    else raw
+  in
+  let chunk_sectors = 1024 in
+  let chunk = String.make (chunk_sectors * 512) 'b' in
+  let bytes = ref 0 in
+  ignore
+    (Hypervisor.Vmm.spawn_guest vmm (fun () ->
+         let lba = ref 0 in
+         while true do
+           Storage.Block.write dev ~lba:!lba chunk;
+           lba := !lba + chunk_sectors;
+           bytes := !bytes + String.length chunk
+         done));
+  Sim.run ~until:(Time.add Time.zero (Time.sec 1)) sim;
+  float_of_int !bytes
+
+let tpcc_ssd_throughput ~quick mode =
+  let config =
+    {
+      (base_config ~quick) with
+      Scenario.mode;
+      clients = 16;
+      device = Scenario.Flash Storage.Ssd.default;
+    }
+  in
+  (steady config).Experiment.throughput
+
+let tab1 =
+  {
+    id = "tab1-virt-overhead";
+    title = "Tab 1: virtualisation overhead in isolation";
+    run =
+      (fun ~quick ->
+        Report.section "Tab 1: virtualisation overhead (native vs seL4 VMM)";
+        let native_cpu = cpu_bound_rate Hypervisor.Vmm.native in
+        let virt_cpu = cpu_bound_rate Hypervisor.Vmm.default_sel4 in
+        let native_bw = seq_write_bandwidth ~virtualised:false in
+        let virt_bw = seq_write_bandwidth ~virtualised:true in
+        let native_tpcc = tpcc_ssd_throughput ~quick Scenario.Native_sync in
+        let virt_tpcc = tpcc_ssd_throughput ~quick Scenario.Virt_sync in
+        let ratio a b = if a = 0. then "-" else Printf.sprintf "%.1f%%" (100. *. (1. -. (b /. a))) in
+        Report.table
+          ~columns:[ "metric"; "native"; "virtualised"; "overhead" ]
+          ~rows:
+            [
+              [
+                "CPU-bound txns/s (250us each, 4 cores)";
+                Report.float_cell native_cpu;
+                Report.float_cell virt_cpu;
+                ratio native_cpu virt_cpu;
+              ];
+              [
+                "sequential log write MB/s (512KiB chunks)";
+                Report.float_cell (native_bw /. 1e6);
+                Report.float_cell (virt_bw /. 1e6);
+                ratio native_bw virt_bw;
+              ];
+              [
+                "IPC round trip (us)";
+                "0";
+                Report.float_cell
+                  (Time.span_to_float_us
+                     (Hypervisor.Ipc.round_trip Hypervisor.Ipc.default_sel4));
+                "-";
+              ];
+              [
+                "TPC-C-lite txn/s, SSD, 16 clients";
+                Report.float_cell native_tpcc;
+                Report.float_cell virt_tpcc;
+                ratio native_tpcc virt_tpcc;
+              ];
+            ];
+        Report.note
+          "shape target: single-digit-percent CPU overhead; I/O-bound bandwidth essentially unchanged");
+  }
+
+let experiments = [ tab1 ]

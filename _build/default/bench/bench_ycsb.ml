@@ -1,0 +1,51 @@
+(* fig9-ycsb: read-fraction sensitivity. RapiLog accelerates commits,
+   and only update transactions commit through the log — so sweeping
+   the YCSB read fraction shows the gain scaling with the write rate,
+   vanishing at the read-only end. *)
+
+open Harness
+open Bench_support
+
+let fig9 =
+  {
+    id = "fig9-ycsb";
+    title = "Fig 9: YCSB read-fraction sweep";
+    run =
+      (fun ~quick ->
+        Report.section "Fig 9: YCSB-lite read-fraction sweep (8 clients, disk, zipf .99)";
+        let fractions = if quick then [ 0.0; 0.5; 0.95 ] else [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ] in
+        let rows =
+          List.map
+            (fun read_fraction ->
+              let run mode =
+                steady
+                  {
+                    (base_config ~quick) with
+                    Scenario.mode;
+                    clients = 8;
+                    workload =
+                      Scenario.Ycsb
+                        {
+                          Workload.Ycsb_lite.default_config with
+                          Workload.Ycsb_lite.read_fraction;
+                        };
+                  }
+              in
+              let sync = run Scenario.Virt_sync in
+              let rapi = run Scenario.Rapilog in
+              ( read_fraction,
+                [
+                  sync.Experiment.throughput;
+                  rapi.Experiment.throughput;
+                  rapi.Experiment.throughput /. sync.Experiment.throughput;
+                ] ))
+            fractions
+        in
+        Report.series ~title:"throughput vs read fraction" ~x_label:"read frac"
+          ~columns:[ "virt-sync txn/s"; "rapilog txn/s"; "speedup" ]
+          ~rows;
+        Report.note
+          "shape target: speedup largest at read fraction 0, converging to ~1x as reads dominate");
+  }
+
+let experiments = [ fig9 ]

@@ -1,0 +1,1 @@
+examples/crash_and_restart.ml: Dbms Desim Hashtbl Hypervisor List Option Printf Process Rapilog Sim Storage Time

@@ -1,0 +1,1 @@
+examples/engine_tour.ml: Dbms Desim Hashtbl Hypervisor List Option Power Printf Process Rapilog Sim Storage Time

@@ -1,0 +1,1 @@
+examples/observability.ml: Desim Format Hypervisor List Power Printf Rapilog Sim Storage String Time Trace

@@ -1,0 +1,1 @@
+examples/power_failure.ml: Audit Desim Experiment Harness Int64 List Rapilog Report Scenario

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit Dbms Desim Experiment Harness List Printf Rapilog Scenario

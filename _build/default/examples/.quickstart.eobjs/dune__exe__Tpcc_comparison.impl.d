@@ -1,0 +1,1 @@
+examples/tpcc_comparison.ml: Array Desim Experiment Harness List Printf Report Scenario Sys

@@ -1,0 +1,1 @@
+lib/core/rapilog.ml: Durability Hypervisor Invariants Ring_buffer Trusted_logger

@@ -1,0 +1,1 @@
+lib/core/rapilog.mli: Desim Durability Hypervisor Invariants Power Ring_buffer Storage Trusted_logger

@@ -1,0 +1,1 @@
+lib/core/durability.ml: Format Hashtbl Int List Set String Trusted_logger

@@ -1,0 +1,1 @@
+lib/core/durability.mli: Format Hashtbl Trusted_logger

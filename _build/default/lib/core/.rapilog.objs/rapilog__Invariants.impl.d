@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Desim List Printf Process Sim Time Trusted_logger

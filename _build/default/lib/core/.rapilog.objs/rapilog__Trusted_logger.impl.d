@@ -1,0 +1,1 @@
+lib/core/trusted_logger.ml: Desim Hypervisor Power Process Resource Ring_buffer Sim Storage String Time Trace

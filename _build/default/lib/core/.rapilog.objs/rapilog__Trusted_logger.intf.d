@@ -1,0 +1,1 @@
+lib/core/trusted_logger.mli: Desim Hypervisor Power Storage

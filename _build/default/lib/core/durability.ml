@@ -1,0 +1,49 @@
+type report = {
+  committed : int;
+  recovered : int;
+  lost : int list;
+  extra : int list;
+}
+
+module Int_set = Set.Make (Int)
+
+let compare_txids ~committed ~recovered =
+  let committed_set = Int_set.of_list committed in
+  let recovered_set = Int_set.of_list recovered in
+  let lost = Int_set.elements (Int_set.diff committed_set recovered_set) in
+  let extra = Int_set.elements (Int_set.diff recovered_set committed_set) in
+  {
+    committed = Int_set.cardinal committed_set;
+    recovered = Int_set.cardinal (Int_set.inter committed_set recovered_set);
+    lost;
+    extra;
+  }
+
+let holds report = report.lost = []
+
+type store_diff = { key : int; expected : string option; actual : string option }
+
+let diff_stores ~expected ~actual =
+  let diffs = ref [] in
+  Hashtbl.iter
+    (fun key value ->
+      match Hashtbl.find_opt actual key with
+      | Some v when String.equal v value -> ()
+      | actual_value ->
+          diffs := { key; expected = Some value; actual = actual_value } :: !diffs)
+    expected;
+  Hashtbl.iter
+    (fun key value ->
+      if not (Hashtbl.mem expected key) then
+        diffs := { key; expected = None; actual = Some value } :: !diffs)
+    actual;
+  List.sort (fun a b -> Int.compare a.key b.key) !diffs
+
+(* Coalescing merges overlapping sector rewrites, so drained bytes can be
+   smaller than acked bytes; conservation is "nothing acknowledged is still
+   sitting in the buffer". *)
+let logger_conservation logger = Trusted_logger.buffered_bytes logger = 0
+
+let pp_report fmt report =
+  Format.fprintf fmt "committed=%d recovered=%d lost=%d extra=%d" report.committed
+    report.recovered (List.length report.lost) (List.length report.extra)

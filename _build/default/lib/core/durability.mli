@@ -1,0 +1,36 @@
+(** The durability guarantee, stated checkably.
+
+    A configuration is durable when every transaction whose commit was
+    acknowledged to a client is reflected in the state recovered from
+    post-crash media. The harness records the acknowledged set and the
+    expected final store on the client side; this module compares them
+    with what {!Dbms.Recovery} reconstructed. *)
+
+type report = {
+  committed : int;  (** transactions acknowledged to clients *)
+  recovered : int;  (** of those, present in the recovered state *)
+  lost : int list;  (** acknowledged but missing — must be empty when the
+                        durability guarantee holds *)
+  extra : int list;
+      (** recovered but never acknowledged (commit record reached media,
+          ack did not reach the client) — always permitted *)
+}
+
+val compare_txids : committed:int list -> recovered:int list -> report
+
+val holds : report -> bool
+(** No acknowledged transaction was lost. *)
+
+type store_diff = { key : int; expected : string option; actual : string option }
+
+val diff_stores :
+  expected:(int, string) Hashtbl.t -> actual:(int, string) Hashtbl.t -> store_diff list
+(** Keys whose recovered value differs from the expected value; empty
+    means state-exact recovery. *)
+
+val logger_conservation : Trusted_logger.t -> bool
+(** After {!Trusted_logger.quiesce}: no acknowledged data remains in the
+    buffer (everything reached the device, modulo coalescing of
+    overlapping sector rewrites). *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,89 @@
+open Desim
+
+type violation = { at : Time.t; invariant : string; detail : string }
+
+type snapshot = {
+  acked_bytes : int;
+  drained_bytes : int;
+  accepting : bool;
+}
+
+type t = {
+  sim : Sim.t;
+  logger : Trusted_logger.t;
+  mutable seen : violation list;  (* newest first *)
+  mutable checks : int;
+  mutable previous : snapshot;
+  mutable monitor : Process.handle option;
+}
+
+let snapshot logger =
+  {
+    acked_bytes = Trusted_logger.acked_bytes logger;
+    drained_bytes = Trusted_logger.drained_bytes logger;
+    accepting = Trusted_logger.accepting logger;
+  }
+
+let report t invariant detail =
+  t.seen <- { at = Sim.now t.sim; invariant; detail } :: t.seen
+
+let check t =
+  t.checks <- t.checks + 1;
+  let logger = t.logger in
+  let now = snapshot logger in
+  let prev = t.previous in
+  let buffered = Trusted_logger.buffered_bytes logger in
+  let capacity = (Trusted_logger.config logger).Trusted_logger.buffer_bytes in
+  if buffered > capacity then
+    report t "capacity" (Printf.sprintf "%d buffered > %d capacity" buffered capacity);
+  if now.acked_bytes < prev.acked_bytes then
+    report t "monotonic-ack"
+      (Printf.sprintf "acked went %d -> %d" prev.acked_bytes now.acked_bytes);
+  if now.drained_bytes < prev.drained_bytes then
+    report t "monotonic-drain"
+      (Printf.sprintf "drained went %d -> %d" prev.drained_bytes now.drained_bytes);
+  (* Conservation: the drain only writes accepted data, and coalescing
+     overlapping sector rewrites can only shrink the byte total. *)
+  if now.drained_bytes > now.acked_bytes then
+    report t "conservation"
+      (Printf.sprintf "drained %d exceeds acked %d" now.drained_bytes
+         now.acked_bytes);
+  if (not prev.accepting) && now.acked_bytes > prev.acked_bytes then
+    report t "admission-closed"
+      (Printf.sprintf "acked %d bytes after power-fail"
+         (now.acked_bytes - prev.acked_bytes));
+  if (not prev.accepting) && now.accepting then
+    report t "admission-closed" "logger re-opened after power-fail";
+  t.previous <- now
+
+let attach sim ?(interval = Time.ms 1) logger =
+  assert (Time.compare_span interval Time.zero_span > 0);
+  let t =
+    {
+      sim;
+      logger;
+      seen = [];
+      checks = 0;
+      previous = snapshot logger;
+      monitor = None;
+    }
+  in
+  t.monitor <-
+    Some
+      (Process.spawn sim ~name:"invariant-monitor" (fun () ->
+           while true do
+             Process.sleep interval;
+             check t
+           done));
+  t
+
+let stop t =
+  match t.monitor with
+  | Some handle ->
+      Process.cancel handle;
+      t.monitor <- None
+  | None -> ()
+
+let violations t = List.rev t.seen
+let ok t = t.seen = []
+let checks_performed t = t.checks

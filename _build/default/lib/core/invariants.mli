@@ -1,0 +1,41 @@
+(** Runtime verification of the trusted logger.
+
+    The paper's argument delegates the logger's correctness to formal
+    verification; this module is the simulation-side analogue — a
+    monitor that continuously checks the properties the proof would
+    establish, so that any modelling bug surfaces as a named violation
+    rather than a silently wrong experiment:
+
+    - {b capacity}: buffered bytes never exceed the configured buffer;
+    - {b monotonicity}: acknowledged and drained byte counts never go
+      backwards;
+    - {b conservation}: acknowledged bytes are either still buffered or
+      have been drained (coalescing of overlapping sector rewrites can
+      only shrink the drained count, never grow it past the
+      acknowledged one);
+    - {b admission closed}: after a power-fail notification, nothing
+      further is ever acknowledged. *)
+
+type violation = { at : Desim.Time.t; invariant : string; detail : string }
+
+type t
+
+val attach :
+  Desim.Sim.t ->
+  ?interval:Desim.Time.span ->
+  Trusted_logger.t ->
+  t
+(** Spawn a monitor polling every [interval] (default 1 ms). The monitor
+    runs outside any guest domain — like the property it checks, it must
+    survive the guest. It reschedules itself forever: bound the
+    simulation with [Sim.run ~until] or call {!stop} when done. *)
+
+val stop : t -> unit
+(** Cancel the monitor process; checks performed so far remain
+    queryable. *)
+
+val violations : t -> violation list
+(** Oldest first; empty means every check passed so far. *)
+
+val ok : t -> bool
+val checks_performed : t -> int

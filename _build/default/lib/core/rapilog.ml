@@ -1,0 +1,14 @@
+module Ring_buffer = Ring_buffer
+module Trusted_logger = Trusted_logger
+module Durability = Durability
+module Invariants = Invariants
+
+let attach ~vmm ?power ?trace ?(config = Trusted_logger.default_config) ~device () =
+  let sim = Hypervisor.Vmm.sim vmm in
+  let domain = Hypervisor.Vmm.trusted_domain vmm ~name:"rapilog" in
+  let logger = Trusted_logger.create sim ~domain ?trace config ~device in
+  (match power with
+  | Some power -> Trusted_logger.attach_power logger power
+  | None -> ());
+  let frontend = Hypervisor.Vmm.attach_virtio_disk vmm (Trusted_logger.backend logger) in
+  (frontend, logger)

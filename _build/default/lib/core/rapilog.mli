@@ -1,0 +1,34 @@
+(** RapiLog: durable transaction logging through verification.
+
+    This library is the paper's contribution: commit log writes are
+    acknowledged from a buffer held in a trusted protection domain on a
+    verified hypervisor, and reach the physical disk asynchronously —
+    with durability guaranteed across DBMS crashes, guest-OS crashes and
+    power cuts (within the PSU hold-up budget).
+
+    - {!Ring_buffer} — the trusted buffer of in-order block writes;
+    - {!Trusted_logger} — the logger component and its drain process;
+    - {!Durability} — the guarantee, stated as checkable predicates;
+    - {!Invariants} — a runtime monitor of the properties verification
+      would establish;
+    - {!attach} — wire a logger between a guest VM and a physical disk. *)
+
+module Ring_buffer = Ring_buffer
+module Trusted_logger = Trusted_logger
+module Durability = Durability
+module Invariants = Invariants
+
+val attach :
+  vmm:Hypervisor.Vmm.t ->
+  ?power:Power.Power_domain.t ->
+  ?trace:Desim.Trace.t ->
+  ?config:Trusted_logger.config ->
+  device:Storage.Block.t ->
+  unit ->
+  Storage.Block.t * Trusted_logger.t
+(** Build the trusted domain, the logger with its drain process, and the
+    paravirtual frontend the guest's WAL writes to. If a power domain is
+    given, the logger's power-fail notification and the physical
+    device's loss of power at window expiry are hooked up. The returned
+    block device is the guest's log disk: writes acknowledge from the
+    trusted buffer and are guaranteed to reach [device] eventually. *)

@@ -1,0 +1,89 @@
+type entry = { lba : int; data : string }
+
+type t = {
+  sector_size : int;
+  capacity_bytes : int;
+  entries : entry Queue.t;
+  mutable bytes : int;
+  mutable pushed : int;
+  mutable popped : int;
+}
+
+let create ~sector_size ~capacity_bytes =
+  assert (sector_size > 0 && capacity_bytes >= sector_size);
+  {
+    sector_size;
+    capacity_bytes;
+    entries = Queue.create ();
+    bytes = 0;
+    pushed = 0;
+    popped = 0;
+  }
+
+let capacity_bytes t = t.capacity_bytes
+let bytes_used t = t.bytes
+let length t = Queue.length t.entries
+let is_empty t = Queue.is_empty t.entries
+let fits t n = t.bytes + n <= t.capacity_bytes
+
+let try_push t ~lba ~data =
+  let len = String.length data in
+  assert (len > 0 && len mod t.sector_size = 0);
+  if not (fits t len) then false
+  else begin
+    Queue.push { lba; data } t.entries;
+    t.bytes <- t.bytes + len;
+    t.pushed <- t.pushed + len;
+    true
+  end
+
+let account_pop t entry =
+  t.bytes <- t.bytes - String.length entry.data;
+  t.popped <- t.popped + String.length entry.data
+
+let pop t =
+  match Queue.take_opt t.entries with
+  | None -> None
+  | Some entry ->
+      account_pop t entry;
+      Some entry
+
+let sectors t data = String.length data / t.sector_size
+
+let pop_coalesced t ~max_bytes =
+  match Queue.take_opt t.entries with
+  | None -> None
+  | Some head ->
+      account_pop t head;
+      let base = head.lba in
+      (* Accumulate the batch as (lba, data) pieces; materialise once. *)
+      let pieces = ref [ head ] in
+      let end_lba = ref (base + sectors t head.data) in
+      let batch_bytes = ref (String.length head.data) in
+      let mergeable entry =
+        entry.lba >= base
+        && entry.lba <= !end_lba
+        && !batch_bytes + String.length entry.data <= max_bytes
+      in
+      let continue = ref true in
+      while !continue do
+        match Queue.peek_opt t.entries with
+        | Some entry when mergeable entry ->
+            ignore (Queue.pop t.entries);
+            account_pop t entry;
+            pieces := entry :: !pieces;
+            end_lba := max !end_lba (entry.lba + sectors t entry.data);
+            batch_bytes := !batch_bytes + String.length entry.data
+        | Some _ | None -> continue := false
+      done;
+      let merged = Bytes.make ((!end_lba - base) * t.sector_size) '\000' in
+      List.iter
+        (fun entry ->
+          Bytes.blit_string entry.data 0 merged
+            ((entry.lba - base) * t.sector_size)
+            (String.length entry.data))
+        (List.rev !pieces);
+      Some { lba = base; data = Bytes.unsafe_to_string merged }
+
+let pushed_bytes t = t.pushed
+let popped_bytes t = t.popped

@@ -1,0 +1,39 @@
+(** The trusted log buffer: a bounded FIFO of block writes.
+
+    The buffer holds the (lba, data) writes the guest has issued to its
+    virtual log disk, in issue order, with byte-accurate capacity
+    accounting. {!pop_coalesced} merges runs of overlapping or adjacent
+    writes into one large physical write — successive WAL forces rewrite
+    the trailing partial sector, and coalescing both resolves the overlap
+    (later data wins) and turns the drain into streaming-sized I/O. *)
+
+type entry = { lba : int; data : string }
+
+type t
+
+val create : sector_size:int -> capacity_bytes:int -> t
+val capacity_bytes : t -> int
+val bytes_used : t -> int
+val length : t -> int
+(** Queued entries. *)
+
+val is_empty : t -> bool
+
+val fits : t -> int -> bool
+(** [fits t n] — would an [n]-byte entry be accepted now? *)
+
+val try_push : t -> lba:int -> data:string -> bool
+(** False when the entry does not fit; the caller applies
+    backpressure. *)
+
+val pop : t -> entry option
+
+val pop_coalesced : t -> max_bytes:int -> entry option
+(** Pop the head and merge following entries while each starts within or
+    immediately after the accumulated range and the merged size stays
+    within [max_bytes]. Later entries overwrite overlapping sectors. *)
+
+val pushed_bytes : t -> int
+(** Total bytes ever accepted. *)
+
+val popped_bytes : t -> int

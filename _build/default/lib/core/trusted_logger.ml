@@ -1,0 +1,156 @@
+open Desim
+
+type config = {
+  buffer_bytes : int;
+  copy_bandwidth : float;
+  drain_max_bytes : int;
+}
+
+let default_config =
+  { buffer_bytes = 8 * 1024 * 1024; copy_bandwidth = 1e9; drain_max_bytes = 512 * 1024 }
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  device : Storage.Block.t;
+  trace : Trace.t;
+  ring : Ring_buffer.t;
+  arrived : Resource.Condition.t;
+  space_freed : Resource.Condition.t;
+  empty : Resource.Condition.t;
+  mutable accepting : bool;
+  mutable draining : bool;  (* a popped batch is being written *)
+  mutable acked_bytes : int;
+  mutable acked_writes : int;
+  mutable drained_bytes : int;
+  mutable drain_writes : int;
+  mutable max_buffered : int;
+  mutable stalls : int;
+}
+
+let drainer t () =
+  while true do
+    match Ring_buffer.pop_coalesced t.ring ~max_bytes:t.config.drain_max_bytes with
+    | None ->
+        t.draining <- false;
+        if Ring_buffer.is_empty t.ring then Resource.Condition.broadcast t.empty;
+        Resource.Condition.wait t.arrived
+    | Some { Ring_buffer.lba; data } ->
+        t.draining <- true;
+        Storage.Block.write t.device ~lba data;
+        t.drained_bytes <- t.drained_bytes + String.length data;
+        t.drain_writes <- t.drain_writes + 1;
+        Trace.emit t.trace t.sim ~tag:"drain" "wrote %d bytes at lba %d"
+          (String.length data) lba;
+        Resource.Condition.broadcast t.space_freed
+  done
+
+let create sim ~domain ?(trace = Trace.null) config ~device =
+  assert (config.buffer_bytes > 0 && config.copy_bandwidth > 0.);
+  assert (Hypervisor.Domain.kind domain = Hypervisor.Domain.Trusted);
+  let t =
+    {
+      sim;
+      config;
+      device;
+      trace;
+      ring =
+        Ring_buffer.create
+          ~sector_size:(Storage.Block.info device).Storage.Block.sector_size
+          ~capacity_bytes:config.buffer_bytes;
+      arrived = Resource.Condition.create sim;
+      space_freed = Resource.Condition.create sim;
+      empty = Resource.Condition.create sim;
+      accepting = true;
+      draining = false;
+      acked_bytes = 0;
+      acked_writes = 0;
+      drained_bytes = 0;
+      drain_writes = 0;
+      max_buffered = 0;
+      stalls = 0;
+    }
+  in
+  ignore (Hypervisor.Domain.spawn domain ~name:"rapilog-drain" (drainer t));
+  t
+
+let config t = t.config
+let device t = t.device
+
+let copy_span t len =
+  Time.span_of_float_sec (float_of_int len /. t.config.copy_bandwidth)
+
+let block_forever () = Process.suspend (fun (_ : unit Process.resumer) -> ())
+
+(* Admission is re-checked after *every* blocking point: a writer that
+   slept through the power-fail instant (in the copy, or stalled on a
+   full buffer) must never acknowledge afterwards. Data it already
+   pushed still drains — blocking only the acknowledgement is the
+   conservative side of the contract. The runtime {!Invariants} monitor
+   checks exactly this property, and caught the one-sided version of
+   this code that checked admission only on entry. *)
+let accept_write t ~lba ~data =
+  if not t.accepting then
+    (* Power is failing: no new durability promises. The guest is about
+       to lose power anyway; its process parks here. *)
+    block_forever ()
+  else begin
+    Process.sleep (copy_span t (String.length data));
+    if not t.accepting then block_forever ();
+    while not (Ring_buffer.try_push t.ring ~lba ~data) do
+      t.stalls <- t.stalls + 1;
+      Trace.emit t.trace t.sim ~tag:"backpressure" "buffer full (%d bytes)"
+        (Ring_buffer.bytes_used t.ring);
+      Resource.Condition.wait t.space_freed;
+      if not t.accepting then block_forever ()
+    done;
+    if not t.accepting then block_forever ();
+    t.acked_bytes <- t.acked_bytes + String.length data;
+    t.acked_writes <- t.acked_writes + 1;
+    t.max_buffered <- max t.max_buffered (Ring_buffer.bytes_used t.ring);
+    Resource.Condition.signal t.arrived
+  end
+
+let backend t =
+  {
+    Hypervisor.Virtio_blk.be_info =
+      (let info = Storage.Block.info t.device in
+       { info with Storage.Block.model = "rapilog:" ^ info.Storage.Block.model });
+    be_read =
+      (fun ~lba ~sectors ->
+        (* The log region is not read back during normal operation; serve
+           media contents (recovery uses durable reads instead). *)
+        Storage.Block.read t.device ~lba ~sectors);
+    be_write = (fun ~lba ~data ~fua:_ -> accept_write t ~lba ~data);
+    be_flush = (fun () -> ());
+    be_durable_read =
+      (fun ~lba ~sectors -> Storage.Block.durable_read t.device ~lba ~sectors);
+    be_durable_extent = (fun () -> Storage.Block.durable_extent t.device);
+  }
+
+let notify_power_fail t =
+  t.accepting <- false;
+  Trace.emit t.trace t.sim ~tag:"power-fail"
+    "admission closed; %d bytes to drain" (Ring_buffer.bytes_used t.ring)
+
+let attach_power t power =
+  Power.Power_domain.on_power_fail power (fun ~window:_ -> notify_power_fail t);
+  Power.Power_domain.register_device power t.device
+
+let quiesce t =
+  while not (Ring_buffer.is_empty t.ring && not t.draining) do
+    Resource.Condition.wait t.empty
+  done
+
+let accepting t = t.accepting
+let buffered_bytes t = Ring_buffer.bytes_used t.ring
+let max_buffered_bytes t = t.max_buffered
+let acked_bytes t = t.acked_bytes
+let drained_bytes t = t.drained_bytes
+let acked_writes t = t.acked_writes
+let drain_writes t = t.drain_writes
+let backpressure_stalls t = t.stalls
+
+let worst_case_flush t ~drain_bandwidth =
+  assert (drain_bandwidth > 0.);
+  Time.span_of_float_sec (float_of_int t.max_buffered /. drain_bandwidth)

@@ -1,0 +1,85 @@
+(** The RapiLog trusted logger.
+
+    This is the paper's core component: a small, isolated service running
+    in its own protection domain on the verified hypervisor, interposed
+    on the guest's virtual log disk. A log write is acknowledged as soon
+    as it is copied into the trusted buffer; a drain process writes the
+    buffered data to the physical disk asynchronously, preserving issue
+    order and coalescing adjacent writes into streaming-sized I/O.
+
+    The durability contract for an acknowledged write:
+    - {b DBMS or guest-OS crash}: the buffer lives outside the guest, so
+      the drain simply continues — nothing is lost (seL4's verified
+      isolation is what makes "the logger itself cannot crash or be
+      corrupted" a defensible assumption, modelled here by fault-contained
+      domains).
+    - {b power cut}: the logger is notified at the instant of the failure
+      and stops admitting new writes; the already-buffered data is drained
+      within the PSU hold-up window. The contract holds iff buffered
+      bytes / drain bandwidth fits in the window — which is why the
+      buffer is kept small and admission applies backpressure when it
+      fills. {!worst_case_flush} exposes the budget check.
+
+    When the buffer is full, {!backend} writes block (backpressure) —
+    performance degrades to the device's streaming bandwidth, never to
+    a durability violation. *)
+
+type config = {
+  buffer_bytes : int;
+  copy_bandwidth : float;  (** guest→trusted copy, bytes/s *)
+  drain_max_bytes : int;  (** largest single physical write *)
+}
+
+val default_config : config
+(** 8 MiB buffer, 1 GB/s copy, 512 KiB drain writes. *)
+
+type t
+
+val create :
+  Desim.Sim.t ->
+  domain:Hypervisor.Domain.t ->
+  ?trace:Desim.Trace.t ->
+  config ->
+  device:Storage.Block.t ->
+  t
+(** [domain] must be a trusted domain; the drain process lives there.
+    [trace] (default discarding) receives drain, backpressure and
+    power-fail events. *)
+
+val config : t -> config
+val device : t -> Storage.Block.t
+
+val backend : t -> Hypervisor.Virtio_blk.backend
+(** The virtual-log-disk backend the guest's virtio frontend connects
+    to. Writes ack from the buffer; flushes ack immediately (durability
+    of acked data is the logger's contract, not the guest's problem). *)
+
+val notify_power_fail : t -> unit
+(** Stop admitting writes; the drain races the hold-up window. *)
+
+val attach_power : t -> Power.Power_domain.t -> unit
+(** Register {!notify_power_fail} with the power domain and the physical
+    device for loss of power at window expiry. *)
+
+val quiesce : t -> unit
+(** Block until the buffer is fully drained; for clean shutdown and for
+    OS-crash experiments (where the drain continues after the guest
+    died). Must run in a process. *)
+
+val accepting : t -> bool
+val buffered_bytes : t -> int
+val max_buffered_bytes : t -> int
+(** High-water mark, for the hold-up budget check. *)
+
+val acked_bytes : t -> int
+val drained_bytes : t -> int
+val acked_writes : t -> int
+val drain_writes : t -> int
+(** Physical writes issued: [acked_writes / drain_writes] is the
+    coalescing factor. *)
+
+val backpressure_stalls : t -> int
+
+val worst_case_flush : t -> drain_bandwidth:float -> Desim.Time.span
+(** Time to drain the high-water mark at the given bandwidth — compare
+    against the PSU hold-up window. *)

@@ -1,0 +1,1 @@
+lib/dbms/buffer_pool.ml: Desim Hashtbl Hypervisor Int List Lsn Page Process Resource Sim Storage String Time

@@ -1,0 +1,1 @@
+lib/dbms/buffer_pool.mli: Desim Hypervisor Lsn Page Storage

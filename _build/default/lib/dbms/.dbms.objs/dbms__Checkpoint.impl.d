@@ -1,0 +1,1 @@
+lib/dbms/checkpoint.ml: Buffer_pool Desim Hypervisor List Log_record Process Time Wal

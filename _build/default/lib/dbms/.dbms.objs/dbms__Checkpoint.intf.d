@@ -1,0 +1,1 @@
+lib/dbms/checkpoint.mli: Buffer_pool Desim Hypervisor Lsn Wal

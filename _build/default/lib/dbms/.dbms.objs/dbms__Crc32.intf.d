@@ -1,0 +1,1 @@
+lib/dbms/crc32.mli:

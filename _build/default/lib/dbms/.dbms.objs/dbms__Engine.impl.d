@@ -1,0 +1,1 @@
+lib/dbms/engine.ml: Buffer_pool Desim Engine_profile Hashtbl Hypervisor Int List Lock_table Log_record Lsn Option Page Process Resource Sim Stats String Time Txn Wal

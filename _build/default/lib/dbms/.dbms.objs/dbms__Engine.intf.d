@@ -1,0 +1,1 @@
+lib/dbms/engine.mli: Buffer_pool Desim Engine_profile Hypervisor Wal

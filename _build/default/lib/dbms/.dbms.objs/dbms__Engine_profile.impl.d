@@ -1,0 +1,1 @@
+lib/dbms/engine_profile.ml: Desim Format List String Time

@@ -1,0 +1,1 @@
+lib/dbms/engine_profile.mli: Desim Format

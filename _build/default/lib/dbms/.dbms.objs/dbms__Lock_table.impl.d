@@ -1,0 +1,1 @@
+lib/dbms/lock_table.ml: Desim Hashtbl List Process Queue Sim

@@ -1,0 +1,1 @@
+lib/dbms/lock_table.mli: Desim

@@ -1,0 +1,1 @@
+lib/dbms/log_record.ml: Buffer Bytes Crc32 Format Int32 Int64 List Lsn String

@@ -1,0 +1,1 @@
+lib/dbms/log_record.mli: Buffer Format Lsn

@@ -1,0 +1,1 @@
+lib/dbms/lsn.ml: Format Int Stdlib

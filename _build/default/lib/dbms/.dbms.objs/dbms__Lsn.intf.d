@@ -1,0 +1,1 @@
+lib/dbms/lsn.mli: Format

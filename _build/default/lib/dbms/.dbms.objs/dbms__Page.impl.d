@@ -1,0 +1,1 @@
+lib/dbms/page.ml: Buffer Bytes Crc32 Hashtbl Int Int32 Int64 List Lsn String

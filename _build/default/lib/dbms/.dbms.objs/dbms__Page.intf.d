@@ -1,0 +1,1 @@
+lib/dbms/page.mli: Hashtbl Lsn

@@ -1,0 +1,1 @@
+lib/dbms/recovery.ml: Buffer Buffer_pool Hashtbl Int List Log_record Lsn Page Storage String Wal

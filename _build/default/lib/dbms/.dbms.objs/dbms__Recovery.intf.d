@@ -1,0 +1,1 @@
+lib/dbms/recovery.mli: Buffer_pool Hashtbl Log_record Lsn Storage Wal

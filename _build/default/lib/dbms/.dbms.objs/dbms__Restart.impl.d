@@ -1,0 +1,1 @@
+lib/dbms/restart.ml: Buffer_pool Engine Hashtbl Hypervisor List Log_record Lsn Page Recovery Storage String Wal

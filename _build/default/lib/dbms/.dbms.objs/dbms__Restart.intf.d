@@ -1,0 +1,1 @@
+lib/dbms/restart.mli: Buffer_pool Engine Engine_profile Hypervisor Recovery Storage Wal

@@ -1,0 +1,1 @@
+lib/dbms/txn.mli:

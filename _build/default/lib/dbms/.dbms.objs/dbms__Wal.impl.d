@@ -1,0 +1,1 @@
+lib/dbms/wal.ml: Buffer Bytes Crc32 Desim Int64 Log_record Lsn Resource Stats Storage String

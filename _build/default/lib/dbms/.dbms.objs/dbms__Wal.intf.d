@@ -1,0 +1,1 @@
+lib/dbms/wal.mli: Desim Log_record Lsn Storage

@@ -1,0 +1,27 @@
+(** Fuzzy checkpointing.
+
+    A checkpoint (1) computes the redo point from the dirty-page set,
+    (2) flushes the dirty pages (each flush WAL-forces first), (3) logs a
+    checkpoint record and (4) persists the redo point in the master
+    block. Transactions keep running throughout; the conservative redo
+    point keeps recovery correct in the presence of concurrent updates.
+
+    Checkpoints bound recovery work; they are not needed for durability
+    (that is the WAL's job). *)
+
+type config = { interval : Desim.Time.span }
+
+val default_config : config
+(** Checkpoint every simulated second. *)
+
+val run_once : wal:Wal.t -> pool:Buffer_pool.t -> Lsn.t
+(** Perform one checkpoint; returns the redo LSN it recorded. Must run
+    in a process. *)
+
+val start :
+  Desim.Sim.t -> config -> wal:Wal.t -> pool:Buffer_pool.t -> Desim.Process.handle
+(** Spawn the periodic checkpointer. *)
+
+val start_in_domain :
+  Hypervisor.Domain.t -> config -> wal:Wal.t -> pool:Buffer_pool.t -> Desim.Process.handle
+(** Same, owned by a guest domain so a guest crash kills it. *)

@@ -1,0 +1,29 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc byte =
+  let table = Lazy.force table in
+  let index = Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xFFl) in
+  Int32.logxor table.(index) (Int32.shift_right_logical crc 8)
+
+let digest_gen get s ~pos ~len =
+  assert (pos >= 0 && len >= 0);
+  let crc = ref 0xFFFFFFFFl in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (get s i)
+  done;
+  Int32.logxor !crc 0xFFFFFFFFl
+
+let digest s ~pos ~len = digest_gen (fun s i -> Char.code s.[i]) s ~pos ~len
+let digest_string s = digest s ~pos:0 ~len:(String.length s)
+
+let digest_bytes b ~pos ~len =
+  digest_gen (fun b i -> Char.code (Bytes.get b i)) b ~pos ~len

@@ -1,0 +1,8 @@
+(** CRC-32 (IEEE 802.3 polynomial, the zlib/ethernet variant).
+
+    Used to detect torn log records and corrupt page images after a
+    crash. *)
+
+val digest : string -> pos:int -> len:int -> int32
+val digest_string : string -> int32
+val digest_bytes : bytes -> pos:int -> len:int -> int32

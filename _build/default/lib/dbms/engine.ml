@@ -1,0 +1,192 @@
+open Desim
+
+type op =
+  | Put of { key : int; value : string }
+  | Get of { key : int }
+  | Delete of { key : int }
+
+type txn_result = {
+  txid : int;
+  writes : (int * string option) list;
+  reads : (int * string option) list;
+  latency : Time.span;
+}
+
+type t = {
+  vmm : Hypervisor.Vmm.t;
+  profile : Engine_profile.t;
+  async_commit : bool;
+  wal : Wal.t;
+  pool : Buffer_pool.t;
+  locks : Lock_table.t;
+  txns : Txn.Manager.t;
+  commit_serialiser : Resource.Mutex.t;  (* used when group commit is off *)
+  mutable committed_txids : int list;  (* descending *)
+  latencies : Stats.Sample.t;
+}
+
+let create ~vmm ~profile ?(async_commit = false) ?first_txid ~wal ~pool () =
+  let sim = Hypervisor.Vmm.sim vmm in
+  {
+    vmm;
+    profile;
+    async_commit;
+    wal;
+    pool;
+    locks = Lock_table.create sim;
+    txns = Txn.Manager.create ?first_txid ();
+    commit_serialiser = Resource.Mutex.create sim;
+    committed_txids = [];
+    latencies = Stats.Sample.create ();
+  }
+
+let spawn_wal_writer t domain ~interval =
+  assert (Time.compare_span interval Time.zero_span > 0);
+  Hypervisor.Domain.spawn domain ~name:"wal-writer" (fun () ->
+      while true do
+        Process.sleep interval;
+        Wal.force t.wal (Wal.end_lsn t.wal)
+      done)
+
+let profile t = t.profile
+let wal t = t.wal
+let pool t = t.pool
+
+let write_set ops =
+  (* Lock acquisition in key order prevents deadlock; the last write to a
+     key within one transaction wins. A [None] value is a delete. *)
+  let last = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Put { key; value } ->
+          assert (String.length value > 0);
+          Hashtbl.replace last key (Some value)
+      | Delete { key } -> Hashtbl.replace last key None
+      | Get _ -> ())
+    ops;
+  let writes = Hashtbl.fold (fun key value acc -> (key, value) :: acc) last [] in
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) writes
+
+let read_set ops =
+  List.filter_map (function Get { key } -> Some key | Put _ | Delete _ -> None) ops
+
+let apply_update t txn ~key ~value =
+  Buffer_pool.with_page t.pool ~key (fun page ->
+      let before = Option.value (Page.get page ~key) ~default:"" in
+      Txn.record_update txn ~key ~before;
+      (* An empty after-image encodes the delete, mirroring the empty
+         before-image for "key did not exist". *)
+      let after = Option.value value ~default:"" in
+      let lsn =
+        Wal.append t.wal
+          (Log_record.Update { txid = Txn.txid txn; key; before; after })
+      in
+      let lsn =
+        if t.profile.Engine_profile.update_meta_bytes > 0 then
+          Wal.append t.wal
+            (Log_record.Noop { filler = t.profile.Engine_profile.update_meta_bytes })
+        else lsn
+      in
+      Buffer_pool.mark_dirty t.pool page ~lsn;
+      match value with
+      | Some v -> Page.set page ~key ~value:v ~lsn
+      | None ->
+          Hashtbl.remove page.Page.values key;
+          page.Page.page_lsn <- Lsn.max page.Page.page_lsn lsn)
+
+let cpu t span = Hypervisor.Vmm.exec t.vmm span
+
+let run_ops t txn ops =
+  let writes = write_set ops in
+  List.iter (fun (key, _) -> Lock_table.lock t.locks ~txid:(Txn.txid txn) ~key;
+              Txn.record_lock txn key)
+    writes;
+  let reads =
+    List.map
+      (fun key ->
+        cpu t t.profile.Engine_profile.op_cpu;
+        (key, Buffer_pool.with_page t.pool ~key (fun page -> Page.get page ~key)))
+      (read_set ops)
+  in
+  List.iter
+    (fun (key, value) ->
+      cpu t t.profile.Engine_profile.op_cpu;
+      apply_update t txn ~key ~value)
+    writes;
+  (writes, reads)
+
+let release txn t = Lock_table.unlock_all t.locks ~txid:(Txn.txid txn) ~keys:(Txn.locked_keys txn)
+
+let force_commit t lsn =
+  if Time.compare_span t.profile.Engine_profile.commit_delay Time.zero_span > 0
+  then Process.sleep t.profile.Engine_profile.commit_delay;
+  Wal.force t.wal lsn
+
+let exec t ops =
+  let started = Sim.now (Hypervisor.Vmm.sim t.vmm) in
+  cpu t t.profile.Engine_profile.txn_base_cpu;
+  let txn = Txn.Manager.begin_txn t.txns in
+  ignore (Wal.append t.wal (Log_record.Begin { txid = Txn.txid txn }));
+  let writes, reads = run_ops t txn ops in
+  if writes = [] then begin
+    (* Read-only transactions commit without touching the log device. *)
+    Txn.Manager.finish t.txns txn Txn.Committed;
+    release txn t
+  end
+  else begin
+    let commit_lsn = Wal.append t.wal (Log_record.Commit { txid = Txn.txid txn }) in
+    if t.async_commit then ()  (* ack without forcing: the unsafe classic *)
+    else if t.profile.Engine_profile.group_commit then force_commit t commit_lsn
+    else
+      (* No group commit: every transaction pays its own physical log
+         write, serialised. *)
+      Resource.Mutex.with_lock t.commit_serialiser (fun () ->
+          Wal.force_exclusive t.wal);
+    Txn.Manager.finish t.txns txn Txn.Committed;
+    release txn t
+  end;
+  let latency = Time.diff (Sim.now (Hypervisor.Vmm.sim t.vmm)) started in
+  t.committed_txids <- Txn.txid txn :: t.committed_txids;
+  Stats.Sample.add_span t.latencies latency;
+  { txid = Txn.txid txn; writes; reads; latency }
+
+let undo_in_memory t txn =
+  (* Each rollback step is logged as a compensating update so that redo
+     repeats the rollback after a crash. *)
+  List.iter
+    (fun (key, before) ->
+      Buffer_pool.with_page t.pool ~key (fun page ->
+          let current = Option.value (Page.get page ~key) ~default:"" in
+          let lsn =
+            Wal.append t.wal
+              (Log_record.Update
+                 { txid = Txn.txid txn; key; before = current; after = before })
+          in
+          Buffer_pool.mark_dirty t.pool page ~lsn;
+          if String.length before = 0 then Hashtbl.remove page.Page.values key
+          else Page.set page ~key ~value:before ~lsn;
+          page.Page.page_lsn <- Lsn.max page.Page.page_lsn lsn))
+    (Txn.undo_log txn)
+
+let exec_abort t ops =
+  cpu t t.profile.Engine_profile.txn_base_cpu;
+  let txn = Txn.Manager.begin_txn t.txns in
+  ignore (Wal.append t.wal (Log_record.Begin { txid = Txn.txid txn }));
+  ignore (run_ops t txn ops);
+  undo_in_memory t txn;
+  ignore (Wal.append t.wal (Log_record.Abort { txid = Txn.txid txn }));
+  (* An abort need not be forced: if it is lost, recovery undoes the
+     transaction as a loser with the same outcome. *)
+  Txn.Manager.finish t.txns txn Txn.Aborted;
+  release txn t;
+  Txn.txid txn
+
+let committed_txids t = List.rev t.committed_txids
+let committed_count t = Txn.Manager.committed t.txns
+let aborted_count t = Txn.Manager.aborted t.txns
+let latencies t = t.latencies
+
+let log_bytes_per_txn t =
+  let committed = committed_count t in
+  if committed = 0 then 0.
+  else float_of_int (Lsn.to_int (Wal.end_lsn t.wal)) /. float_of_int committed

@@ -1,0 +1,51 @@
+open Desim
+
+type t = {
+  name : string;
+  txn_base_cpu : Time.span;
+  op_cpu : Time.span;
+  update_meta_bytes : int;
+  group_commit : bool;
+  commit_delay : Time.span;
+}
+
+let postgres_like =
+  {
+    name = "pg-like";
+    txn_base_cpu = Time.us 80;
+    op_cpu = Time.us 15;
+    update_meta_bytes = 48;
+    group_commit = true;
+    commit_delay = Time.zero_span;
+  }
+
+let innodb_like =
+  {
+    name = "innodb-like";
+    txn_base_cpu = Time.us 60;
+    op_cpu = Time.us 12;
+    update_meta_bytes = 140;
+    group_commit = true;
+    commit_delay = Time.zero_span;
+  }
+
+let commercial_like =
+  {
+    name = "commercial-like";
+    txn_base_cpu = Time.us 45;
+    op_cpu = Time.us 8;
+    update_meta_bytes = 90;
+    group_commit = true;
+    commit_delay = Time.zero_span;
+  }
+
+let all = [ postgres_like; innodb_like; commercial_like ]
+
+let by_name name = List.find_opt (fun t -> String.equal t.name name) all
+
+let with_group_commit t group_commit = { t with group_commit }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s (base=%a op=%a meta=%dB group-commit=%b)" t.name Time.pp_span
+    t.txn_base_cpu Time.pp_span t.op_cpu t.update_meta_bytes t.group_commit

@@ -1,0 +1,35 @@
+(** Parameter profiles standing in for the paper's database engines.
+
+    The paper evaluates RapiLog under PostgreSQL, MySQL/InnoDB and a
+    commercial engine. For the logging path those engines differ in the
+    dimensions captured here: CPU cost per transaction and per row, how
+    verbose their log records are, and how they batch commit flushes.
+    The profiles are calibrated to plausible-era magnitudes, not to any
+    specific measurement — the experiments compare shapes across
+    profiles, exactly as the paper compares shapes across engines. *)
+
+type t = {
+  name : string;
+  txn_base_cpu : Desim.Time.span;  (** parse/plan/network per transaction *)
+  op_cpu : Desim.Time.span;  (** per row touched *)
+  update_meta_bytes : int;
+      (** extra log bytes per update beyond the images (headers, index
+          entries, engine bookkeeping), logged as a padding record *)
+  group_commit : bool;
+      (** batch concurrent commit flushes into one device write *)
+  commit_delay : Desim.Time.span;
+      (** deliberate pre-force wait to gather a larger group (PostgreSQL's
+          [commit_delay]); zero for all default profiles *)
+}
+
+val postgres_like : t
+val innodb_like : t
+val commercial_like : t
+
+val all : t list
+
+val by_name : string -> t option
+
+val with_group_commit : t -> bool -> t
+
+val pp : Format.formatter -> t -> unit

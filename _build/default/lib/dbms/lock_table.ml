@@ -1,0 +1,57 @@
+open Desim
+
+type slot = {
+  mutable owner : int option;
+  waiters : (int * unit Process.resumer) Queue.t;
+}
+
+type t = { sim : Sim.t; slots : (int, slot) Hashtbl.t }
+
+let create sim = { sim; slots = Hashtbl.create 1024 }
+
+let slot_of t key =
+  match Hashtbl.find_opt t.slots key with
+  | Some slot -> slot
+  | None ->
+      let slot = { owner = None; waiters = Queue.create () } in
+      Hashtbl.replace t.slots key slot;
+      slot
+
+let lock t ~txid ~key =
+  let slot = slot_of t key in
+  match slot.owner with
+  | None -> slot.owner <- Some txid
+  | Some owner when owner = txid -> ()
+  | Some _ ->
+      Process.suspend (fun resumer -> Queue.push (txid, resumer) slot.waiters)
+
+let try_lock t ~txid ~key =
+  let slot = slot_of t key in
+  match slot.owner with
+  | None ->
+      slot.owner <- Some txid;
+      true
+  | Some owner -> owner = txid
+
+let unlock t ~txid ~key =
+  match Hashtbl.find_opt t.slots key with
+  | None -> assert false
+  | Some slot -> (
+      assert (slot.owner = Some txid);
+      match Queue.take_opt slot.waiters with
+      | Some (next_txid, resumer) ->
+          slot.owner <- Some next_txid;
+          Sim.schedule_now t.sim (fun () -> resumer ())
+      | None ->
+          slot.owner <- None;
+          Hashtbl.remove t.slots key)
+
+let unlock_all t ~txid ~keys = List.iter (fun key -> unlock t ~txid ~key) keys
+
+let owner t ~key =
+  match Hashtbl.find_opt t.slots key with
+  | None -> None
+  | Some slot -> slot.owner
+
+let locked_count t =
+  Hashtbl.fold (fun _ slot acc -> if slot.owner = None then acc else acc + 1) t.slots 0

@@ -1,0 +1,123 @@
+type t =
+  | Begin of { txid : int }
+  | Update of { txid : int; key : int; before : string; after : string }
+  | Commit of { txid : int }
+  | Abort of { txid : int }
+  | Checkpoint of { redo_lsn : Lsn.t }
+  | Noop of { filler : int }
+
+let magic = 0xA55A
+let header_size = 11
+let max_body = 1 lsl 20
+
+let pp fmt = function
+  | Begin { txid } -> Format.fprintf fmt "Begin(%d)" txid
+  | Update { txid; key; before; after } ->
+      Format.fprintf fmt "Update(txid=%d key=%d %dB->%dB)" txid key
+        (String.length before) (String.length after)
+  | Commit { txid } -> Format.fprintf fmt "Commit(%d)" txid
+  | Abort { txid } -> Format.fprintf fmt "Abort(%d)" txid
+  | Checkpoint { redo_lsn } -> Format.fprintf fmt "Checkpoint(%a)" Lsn.pp redo_lsn
+  | Noop { filler } -> Format.fprintf fmt "Noop(%d)" filler
+
+let kind_code = function
+  | Begin _ -> 1
+  | Update _ -> 2
+  | Commit _ -> 3
+  | Abort _ -> 4
+  | Checkpoint _ -> 5
+  | Noop _ -> 6
+
+let body_size = function
+  | Begin _ | Commit _ | Abort _ -> 8
+  | Update { before; after; _ } -> 8 + 8 + 4 + String.length before + 4 + String.length after
+  | Checkpoint _ -> 8
+  | Noop { filler } -> filler
+
+let encoded_size t = header_size + body_size t
+
+let encode_body t body =
+  let set64 pos v = Bytes.set_int64_le body pos (Int64.of_int v) in
+  match t with
+  | Begin { txid } | Commit { txid } | Abort { txid } -> set64 0 txid
+  | Checkpoint { redo_lsn } -> set64 0 (Lsn.to_int redo_lsn)
+  | Noop _ -> ()
+  | Update { txid; key; before; after } ->
+      set64 0 txid;
+      set64 8 key;
+      Bytes.set_int32_le body 16 (Int32.of_int (String.length before));
+      Bytes.blit_string before 0 body 20 (String.length before);
+      let after_pos = 20 + String.length before in
+      Bytes.set_int32_le body after_pos (Int32.of_int (String.length after));
+      Bytes.blit_string after 0 body (after_pos + 4) (String.length after)
+
+let encode t =
+  let blen = body_size t in
+  assert (blen <= max_body);
+  let buf = Bytes.make (header_size + blen) '\000' in
+  let body = Bytes.make blen '\000' in
+  encode_body t body;
+  Bytes.set_uint16_le buf 0 magic;
+  Bytes.set_uint8 buf 2 (kind_code t);
+  Bytes.set_int32_le buf 3 (Int32.of_int blen);
+  Bytes.set_int32_le buf 7 (Crc32.digest_bytes body ~pos:0 ~len:blen);
+  Bytes.blit body 0 buf header_size blen;
+  Bytes.unsafe_to_string buf
+
+let encode_into t buf = Buffer.add_string buf (encode t)
+
+let u64 s pos = Int64.to_int (String.get_int64_le s pos)
+let u32 s pos = Int32.to_int (String.get_int32_le s pos)
+
+let decode_body kind s ~pos ~len =
+  let fits n = len >= n in
+  match kind with
+  | 1 when fits 8 -> Some (Begin { txid = u64 s pos })
+  | 3 when fits 8 -> Some (Commit { txid = u64 s pos })
+  | 4 when fits 8 -> Some (Abort { txid = u64 s pos })
+  | 5 when fits 8 -> Some (Checkpoint { redo_lsn = Lsn.of_int (u64 s pos) })
+  | 6 -> Some (Noop { filler = len })
+  | 2 when fits 20 ->
+      let blen = u32 s (pos + 16) in
+      if blen < 0 || 20 + blen + 4 > len then None
+      else begin
+        let alen = u32 s (pos + 20 + blen) in
+        if alen < 0 || 20 + blen + 4 + alen <> len then None
+        else
+          Some
+            (Update
+               {
+                 txid = u64 s pos;
+                 key = u64 s (pos + 8);
+                 before = String.sub s (pos + 20) blen;
+                 after = String.sub s (pos + 24 + blen) alen;
+               })
+      end
+  | _ -> None
+
+let decode s ~pos =
+  let remaining = String.length s - pos in
+  if remaining < header_size then None
+  else if String.get_uint16_le s pos <> magic then None
+  else begin
+    let kind = String.get_uint8 s (pos + 2) in
+    let blen = u32 s (pos + 3) in
+    if blen < 0 || blen > max_body || remaining < header_size + blen then None
+    else begin
+      let crc = String.get_int32_le s (pos + 7) in
+      if Crc32.digest s ~pos:(pos + header_size) ~len:blen <> crc then None
+      else
+        match decode_body kind s ~pos:(pos + header_size) ~len:blen with
+        | Some record -> Some (record, header_size + blen)
+        | None -> None
+    end
+  end
+
+let decode_stream s =
+  let rec scan pos acc =
+    match decode s ~pos with
+    | Some (record, size) ->
+        scan (pos + size) ((record, Lsn.of_int (pos + size)) :: acc)
+    | None -> List.rev acc
+  in
+  scan 0 []

@@ -1,0 +1,48 @@
+(** Transaction-log records and their binary encoding.
+
+    Wire format of one record:
+    {v
+      magic   u16   0xA55A
+      kind    u8
+      len     u32   body length in bytes
+      crc     u32   CRC-32 of the body
+      body    len bytes
+    v}
+
+    Decoding is defensive: a record whose magic, kind, length or CRC does
+    not check out is treated as end-of-log. Together with the fact that
+    devices tear writes only at sector granularity, the CRC ensures a
+    torn tail is cleanly cut off rather than misparsed — which is exactly
+    the property recovery relies on. *)
+
+type t =
+  | Begin of { txid : int }
+  | Update of { txid : int; key : int; before : string; after : string }
+  | Commit of { txid : int }
+  | Abort of { txid : int }
+  | Checkpoint of { redo_lsn : Lsn.t }
+  | Noop of { filler : int }  (** padding; [filler] body bytes of zeros *)
+
+val pp : Format.formatter -> t -> unit
+
+val encoded_size : t -> int
+(** Total on-stream size, header included. *)
+
+val encode : t -> string
+
+val encode_into : t -> Buffer.t -> unit
+(** Appends the encoding; equivalent to
+    [Buffer.add_string buf (encode t)] without the intermediate copy. *)
+
+val decode : string -> pos:int -> (t * int) option
+(** [decode s ~pos] parses one record starting at [pos]; returns the
+    record and its total encoded size, or [None] if the bytes at [pos]
+    are not a valid record (truncated, torn, or garbage). *)
+
+val decode_stream : string -> (t * Lsn.t) list
+(** Parse records from offset 0 until the first invalid record; each
+    record is paired with its end LSN (the stream offset just past it). *)
+
+val max_body : int
+(** Upper bound on accepted body length; larger claims are rejected as
+    corruption. *)

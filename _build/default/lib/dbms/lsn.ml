@@ -1,0 +1,17 @@
+type t = int
+
+let zero = 0
+
+let of_int n =
+  assert (n >= 0);
+  n
+
+let to_int t = t
+let add t n = t + n
+let compare = Int.compare
+let equal = Int.equal
+let ( <= ) a b = Stdlib.( <= ) a b
+let ( < ) a b = Stdlib.( < ) a b
+let max = Stdlib.max
+let min = Stdlib.min
+let pp fmt t = Format.fprintf fmt "lsn:%d" t

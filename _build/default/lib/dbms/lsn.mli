@@ -1,0 +1,19 @@
+(** Log sequence numbers.
+
+    An LSN is a byte offset into the logical log stream; the LSN of a
+    record is the offset just past its last byte, so "force up to [l]"
+    means "the first [l] bytes of the stream are durable". *)
+
+type t
+
+val zero : t
+val of_int : int -> t
+val to_int : t -> int
+val add : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,231 @@
+type result = {
+  store : (int, string) Hashtbl.t;
+  records : (Log_record.t * Lsn.t) list;
+  parities : (int, int) Hashtbl.t;
+  committed : int list;
+  aborted : int list;
+  losers : int list;
+  durable_records : int;
+  durable_end : Lsn.t;
+  redo_start : Lsn.t;
+  redo_applied : int;
+  undo_applied : int;
+  pages_loaded : int;
+}
+
+let read_durable_log ~log_device ~wal_config =
+  let extent = Storage.Block.durable_extent log_device in
+  let start = wal_config.Wal.log_start_lba in
+  if extent <= start then ""
+  else Storage.Block.durable_read log_device ~lba:start ~sectors:(extent - start)
+
+(* Chunked scan: read the log region incrementally and decode as we go,
+   stopping at the first definitively-invalid record. This keeps memory
+   proportional to the valid log even when the device's written extent is
+   dominated by something else (the single-disk layout puts data pages on
+   the same device, far past the log region). *)
+let scan_chunk_sectors = 4096
+
+let scan_records ~log_device ~wal_config =
+  let sector_size = (Storage.Block.info log_device).Storage.Block.sector_size in
+  let extent = Storage.Block.durable_extent log_device in
+  let start = wal_config.Wal.log_start_lba in
+  let buf = Buffer.create (scan_chunk_sectors * sector_size) in
+  let records = ref [] in
+  let pos = ref 0 in
+  let finished = ref false in
+  let next_lba = ref start in
+  while not !finished do
+    if !next_lba >= extent then finished := true
+    else begin
+      let sectors = min scan_chunk_sectors (extent - !next_lba) in
+      Buffer.add_string buf
+        (Storage.Block.durable_read log_device ~lba:!next_lba ~sectors);
+      next_lba := !next_lba + sectors;
+      let contents = Buffer.contents buf in
+      let progressing = ref true in
+      while !progressing do
+        match Log_record.decode contents ~pos:!pos with
+        | Some (record, size) ->
+            pos := !pos + size;
+            records := (record, Lsn.of_int !pos) :: !records
+        | None -> progressing := false
+      done;
+      (* If decoding stalled with more than a maximal record still
+         unread, the next bytes are not a truncated record — they are
+         the end of the log. *)
+      if String.length contents - !pos > Log_record.max_body + 64 then
+        finished := true
+    end
+  done;
+  List.rev !records
+
+type outcome = Won | Lost
+
+let analyse records =
+  let outcomes = Hashtbl.create 256 in
+  let seen = Hashtbl.create 256 in
+  let aborted = Hashtbl.create 16 in
+  let note_seen txid = Hashtbl.replace seen txid () in
+  List.iter
+    (fun (record, _lsn) ->
+      match record with
+      | Log_record.Begin { txid } -> note_seen txid
+      | Log_record.Update { txid; _ } -> note_seen txid
+      | Log_record.Commit { txid } ->
+          note_seen txid;
+          Hashtbl.replace outcomes txid Won
+      | Log_record.Abort { txid } ->
+          note_seen txid;
+          Hashtbl.replace outcomes txid Lost;
+          Hashtbl.replace aborted txid ()
+      | Log_record.Checkpoint _ | Log_record.Noop _ -> ())
+    records;
+  let committed = ref [] and aborted_list = ref [] and losers = ref [] in
+  Hashtbl.iter
+    (fun txid () ->
+      match Hashtbl.find_opt outcomes txid with
+      | Some Won -> committed := txid :: !committed
+      | Some Lost -> aborted_list := txid :: !aborted_list
+      | None -> losers := txid :: !losers)
+    seen;
+  ( List.sort Int.compare !committed,
+    List.sort Int.compare !aborted_list,
+    List.sort Int.compare !losers )
+
+(* Candidate pages: the on-media log is append-only (only the in-guest
+   WAL memory is ever truncated), so every key that ever reached a page
+   image appears in some durable update record — the distinct pages of
+   those keys are exactly the slots worth reading. This keeps recovery
+   proportional to the touched working set instead of the (sparse)
+   key-space extent. *)
+let candidate_page_ids ~pool_config records =
+  let keys_per_page = pool_config.Buffer_pool.keys_per_page in
+  let ids = Hashtbl.create 1024 in
+  List.iter
+    (fun (record, _lsn) ->
+      match record with
+      | Log_record.Update { key; _ } ->
+          Hashtbl.replace ids (Page.page_of_key ~keys_per_page key) ()
+      | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
+      | Log_record.Checkpoint _ | Log_record.Noop _ ->
+          ())
+    records;
+  ids
+
+(* Each page owns a pair of slots (ping-pong torn-page protection); the
+   newest slot with an intact CRC wins, and its parity is reported so a
+   restart's flushes keep avoiding the winner. *)
+let load_pages ~data_device ~pool_config records =
+  let sector_size = (Storage.Block.info data_device).Storage.Block.sector_size in
+  let sectors_per_page = pool_config.Buffer_pool.page_bytes / sector_size in
+  let extent = Storage.Block.durable_extent data_device in
+  let pages = Hashtbl.create 256 in
+  let parities = Hashtbl.create 256 in
+  Hashtbl.iter
+    (fun id () ->
+      let lba = Buffer_pool.lba_of_page pool_config ~sector_size id in
+      if lba < extent then begin
+        let best = ref None in
+        for parity = 0 to Buffer_pool.slot_count - 1 do
+          let image =
+            Storage.Block.durable_read data_device
+              ~lba:(lba + (parity * sectors_per_page))
+              ~sectors:sectors_per_page
+          in
+          match Page.deserialize image with
+          | Some page when page.Page.id = id -> (
+              match !best with
+              | Some (_, chosen)
+                when Lsn.(page.Page.page_lsn <= chosen.Page.page_lsn) ->
+                  ()
+              | Some _ | None -> best := Some (parity, page))
+          | Some _ | None -> ()  (* unwritten slot, or torn by the crash *)
+        done;
+        match !best with
+        | Some (parity, page) ->
+            Hashtbl.replace pages id page;
+            Hashtbl.replace parities id parity
+        | None -> ()
+      end)
+    (candidate_page_ids ~pool_config records);
+  (pages, parities)
+
+let run ~log_device ~data_device ~wal_config ~pool_config =
+  let records = scan_records ~log_device ~wal_config in
+  let committed, aborted, losers = analyse records in
+  let loser_set = Hashtbl.create 16 in
+  List.iter (fun txid -> Hashtbl.replace loser_set txid ()) losers;
+  let redo_start =
+    match Wal.read_master wal_config ~device:log_device with
+    | Some lsn -> lsn
+    | None -> Lsn.zero
+  in
+  let pages, parities = load_pages ~data_device ~pool_config records in
+  let keys_per_page = pool_config.Buffer_pool.keys_per_page in
+  let page_of_key key =
+    let id = Page.page_of_key ~keys_per_page key in
+    match Hashtbl.find_opt pages id with
+    | Some page -> page
+    | None ->
+        let page = Page.create ~id in
+        Hashtbl.replace pages id page;
+        page
+  in
+  (* Redo: repeating history from the redo point, guarded by page LSNs. *)
+  let redo_applied = ref 0 in
+  List.iter
+    (fun (record, lsn) ->
+      match record with
+      | Log_record.Update { key; after; _ } when Lsn.(redo_start < lsn) ->
+          let page = page_of_key key in
+          if Lsn.(page.Page.page_lsn < lsn) then begin
+            (* An empty after-image (from a compensating update whose key
+               did not exist before the transaction) encodes a delete. *)
+            if String.length after = 0 then begin
+              Hashtbl.remove page.Page.values key;
+              page.Page.page_lsn <- lsn
+            end
+            else Page.set page ~key ~value:after ~lsn;
+            incr redo_applied
+          end
+      | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
+      | Log_record.Abort _ | Log_record.Checkpoint _ | Log_record.Noop _ ->
+          ())
+    records;
+  (* Undo the losers, newest first. An empty before-image encodes "key did
+     not exist". *)
+  let undo_applied = ref 0 in
+  List.iter
+    (fun (record, _lsn) ->
+      match record with
+      | Log_record.Update { txid; key; before; _ }
+        when Hashtbl.mem loser_set txid ->
+          let page = page_of_key key in
+          if String.length before = 0 then Hashtbl.remove page.Page.values key
+          else Hashtbl.replace page.Page.values key before;
+          incr undo_applied
+      | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
+      | Log_record.Abort _ | Log_record.Checkpoint _ | Log_record.Noop _ ->
+          ())
+    (List.rev records);
+  let store = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun _id page ->
+      Hashtbl.iter (fun key value -> Hashtbl.replace store key value) page.Page.values)
+    pages;
+  {
+    store;
+    records;
+    parities;
+    committed;
+    aborted;
+    losers;
+    durable_records = List.length records;
+    durable_end =
+      (match List.rev records with [] -> Lsn.zero | (_, lsn) :: _ -> lsn);
+    redo_start;
+    redo_applied = !redo_applied;
+    undo_applied = !undo_applied;
+    pages_loaded = Hashtbl.length pages;
+  }

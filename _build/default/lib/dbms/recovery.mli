@@ -1,0 +1,59 @@
+(** ARIES-style crash recovery.
+
+    Given the *durable* (post-crash media) contents of the log and data
+    devices, recovery rebuilds the database state that the committed
+    transactions define:
+
+    + {b scan} — read the durable log region and decode records until the
+      first invalid one (the CRC cuts off a torn tail);
+    + {b analysis} — classify transactions into committed / aborted /
+      losers (no outcome record in the durable log);
+    + {b redo} — repeating history from the master block's redo point:
+      re-apply every update whose LSN is beyond the containing page's
+      [page_lsn];
+    + {b undo} — roll back the losers' updates in reverse LSN order using
+      the logged before-images (strict 2PL guarantees a loser's update is
+      the last durable-logged write of its key, so reverse application is
+      exact).
+
+    The result also reports what was scanned and applied, which the
+    durability audit and the recovery experiments inspect. *)
+
+type result = {
+  store : (int, string) Hashtbl.t;  (** recovered key → value *)
+  records : (Log_record.t * Lsn.t) list;
+      (** the decoded durable log, for audits that need per-transaction
+          write sets *)
+  parities : (int, int) Hashtbl.t;
+      (** for each page with an intact on-device image: which of its two
+          slots holds the newest one (the restart path's flushes must
+          avoid overwriting it) *)
+  committed : int list;  (** txids with a durable commit record, ascending *)
+  aborted : int list;
+  losers : int list;
+  durable_records : int;  (** records decoded before the log ended *)
+  durable_end : Lsn.t;  (** LSN of the durable log prefix *)
+  redo_start : Lsn.t;
+  redo_applied : int;
+  undo_applied : int;
+  pages_loaded : int;
+}
+
+val run :
+  log_device:Storage.Block.t ->
+  data_device:Storage.Block.t ->
+  wal_config:Wal.config ->
+  pool_config:Buffer_pool.config ->
+  result
+(** Pure inspection of durable media: callable from any context and at
+    any simulated time (normally after a crash). *)
+
+val read_durable_log : log_device:Storage.Block.t -> wal_config:Wal.config -> string
+(** The raw durable log stream bytes; exposed for tests. *)
+
+val scan_records :
+  log_device:Storage.Block.t -> wal_config:Wal.config -> (Log_record.t * Lsn.t) list
+(** Chunked scan of the durable log: decodes records incrementally and
+    stops at the first invalid one, reading only slightly past the valid
+    log even when the device's written extent is much larger (the
+    single-disk layout). This is what {!run} uses. *)

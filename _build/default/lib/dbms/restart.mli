@@ -1,0 +1,33 @@
+(** Restart: bring an engine back up from durable media after a crash.
+
+    The sequence a real DBMS performs on startup:
+    + run {!Recovery} over the durable log and data devices;
+    + {b neutralise the losers}: for every transaction that was in flight
+      at the crash, append compensating updates (reversing its effects)
+      and an abort record, and force them — after this, no future
+      recovery ever needs to treat those transactions as losers, so new
+      transactions can safely overwrite their keys;
+    + resume the WAL at the durable log end (including the partial tail
+      sector) and seed the buffer pool with the recovered pages, marked
+      dirty so the next checkpoint persists the recovered state;
+    + hand out an engine whose transaction ids continue the sequence.
+
+    Restarting is an offline step: call it from a process before
+    spawning clients on the returned engine. *)
+
+val restart :
+  vmm:Hypervisor.Vmm.t ->
+  profile:Engine_profile.t ->
+  ?async_commit:bool ->
+  log_device:Storage.Block.t ->
+  data_device:Storage.Block.t ->
+  wal_config:Wal.config ->
+  pool_config:Buffer_pool.config ->
+  unit ->
+  Engine.t * Recovery.result
+(** Must run in a process (it forces the loser-neutralisation records).
+    The devices are the *physical* ones recovery reads — pass the same
+    attached paths the new engine should write through if they differ
+    (they coincide for the native configurations; for RapiLog, restart
+    through the logger path works too since its durable reads see the
+    physical media). *)

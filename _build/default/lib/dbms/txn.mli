@@ -1,0 +1,39 @@
+(** Transactions and their manager. *)
+
+type status = Active | Committed | Aborted
+
+type t
+
+val txid : t -> int
+val status : t -> status
+val locked_keys : t -> int list
+(** Keys this transaction holds exclusive locks on, most recent first. *)
+
+val undo_log : t -> (int * string) list
+(** (key, before-image) pairs, most recent first; used for in-memory
+    rollback on abort. *)
+
+val record_lock : t -> int -> unit
+val record_update : t -> key:int -> before:string -> unit
+val set_status : t -> status -> unit
+
+module Manager : sig
+  type txn := t
+  type t
+
+  val create : ?first_txid:int -> unit -> t
+  (** [first_txid] (default 1) lets a restarted engine continue the txid
+      sequence past a previous incarnation's. *)
+
+  val begin_txn : t -> txn
+  (** Allocates the next txid (monotonically increasing). *)
+
+  val finish : t -> txn -> status -> unit
+  (** Mark the transaction's outcome and drop it from the active set;
+      [status] must not be [Active]. *)
+
+  val active_count : t -> int
+  val started : t -> int
+  val committed : t -> int
+  val aborted : t -> int
+end

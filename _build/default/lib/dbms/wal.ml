@@ -1,0 +1,129 @@
+open Desim
+
+type config = { master_lba : int; log_start_lba : int; flush_after_write : bool }
+
+let default_config = { master_lba = 0; log_start_lba = 8; flush_after_write = false }
+
+type t = {
+  config : config;
+  device : Storage.Block.t;
+  stream : Buffer.t;  (* log bytes from [base] onwards; older bytes are
+                         recycled by {!truncate} *)
+  mutable base : int;  (* stream offset of [Buffer.nth stream 0] *)
+  mutable flushed : Lsn.t;
+  force_mutex : Resource.Mutex.t;
+  mutable forces : int;
+  mutable truncated_bytes : int;
+  force_bytes : Stats.Sample.t;
+}
+
+let create sim config ~device =
+  assert (config.master_lba < config.log_start_lba);
+  {
+    config;
+    device;
+    stream = Buffer.create 65536;
+    base = 0;
+    flushed = Lsn.zero;
+    force_mutex = Resource.Mutex.create sim;
+    forces = 0;
+    truncated_bytes = 0;
+    force_bytes = Stats.Sample.create ();
+  }
+
+let create_resumed sim config ~device ~flushed ~tail =
+  let t = create sim config ~device in
+  let ss = (Storage.Block.info device).Storage.Block.sector_size in
+  let flushed_b = Lsn.to_int flushed in
+  assert (String.length tail = flushed_b mod ss);
+  t.base <- flushed_b / ss * ss;
+  Buffer.add_string t.stream tail;
+  t.flushed <- flushed;
+  t
+
+let append t record =
+  Log_record.encode_into record t.stream;
+  Lsn.of_int (t.base + Buffer.length t.stream)
+
+let end_lsn t = Lsn.of_int (t.base + Buffer.length t.stream)
+let flushed_lsn t = t.flushed
+
+let sector_size t = (Storage.Block.info t.device).Storage.Block.sector_size
+
+(* Bytes [from_b, to_b) of the stream as whole sectors, zero-padded past
+   the stream end. *)
+let sector_slice t ~from_b ~to_b =
+  assert (from_b >= t.base);
+  let stream_end = t.base + Buffer.length t.stream in
+  let available = min to_b stream_end in
+  let slice = Buffer.sub t.stream (from_b - t.base) (available - from_b) in
+  if available = to_b then slice
+  else slice ^ String.make (to_b - available) '\000'
+
+let do_force t =
+  let ss = sector_size t in
+  let target_end = t.base + Buffer.length t.stream in
+  let from_b = Lsn.to_int t.flushed / ss * ss in
+  let to_b = (target_end + ss - 1) / ss * ss in
+  (* Nothing new, but the caller insists on a physical write (an engine
+     without group commit): rewrite the tail sector. *)
+  let from_b = if from_b >= to_b then max t.base (to_b - ss) else from_b in
+  if to_b > from_b then begin
+    let data = sector_slice t ~from_b ~to_b in
+    Storage.Block.write t.device ~lba:(t.config.log_start_lba + (from_b / ss)) data;
+    if t.config.flush_after_write then Storage.Block.flush t.device
+  end;
+  t.forces <- t.forces + 1;
+  Stats.Sample.add t.force_bytes (float_of_int (to_b - from_b));
+  t.flushed <- Lsn.of_int target_end
+
+let force t target =
+  assert (Lsn.(target <= end_lsn t));
+  if Lsn.(t.flushed < target) then
+    Resource.Mutex.with_lock t.force_mutex (fun () ->
+        (* A force that completed while we waited may cover us (group
+           commit); only hit the device if it did not. *)
+        if Lsn.(t.flushed < target) then do_force t)
+
+let force_exclusive t =
+  Resource.Mutex.with_lock t.force_mutex (fun () -> do_force t)
+
+let master_magic = 0x4D535452l (* "MSTR" *)
+
+let encode_master t lsn =
+  let ss = sector_size t in
+  let buf = Bytes.make ss '\000' in
+  Bytes.set_int32_le buf 0 master_magic;
+  Bytes.set_int64_le buf 4 (Int64.of_int (Lsn.to_int lsn));
+  Bytes.set_int32_le buf 12 (Crc32.digest_bytes buf ~pos:0 ~len:12);
+  Bytes.unsafe_to_string buf
+
+let write_master t lsn =
+  Storage.Block.write t.device ~fua:true ~lba:t.config.master_lba (encode_master t lsn)
+
+let read_master config ~device =
+  let sector =
+    Storage.Block.durable_read device ~lba:config.master_lba ~sectors:1
+  in
+  if String.get_int32_le sector 0 <> master_magic then None
+  else if Crc32.digest sector ~pos:0 ~len:12 <> String.get_int32_le sector 12 then
+    None
+  else Some (Lsn.of_int (Int64.to_int (String.get_int64_le sector 4)))
+
+let truncate t lsn =
+  assert (Lsn.(lsn <= t.flushed));
+  let ss = sector_size t in
+  let cut = Lsn.to_int lsn / ss * ss in
+  if cut > t.base then begin
+    let keep = Buffer.sub t.stream (cut - t.base) (t.base + Buffer.length t.stream - cut) in
+    Buffer.clear t.stream;
+    Buffer.add_string t.stream keep;
+    t.truncated_bytes <- t.truncated_bytes + (cut - t.base);
+    t.base <- cut
+  end
+
+let base_lsn t = Lsn.of_int t.base
+let truncated_bytes t = t.truncated_bytes
+let forces t = t.forces
+let force_bytes t = t.force_bytes
+let stream_contents t = Buffer.contents t.stream

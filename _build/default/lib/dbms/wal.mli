@@ -1,0 +1,98 @@
+(** Write-ahead log manager.
+
+    The logical log is an append-only byte stream of encoded
+    {!Log_record.t}s. {!append} only buffers in (guest) memory; {!force}
+    makes the stream durable up to a target LSN by writing the not-yet
+    written sector range to the log device. Because the device write is
+    serialised by a mutex, committers that arrive while a force is in
+    flight wait, and the next force covers all of their records in one
+    device write — i.e. *group commit* falls out of the structure. A
+    force that begins or ends mid-sector rewrites the partial sector
+    (zero-padded at the tail), which is how real WAL implementations
+    handle unaligned tails.
+
+    What "durable" means depends on the device the WAL writes to: a raw
+    disk with its write cache disabled is durable at completion; a
+    write-cache device needs [flush_after_write] (and the *unsafe*
+    configuration deliberately leaves it off); the RapiLog virtual log
+    disk acks from the trusted buffer, and its contract makes that ack
+    durable.
+
+    On-device layout: sector [master_lba] holds the master block (the
+    latest checkpoint's redo LSN); the stream's byte 0 lives at
+    [log_start_lba]. *)
+
+type config = {
+  master_lba : int;
+  log_start_lba : int;
+  flush_after_write : bool;
+      (** issue a device flush after every force — required for
+          durability on volatile-cache devices *)
+}
+
+val default_config : config
+(** Master at sector 0, log from sector 8, no flush-after-write. *)
+
+type t
+
+val create : Desim.Sim.t -> config -> device:Storage.Block.t -> t
+
+val create_resumed :
+  Desim.Sim.t ->
+  config ->
+  device:Storage.Block.t ->
+  flushed:Lsn.t ->
+  tail:string ->
+  t
+(** Resume logging after a restart: the stream continues at [flushed]
+    (the durable log end recovery found), and [tail] supplies the bytes
+    between the last sector boundary and [flushed] so that the next
+    force can rewrite the partial tail sector correctly. Requires
+    [String.length tail = flushed mod sector_size]. *)
+
+val append : t -> Log_record.t -> Lsn.t
+(** Buffer a record; returns its end LSN. Callable from any context. *)
+
+val end_lsn : t -> Lsn.t
+(** LSN just past the last appended record. *)
+
+val flushed_lsn : t -> Lsn.t
+(** Stream prefix known durable (per the device's contract). *)
+
+val force : t -> Lsn.t -> unit
+(** Block until [flushed_lsn t >= target]. Must run in a process. *)
+
+val force_exclusive : t -> unit
+(** Unconditionally issue a device write covering the unflushed range
+    (rewriting the tail sector when there is nothing new). This is what
+    an engine *without* group commit does: one physical write per
+    commit, even when a concurrent committer already covered it. *)
+
+val write_master : t -> Lsn.t -> unit
+(** Persist the checkpoint redo LSN in the master block (FUA write).
+    Must run in a process. *)
+
+val read_master : config -> device:Storage.Block.t -> Lsn.t option
+(** Post-crash, untimed: the redo LSN recorded by the last completed
+    checkpoint, if any master block is intact on media. *)
+
+val truncate : t -> Lsn.t -> unit
+(** Release the in-memory stream before [lsn] (sector-aligned down);
+    requires [lsn <= flushed_lsn t]. Checkpointing truncates to the redo
+    point, bounding the WAL's memory to the since-last-checkpoint
+    window. (Only guest memory is recycled: the on-media log region is
+    append-only in this model, so recovery still scans from the start.) *)
+
+val base_lsn : t -> Lsn.t
+(** Oldest stream offset still held in memory. *)
+
+val truncated_bytes : t -> int
+
+val forces : t -> int
+(** Number of device writes issued by {!force} (group-commit batches). *)
+
+val force_bytes : t -> Desim.Stats.Sample.t
+(** Batch sizes in bytes, one observation per force. *)
+
+val stream_contents : t -> string
+(** The in-memory stream from {!base_lsn} onwards; for tests. *)

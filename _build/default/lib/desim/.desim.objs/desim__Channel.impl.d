@@ -1,0 +1,1 @@
+lib/desim/channel.ml: Process Queue Sim

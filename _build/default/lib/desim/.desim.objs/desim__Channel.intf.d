@@ -1,0 +1,1 @@
+lib/desim/channel.mli: Sim

@@ -1,0 +1,1 @@
+lib/desim/process.ml: Effect Sim Time

@@ -1,0 +1,1 @@
+lib/desim/process.mli: Sim Time

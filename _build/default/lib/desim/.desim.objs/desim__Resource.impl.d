@@ -1,0 +1,1 @@
+lib/desim/resource.ml: Fun Process Queue Sim

@@ -1,0 +1,1 @@
+lib/desim/resource.mli: Sim

@@ -1,0 +1,1 @@
+lib/desim/sim.ml: Event_queue Rng Time

@@ -1,0 +1,1 @@
+lib/desim/sim.mli: Rng Time

@@ -1,0 +1,1 @@
+lib/desim/time.ml: Float Format Int Stdlib

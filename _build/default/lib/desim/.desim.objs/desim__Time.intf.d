@@ -1,0 +1,1 @@
+lib/desim/time.mli: Format

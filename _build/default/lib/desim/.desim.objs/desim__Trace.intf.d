@@ -1,0 +1,1 @@
+lib/desim/trace.mli: Format Sim Time

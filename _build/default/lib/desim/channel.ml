@@ -1,0 +1,20 @@
+type 'a t = {
+  sim : Sim.t;
+  items : 'a Queue.t;
+  waiters : 'a Process.resumer Queue.t;
+}
+
+let create sim = { sim; items = Queue.create (); waiters = Queue.create () }
+
+let send t v =
+  match Queue.take_opt t.waiters with
+  | Some resumer -> Sim.schedule_now t.sim (fun () -> resumer v)
+  | None -> Queue.push v t.items
+
+let recv t =
+  match Queue.take_opt t.items with
+  | Some v -> v
+  | None -> Process.suspend (fun resumer -> Queue.push resumer t.waiters)
+
+let recv_opt t = Queue.take_opt t.items
+let length t = Queue.length t.items

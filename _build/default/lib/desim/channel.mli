@@ -1,0 +1,15 @@
+(** Unbounded FIFO mailbox between processes.
+
+    [send] never blocks and is callable from any context; [recv] blocks the
+    calling process while the channel is empty. *)
+
+type 'a t
+
+val create : Sim.t -> 'a t
+val send : 'a t -> 'a -> unit
+val recv : 'a t -> 'a
+val recv_opt : 'a t -> 'a option
+(** Non-blocking receive, callable from any context. *)
+
+val length : 'a t -> int
+(** Number of queued (unreceived) messages. *)

@@ -1,0 +1,71 @@
+type 'a entry = { time : Time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 64 None; size = 0; next_seq = 0 }
+
+let entry_lt a b =
+  match Time.compare a.time b.time with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let get q i =
+  match q.heap.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow q =
+  let heap = Array.make (2 * Array.length q.heap) None in
+  Array.blit q.heap 0 heap 0 q.size;
+  q.heap <- heap
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt (get q i) (get q parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = if l < q.size && entry_lt (get q l) (get q i) then l else i in
+  let smallest =
+    if r < q.size && entry_lt (get q r) (get q smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(smallest);
+    q.heap.(smallest) <- tmp;
+    sift_down q smallest
+  end
+
+let add q ~time payload =
+  if q.size = Array.length q.heap then grow q;
+  let e = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  q.heap.(q.size) <- Some e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let root = get q 0 in
+    q.size <- q.size - 1;
+    q.heap.(0) <- q.heap.(q.size);
+    q.heap.(q.size) <- None;
+    if q.size > 0 then sift_down q 0;
+    Some (root.time, root.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some (get q 0).time
+let length q = q.size
+let is_empty q = q.size = 0

@@ -1,0 +1,22 @@
+(** Priority queue of simulation events.
+
+    A binary min-heap ordered by (time, sequence number). The sequence
+    number is assigned on insertion, so two events scheduled for the same
+    instant fire in insertion order — this is what makes simulation runs
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:Time.t -> 'a -> unit
+(** Insert an event payload to fire at [time]. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest event, or [None] if empty. *)
+
+val peek_time : 'a t -> Time.t option
+(** Time of the earliest event without removing it. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,68 @@
+open Effect
+open Effect.Deep
+
+type handle = { hname : string; mutable alive : bool }
+
+exception Cancelled
+exception Not_in_process
+
+type 'a resumer = 'a -> unit
+
+type _ Effect.t +=
+  | Sleep : Time.span -> unit Effect.t
+  | Suspend : ('a resumer -> unit) -> 'a Effect.t
+  | Self : handle Effect.t
+
+let name h = h.hname
+let is_alive h = h.alive
+let cancel h = h.alive <- false
+
+let spawn sim ?(name = "proc") body =
+  let h = { hname = name; alive = true } in
+  let resume_unit (k : (unit, unit) continuation) =
+    if h.alive then continue k () else discontinue k Cancelled
+  in
+  let run () =
+    match_with body ()
+      {
+        retc = (fun () -> h.alive <- false);
+        exnc =
+          (fun e ->
+            h.alive <- false;
+            match e with Cancelled -> () | e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Sleep d ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    Sim.schedule_after sim d (fun () -> resume_unit k))
+            | Suspend register ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    let fired = ref false in
+                    let resumer v =
+                      if not !fired then begin
+                        fired := true;
+                        if h.alive then continue k v
+                        else discontinue k Cancelled
+                      end
+                    in
+                    register resumer)
+            | Self -> Some (fun (k : (a, _) continuation) -> continue k h)
+            | _ -> None);
+      }
+  in
+  Sim.schedule_now sim run;
+  h
+
+let in_process : 'a. 'a Effect.t -> 'a =
+ fun eff -> try perform eff with Effect.Unhandled _ -> raise Not_in_process
+
+let sleep d =
+  assert (Time.compare_span d Time.zero_span >= 0);
+  in_process (Sleep d)
+
+let yield () = in_process (Sleep Time.zero_span)
+let self () = in_process Self
+let suspend register = in_process (Suspend register)

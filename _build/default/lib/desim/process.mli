@@ -1,0 +1,51 @@
+(** Lightweight simulated processes over OCaml 5 effect handlers.
+
+    A process is an ordinary function that may perform blocking operations
+    ({!sleep}, {!suspend}, and everything built on them — semaphores,
+    channels, device I/O). Each blocking point captures the continuation
+    and hands control back to the {!Sim} event loop; the process resumes
+    when its wake-up event fires.
+
+    Blocking operations may only be called from inside a process body;
+    calling them elsewhere raises [Not_in_process]. *)
+
+type handle
+(** Identity of a spawned process; used for cancellation. *)
+
+exception Cancelled
+(** Raised inside a process that is resumed after {!cancel}; treated as
+    normal termination by the runner, but [Fun.protect] finalisers run. *)
+
+exception Not_in_process
+
+val spawn : Sim.t -> ?name:string -> (unit -> unit) -> handle
+(** [spawn sim body] schedules [body] to start at the current instant. Any
+    exception other than {!Cancelled} escaping [body] is recorded and
+    re-raised out of the simulation run loop. *)
+
+val name : handle -> string
+val is_alive : handle -> bool
+
+val cancel : handle -> unit
+(** Marks the process dead. It will receive {!Cancelled} at its next
+    resumption (it cannot be interrupted between blocking points, which
+    mirrors a thread being killed only at a preemption point). *)
+
+val self : unit -> handle
+(** The currently running process. *)
+
+val sleep : Time.span -> unit
+(** Block the current process for a duration (>= 0). *)
+
+val yield : unit -> unit
+(** Reschedule at the current instant, letting same-time events run. *)
+
+type 'a resumer = 'a -> unit
+(** A one-shot wake-up function. Calling it a second time is ignored;
+    calling it after the process was cancelled discards the value. *)
+
+val suspend : ('a resumer -> unit) -> 'a
+(** [suspend register] blocks the current process. [register] receives the
+    resumer and typically stashes it in some wait queue; whoever later
+    calls the resumer (from the event loop) wakes the process with the
+    given value. *)

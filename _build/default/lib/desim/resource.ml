@@ -1,0 +1,89 @@
+module Semaphore = struct
+  type t = {
+    sim : Sim.t;
+    mutable permits : int;
+    waiters : unit Process.resumer Queue.t;
+  }
+
+  let create sim n =
+    assert (n >= 0);
+    { sim; permits = n; waiters = Queue.create () }
+
+  let acquire t =
+    if t.permits > 0 then t.permits <- t.permits - 1
+    else Process.suspend (fun resumer -> Queue.push resumer t.waiters)
+
+  let try_acquire t =
+    if t.permits > 0 then begin
+      t.permits <- t.permits - 1;
+      true
+    end
+    else false
+
+  let release t =
+    match Queue.take_opt t.waiters with
+    | Some resumer -> Sim.schedule_now t.sim (fun () -> resumer ())
+    | None -> t.permits <- t.permits + 1
+
+  let available t = t.permits
+  let waiting t = Queue.length t.waiters
+end
+
+module Mutex = struct
+  type t = Semaphore.t
+
+  let create sim = Semaphore.create sim 1
+  let lock = Semaphore.acquire
+  let unlock = Semaphore.release
+
+  let with_lock t f =
+    lock t;
+    Fun.protect ~finally:(fun () -> unlock t) f
+end
+
+module Latch = struct
+  type t = {
+    sim : Sim.t;
+    mutable count : int;
+    waiters : unit Process.resumer Queue.t;
+  }
+
+  let create sim count =
+    assert (count > 0);
+    { sim; count; waiters = Queue.create () }
+
+  let count_down t =
+    assert (t.count > 0);
+    t.count <- t.count - 1;
+    if t.count = 0 then
+      Queue.iter
+        (fun resumer -> Sim.schedule_now t.sim (fun () -> resumer ()))
+        t.waiters
+
+  let wait t =
+    if t.count > 0 then
+      Process.suspend (fun resumer -> Queue.push resumer t.waiters)
+
+  let pending t = t.count
+end
+
+module Condition = struct
+  type t = { sim : Sim.t; waiters : unit Process.resumer Queue.t }
+
+  let create sim = { sim; waiters = Queue.create () }
+  let wait t = Process.suspend (fun resumer -> Queue.push resumer t.waiters)
+
+  let signal t =
+    match Queue.take_opt t.waiters with
+    | Some resumer -> Sim.schedule_now t.sim (fun () -> resumer ())
+    | None -> ()
+
+  let broadcast t =
+    (* Drain the queue first so that waiters re-registering during their
+       wake-up are not woken twice in the same broadcast. *)
+    let woken = Queue.create () in
+    Queue.transfer t.waiters woken;
+    Queue.iter (fun resumer -> Sim.schedule_now t.sim (fun () -> resumer ())) woken
+
+  let waiting t = Queue.length t.waiters
+end

@@ -1,0 +1,70 @@
+(** Blocking synchronisation primitives for processes. *)
+
+module Semaphore : sig
+  (** Counting semaphore with FIFO wake-up order. *)
+
+  type t
+
+  val create : Sim.t -> int -> t
+  (** [create sim n] has [n] initial permits; requires [n >= 0]. *)
+
+  val acquire : t -> unit
+  (** Take a permit, blocking the calling process if none is available. *)
+
+  val try_acquire : t -> bool
+  (** Non-blocking variant; callable from any context. *)
+
+  val release : t -> unit
+  (** Return a permit, waking the longest-waiting process if any. Callable
+      from any context. *)
+
+  val available : t -> int
+  val waiting : t -> int
+end
+
+module Mutex : sig
+  type t
+
+  val create : Sim.t -> t
+  val lock : t -> unit
+  val unlock : t -> unit
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Runs the function holding the lock; releases it on any exit,
+      including {!Process.Cancelled}. *)
+end
+
+module Latch : sig
+  (** Countdown latch: waiters block until the count reaches zero. Used
+      to join fan-out work (e.g. a striped volume waiting for all of a
+      request's segments). *)
+
+  type t
+
+  val create : Sim.t -> int -> t
+  (** Requires a positive initial count. *)
+
+  val count_down : t -> unit
+  (** Callable from any context; counting below zero is an error. *)
+
+  val wait : t -> unit
+  (** Block the calling process until the count is zero; returns
+      immediately if it already is. *)
+
+  val pending : t -> int
+end
+
+module Condition : sig
+  (** Broadcast-style condition: waiters block until someone signals. *)
+
+  type t
+
+  val create : Sim.t -> t
+  val wait : t -> unit
+  val broadcast : t -> unit
+
+  val signal : t -> unit
+  (** Wake exactly one waiter (FIFO), if any. *)
+
+  val waiting : t -> int
+end

@@ -1,0 +1,115 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64: used only to expand a 64-bit seed into xoshiro state. *)
+let splitmix_next state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref seed in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let bits64 t =
+  let result = Int64.add (rotl (Int64.add t.s0 t.s3) 23) t.s0 in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create (bits64 t)
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let float t =
+  (* 53 high bits give a uniform double in [0, 1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling over the positive-int range avoids modulo bias. *)
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+    let bound = v mod n in
+    if v - bound + (n - 1) < 0 then draw () else bound
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let exponential t ~mean =
+  let u = float t in
+  -.mean *. log1p (-.u)
+
+let normal t ~mu ~sigma =
+  let rec nonzero () =
+    let u = float t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = float t in
+  mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let span t d =
+  let n = Time.span_to_ns d in
+  assert (n > 0);
+  Time.ns (int t n)
+
+let exponential_span t ~mean =
+  Time.span_of_float_sec (exponential t ~mean:(Time.span_to_float_sec mean))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+module Zipf = struct
+  type dist = { cdf : float array }
+
+  let create ~n ~theta =
+    assert (n > 0 && theta >= 0.);
+    let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) theta) in
+    let total = Array.fold_left ( +. ) 0.0 weights in
+    let cdf = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (weights.(i) /. total);
+      cdf.(i) <- !acc
+    done;
+    cdf.(n - 1) <- 1.0;
+    { cdf }
+
+  let sample t { cdf } =
+    let u = float t in
+    (* First index whose cumulative weight exceeds u. *)
+    let rec search lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cdf.(mid) < u then search (mid + 1) hi else search lo mid
+    in
+    search 0 (Array.length cdf - 1)
+end

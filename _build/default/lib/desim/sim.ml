@@ -1,0 +1,45 @@
+type t = {
+  mutable clock : Time.t;
+  queue : (unit -> unit) Event_queue.t;
+  rng : Rng.t;
+  seed : int64;
+}
+
+let create ?(seed = 1L) () =
+  { clock = Time.zero; queue = Event_queue.create (); rng = Rng.create seed; seed }
+
+let now t = t.clock
+let rng t = t.rng
+let seed t = t.seed
+
+let schedule_at t time f =
+  assert (Time.(t.clock <= time));
+  Event_queue.add t.queue ~time f
+
+let schedule_after t d f =
+  assert (Time.compare_span d Time.zero_span >= 0);
+  Event_queue.add t.queue ~time:(Time.add t.clock d) f
+
+let schedule_now t f = Event_queue.add t.queue ~time:t.clock f
+
+let step t =
+  match Event_queue.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        match Event_queue.peek_time t.queue with
+        | Some time when Time.(time <= limit) -> ignore (step t)
+        | Some _ | None -> continue := false
+      done;
+      if Time.(t.clock < limit) then t.clock <- limit
+
+let pending t = Event_queue.length t.queue

@@ -1,0 +1,43 @@
+(** The simulation world: a clock and an event queue.
+
+    Everything in a simulation — processes, devices, failure injectors —
+    boils down to closures scheduled on this queue. The run loop pops
+    events in (time, insertion) order and executes them; executing an event
+    may schedule further events. *)
+
+type t
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] builds an empty world whose root {!Rng.t} is seeded
+    with [seed] (default [1L]). *)
+
+val now : t -> Time.t
+(** Current simulated instant. *)
+
+val rng : t -> Rng.t
+(** The world's root generator; components should {!Rng.split} it at
+    construction time rather than share it at runtime. *)
+
+val seed : t -> int64
+
+val schedule_at : t -> Time.t -> (unit -> unit) -> unit
+(** [schedule_at t time f] runs [f] when the clock reaches [time]. [time]
+    must not be in the past. *)
+
+val schedule_after : t -> Time.span -> (unit -> unit) -> unit
+(** [schedule_after t d f] runs [f] [d] from now; [d] must be
+    non-negative. *)
+
+val schedule_now : t -> (unit -> unit) -> unit
+(** Runs [f] at the current instant, after already-queued events for this
+    instant. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Execute events until the queue drains or the clock would pass [until].
+    When stopped by [until], the clock is left exactly at [until]. *)
+
+val step : t -> bool
+(** Execute a single event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Number of queued events, for tests and debugging. *)

@@ -1,0 +1,157 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable mn : float;
+    mutable mx : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; mn = nan; mx = nan }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if t.n = 1 then begin
+      t.mn <- x;
+      t.mx <- x
+    end
+    else begin
+      if x < t.mn then t.mn <- x;
+      if x > t.mx then t.mx <- x
+    end
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let min t = t.mn
+  let max t = t.mx
+end
+
+module Sample = struct
+  type t = {
+    mutable data : float array;
+    mutable n : int;
+    mutable sorted : bool;
+  }
+
+  let create () = { data = Array.make 256 0.; n = 0; sorted = true }
+
+  let add t x =
+    if t.n = Array.length t.data then begin
+      let bigger = Array.make (2 * t.n) 0. in
+      Array.blit t.data 0 bigger 0 t.n;
+      t.data <- bigger
+    end;
+    t.data.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.sorted <- false
+
+  let count t = t.n
+
+  let mean t =
+    if t.n = 0 then 0.
+    else begin
+      let total = ref 0. in
+      for i = 0 to t.n - 1 do
+        total := !total +. t.data.(i)
+      done;
+      !total /. float_of_int t.n
+    end
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let live = Array.sub t.data 0 t.n in
+      Array.sort Float.compare live;
+      Array.blit live 0 t.data 0 t.n;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    assert (p >= 0. && p <= 100.);
+    if t.n = 0 then nan
+    else begin
+      ensure_sorted t;
+      let rank = p /. 100. *. float_of_int (t.n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      let frac = rank -. float_of_int lo in
+      (t.data.(lo) *. (1. -. frac)) +. (t.data.(hi) *. frac)
+    end
+
+  let median t = percentile t 50.
+
+  let to_array t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.n
+
+  let add_span t d = add t (Time.span_to_float_us d)
+end
+
+module Histogram = struct
+  (* Bucket i covers (base^(i-1), base^i] microseconds with base = 2^(1/4);
+     bucket 0 is the underflow bucket for values <= 1us. *)
+  let base = Float.pow 2.0 0.25
+  let log_base = log base
+  let nbuckets = 128
+
+  type t = { counts : int array; mutable total : int }
+
+  let create () = { counts = Array.make nbuckets 0; total = 0 }
+
+  let bucket_of x =
+    if x <= 1.0 then 0
+    else
+      let i = 1 + int_of_float (Float.ceil (log x /. log_base)) in
+      Stdlib.min i (nbuckets - 1)
+
+  let upper_bound i = if i = 0 then 1.0 else Float.pow base (float_of_int (i - 1))
+
+  let add t x =
+    let i = bucket_of x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+
+  let add_span t d = add t (Time.span_to_float_us d)
+  let count t = t.total
+
+  let quantile t q =
+    assert (q >= 0. && q <= 1.);
+    if t.total = 0 then nan
+    else begin
+      let target = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+      let target = Stdlib.max target 1 in
+      let rec scan i acc =
+        if i >= nbuckets then upper_bound (nbuckets - 1)
+        else
+          let acc = acc + t.counts.(i) in
+          if acc >= target then upper_bound i else scan (i + 1) acc
+      in
+      scan 0 0
+    end
+
+  let buckets t =
+    let rec collect i acc =
+      if i < 0 then acc
+      else if t.counts.(i) = 0 then collect (i - 1) acc
+      else collect (i - 1) ((upper_bound i, t.counts.(i)) :: acc)
+    in
+    collect (nbuckets - 1) []
+end
+
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr t = t.v <- t.v + 1
+  let add t n = t.v <- t.v + n
+  let get t = t.v
+  let reset t = t.v <- 0
+end
+
+let rate_per_sec n elapsed =
+  let s = Time.span_to_float_sec elapsed in
+  if s <= 0. then 0. else float_of_int n /. s

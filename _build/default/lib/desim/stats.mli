@@ -1,0 +1,79 @@
+(** Measurement utilities used by the experiment harness. *)
+
+module Summary : sig
+  (** Streaming mean / variance (Welford) with min/max tracking. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0. when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0. for fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [nan] when empty. *)
+
+  val max : t -> float
+end
+
+module Sample : sig
+  (** Full-sample collector with exact percentiles. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile t p] for [p] in [\[0, 100\]], by linear interpolation
+      between order statistics; [nan] when empty. *)
+
+  val median : t -> float
+  val to_array : t -> float array
+  (** Sorted copy of the observations. *)
+
+  val add_span : t -> Time.span -> unit
+  (** Record a duration in microseconds. *)
+end
+
+module Histogram : sig
+  (** Log-scale latency histogram: buckets are powers of [2^(1/4)] over
+      microseconds, giving ~19% relative resolution over nine decades. *)
+
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  (** Record a value in microseconds; non-positive values land in the
+      underflow bucket. *)
+
+  val add_span : t -> Time.span -> unit
+  val count : t -> int
+  val quantile : t -> float -> float
+  (** [quantile t q] for [q] in [\[0, 1\]]; returns the upper bound of the
+      containing bucket in microseconds; [nan] when empty. *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as (upper bound in us, count). *)
+end
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val get : t -> int
+  val reset : t -> unit
+end
+
+val rate_per_sec : int -> Time.span -> float
+(** [rate_per_sec n elapsed] is [n] events over [elapsed] as a per-second
+    rate; 0. for a non-positive duration. *)

@@ -1,0 +1,50 @@
+type t = int
+type span = int
+
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
+
+let span_of_float_sec s = int_of_float (Float.round (s *. 1e9))
+let span_of_float_us u = int_of_float (Float.round (u *. 1e3))
+
+let add t d = t + d
+let diff a b = a - b
+let add_span a b = a + b
+let sub_span a b = a - b
+let mul_span d k = d * k
+let div_span d k = d / k
+let scale_span d f = int_of_float (Float.round (float_of_int d *. f))
+let zero_span = 0
+
+let compare = Int.compare
+let compare_span = Int.compare
+let equal = Int.equal
+let ( <= ) a b = Stdlib.( <= ) a b
+let ( < ) a b = Stdlib.( < ) a b
+let min = Stdlib.min
+let max = Stdlib.max
+
+let to_float_sec t = float_of_int t /. 1e9
+let to_float_us t = float_of_int t /. 1e3
+let to_float_ms t = float_of_int t /. 1e6
+let span_to_float_sec = to_float_sec
+let span_to_float_us = to_float_us
+let span_to_float_ms = to_float_ms
+let span_to_ns d = d
+
+let of_ns n = n
+let to_ns t = t
+
+(* Pick the largest unit that keeps the mantissa >= 1. *)
+let pp_adaptive fmt n =
+  let f = float_of_int (abs n) in
+  if f >= 1e9 then Format.fprintf fmt "%.3fs" (float_of_int n /. 1e9)
+  else if f >= 1e6 then Format.fprintf fmt "%.3fms" (float_of_int n /. 1e6)
+  else if f >= 1e3 then Format.fprintf fmt "%.3fus" (float_of_int n /. 1e3)
+  else Format.fprintf fmt "%dns" n
+
+let pp = pp_adaptive
+let pp_span = pp_adaptive

@@ -1,0 +1,62 @@
+(** Simulated time.
+
+    Time is an absolute instant measured in integer nanoseconds since the
+    start of the simulation; {!span} is a signed duration with the same
+    resolution. A 63-bit nanosecond count overflows after roughly 292
+    simulated years, far beyond any experiment in this repository. *)
+
+type t
+(** Absolute simulated instant. *)
+
+type span
+(** Signed duration in nanoseconds. *)
+
+val zero : t
+(** Start of the simulation. *)
+
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val sec : int -> span
+
+val span_of_float_sec : float -> span
+(** [span_of_float_sec s] rounds [s] seconds to the nearest nanosecond. *)
+
+val span_of_float_us : float -> span
+
+val add : t -> span -> t
+val diff : t -> t -> span
+(** [diff a b] is [a - b]. *)
+
+val add_span : span -> span -> span
+val sub_span : span -> span -> span
+val mul_span : span -> int -> span
+val div_span : span -> int -> span
+val scale_span : span -> float -> span
+val zero_span : span
+
+val compare : t -> t -> int
+val compare_span : span -> span -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val to_float_sec : t -> float
+val to_float_us : t -> float
+val to_float_ms : t -> float
+val span_to_float_sec : span -> float
+val span_to_float_us : span -> float
+val span_to_float_ms : span -> float
+val span_to_ns : span -> int
+
+val of_ns : int -> t
+(** [of_ns n] is the instant [n] nanoseconds after {!zero}; used by tests. *)
+
+val to_ns : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints with an adaptive unit, e.g. ["1.250ms"]. *)
+
+val pp_span : Format.formatter -> span -> unit

@@ -1,0 +1,35 @@
+type record = { time : Time.t; tag : string; message : string }
+
+type sink =
+  | Null
+  | Collect of { capacity : int; items : record Queue.t }
+  | Print of Format.formatter
+
+type t = { sink : sink; mutable emitted : int }
+
+let null = { sink = Null; emitted = 0 }
+
+let collector ?(capacity = 4096) () =
+  assert (capacity > 0);
+  { sink = Collect { capacity; items = Queue.create () }; emitted = 0 }
+
+let printer fmt = { sink = Print fmt; emitted = 0 }
+
+let record t time tag message =
+  t.emitted <- t.emitted + 1;
+  match t.sink with
+  | Null -> ()
+  | Collect { capacity; items } ->
+      Queue.push { time; tag; message } items;
+      if Queue.length items > capacity then ignore (Queue.pop items)
+  | Print fmt -> Format.fprintf fmt "[%a] %-12s %s@." Time.pp time tag message
+
+let emit t sim ~tag fmt =
+  Format.kasprintf (fun message -> record t (Sim.now sim) tag message) fmt
+
+let records t =
+  match t.sink with
+  | Null | Print _ -> []
+  | Collect { items; _ } -> List.of_seq (Queue.to_seq items)
+
+let count t = t.emitted

@@ -1,0 +1,26 @@
+(** Lightweight event tracing.
+
+    Components emit tagged trace records; a trace is either discarded
+    (default), printed live, or collected for inspection by tests. *)
+
+type record = { time : Time.t; tag : string; message : string }
+
+type t
+
+val null : t
+(** Discards everything. *)
+
+val collector : ?capacity:int -> unit -> t
+(** Keeps the most recent [capacity] (default 4096) records in memory. *)
+
+val printer : Format.formatter -> t
+(** Prints each record as it is emitted. *)
+
+val emit : t -> Sim.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [emit t sim ~tag fmt …] records a message stamped with [Sim.now sim]. *)
+
+val records : t -> record list
+(** Collected records, oldest first; [] for [null] and [printer]. *)
+
+val count : t -> int
+(** Total records emitted to this trace, including any evicted ones. *)

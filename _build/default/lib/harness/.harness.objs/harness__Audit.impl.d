@@ -1,0 +1,1 @@
+lib/harness/audit.ml: Dbms Format Hashtbl Int List Rapilog Set

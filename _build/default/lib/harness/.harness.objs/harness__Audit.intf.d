@@ -1,0 +1,1 @@
+lib/harness/audit.mli: Dbms Format Hashtbl Rapilog

@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Audit Dbms Desim Hashtbl Hypervisor List Option Power Process Rapilog Scenario Sim Stats Storage Time Workload

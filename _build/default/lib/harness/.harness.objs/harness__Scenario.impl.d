@@ -1,0 +1,1 @@
+lib/harness/scenario.ml: Array Dbms Desim Hypervisor List Power Printf Rapilog Sim Storage String Time Workload

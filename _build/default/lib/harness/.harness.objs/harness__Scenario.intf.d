@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Dbms Desim Hypervisor Power Rapilog Storage Workload

@@ -1,0 +1,27 @@
+(** Post-crash durability and state audit.
+
+    The harness tracks, on the client side, the set of acknowledged
+    transactions and the store state they imply. After a crash, recovery
+    reconstructs state from durable media; the audit then checks:
+
+    - {b durability}: every acknowledged transaction is among the
+      recovered committed set;
+    - {b state exactness}: for every key, the recovered value equals the
+      client-side expectation — excluding keys written by transactions
+      that committed durably but whose acknowledgement never reached a
+      client (allowed, and invisible to the client-side model). *)
+
+type t = {
+  durability : Rapilog.Durability.report;
+  state_exact : bool;
+  diff_count : int;
+  excluded_keys : int;  (** keys written by unacknowledged-but-durable txns *)
+}
+
+val check :
+  model:(int, string) Hashtbl.t ->
+  acked:int list ->
+  recovery:Dbms.Recovery.result ->
+  t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(** Run scenarios and collect results.
+
+    Every run follows the same phases: build the machine, load the
+    initial rows through ordinary transactions, then launch the
+    closed-loop clients. A *steady* run measures committed transactions
+    inside a warmup-delimited window; a *failure* run injects a power cut
+    or a guest-OS crash while the clients hammer the engine, lets the
+    simulation settle (the trusted logger drains, devices lose power at
+    hold-up expiry), and then audits durable media against the
+    client-side expectation. *)
+
+type steady_result = {
+  mode : Scenario.mode;
+  clients : int;
+  committed_in_window : int;
+  throughput : float;  (** committed transactions per simulated second *)
+  latency_mean_us : float;
+  latency_p50_us : float;
+  latency_p95_us : float;
+  latency_p99_us : float;
+  physical_log_writes : int;
+  physical_log_sectors : int;
+  wal_forces : int;
+  force_mean_bytes : float;
+  log_bytes_per_txn : float;
+  logger_stats : logger_stats option;
+  total_committed : int;
+}
+
+and logger_stats = {
+  acked_writes : int;
+  drain_writes : int;
+  max_buffered : int;
+  stalls : int;
+}
+
+val run_steady : Scenario.config -> steady_result
+
+type failure_kind = Power_cut | Os_crash
+
+val failure_name : failure_kind -> string
+
+type failure_result = {
+  kind : failure_kind;
+  fmode : Scenario.mode;
+  acked : int;  (** write transactions acknowledged before the lights went out *)
+  audit : Audit.t;
+  cut_at : Desim.Time.t;
+  durable_records : int;
+  redo_applied : int;
+  undo_applied : int;
+  losers : int;
+  buffered_at_cut : int option;
+      (** trusted-buffer occupancy at the power-fail instant *)
+  holdup_window : Desim.Time.span option;
+  invariant_violations : int;
+      (** reported by the {!Rapilog.Invariants} monitor attached to the
+          trusted logger for the whole run; 0 when no logger exists *)
+}
+
+val run_failure :
+  Scenario.config -> kind:failure_kind -> after:Desim.Time.span -> failure_result
+(** [after] is measured from the end of the load phase. *)
+
+val durability_ok : failure_result -> bool
+(** Whether the outcome matches the mode's durability promise: safe modes
+    must lose nothing; unsafe modes are allowed (expected) to lose. Any
+    runtime invariant violation fails every mode. *)

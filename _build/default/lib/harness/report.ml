@@ -1,0 +1,81 @@
+let out = Format.std_formatter
+
+let rule c width =
+  Format.fprintf out "%s@." (String.make width c)
+
+let section title =
+  Format.fprintf out "@.";
+  rule '=' 72;
+  Format.fprintf out "%s@." title;
+  rule '=' 72
+
+let subsection title =
+  Format.fprintf out "@.-- %s@." title
+
+let kv key value = Format.fprintf out "  %-28s %s@." key value
+let kvf key fmt = Format.kasprintf (fun value -> kv key value) fmt
+
+let float_cell v =
+  if Float.is_nan v then "-"
+  else if Float.is_integer v && Float.abs v < 1e9 then
+    Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100. then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.2f" v
+
+let table ~columns ~rows =
+  let widths =
+    List.mapi
+      (fun i column ->
+        List.fold_left
+          (fun w row ->
+            match List.nth_opt row i with
+            | Some cell -> max w (String.length cell)
+            | None -> w)
+          (String.length column) rows)
+      columns
+  in
+  let print_row cells =
+    let padded =
+      List.map2
+        (fun width cell -> Printf.sprintf "%*s" width cell)
+        widths
+        (List.mapi (fun i _ -> match List.nth_opt cells i with Some c -> c | None -> "") columns)
+    in
+    Format.fprintf out "  %s@." (String.concat "  " padded)
+  in
+  print_row columns;
+  Format.fprintf out "  %s@."
+    (String.concat "  " (List.map (fun w -> String.make w '-') widths));
+  List.iter print_row rows
+
+let series ~title ~x_label ~columns ~rows =
+  subsection title;
+  table
+    ~columns:(x_label :: columns)
+    ~rows:
+      (List.map
+         (fun (x, ys) -> float_cell x :: List.map float_cell ys)
+         rows)
+
+let bars ~title ~unit_label ~rows =
+  subsection title;
+  let width = 40 in
+  let label_width =
+    List.fold_left (fun w (label, _) -> max w (String.length label)) 0 rows
+  in
+  let largest =
+    List.fold_left
+      (fun m (_, v) -> if Float.is_nan v then m else Float.max m v)
+      0. rows
+  in
+  List.iter
+    (fun (label, value) ->
+      let filled =
+        if largest <= 0. || Float.is_nan value || value < 0. then 0
+        else int_of_float (Float.round (value /. largest *. float_of_int width))
+      in
+      Format.fprintf out "  %*s  %-*s %s %s@." label_width label width
+        (String.make filled '#') (float_cell value) unit_label)
+    rows
+
+let note text = Format.fprintf out "  note: %s@." text

@@ -1,0 +1,27 @@
+(** Plain-text report formatting for the benchmark harness.
+
+    All output goes to [stdout] in a stable, diffable layout: a section
+    banner per experiment, aligned tables, and gnuplot-friendly series
+    blocks. *)
+
+val section : string -> unit
+val subsection : string -> unit
+val kv : string -> string -> unit
+val kvf : string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+val table : columns:string list -> rows:string list list -> unit
+(** Column-aligned table with a header rule. *)
+
+val series : title:string -> x_label:string -> columns:string list ->
+  rows:(float * float list) list -> unit
+(** One x value and one y per column per row; NaNs print as ["-"]. *)
+
+val bars : title:string -> unit_label:string -> rows:(string * float) list -> unit
+(** Horizontal ASCII bars scaled to the largest value; negative and NaN
+    values render as empty bars. *)
+
+val note : string -> unit
+
+val float_cell : float -> string
+(** Compact numeric formatting: integers without decimals, large values
+    with thousands grouping kept plain, NaN as ["-"]. *)

@@ -1,0 +1,105 @@
+(** System configurations under test.
+
+    A scenario assembles a complete simulated machine — devices, power
+    domain, (optional) hypervisor, trusted logger, database engine and
+    workload generator — in one of the modes the evaluation compares:
+
+    - [Native_sync]: bare metal, write cache off, synchronous log forces.
+      The paper's safe baseline.
+    - [Virt_sync]: the same DBMS virtualised on the seL4-based VMM, still
+      forcing synchronously. Isolates the virtualisation overhead.
+    - [Rapilog]: virtualised, log disk interposed by the trusted logger —
+      commits acknowledge from the trusted buffer.
+    - [Wcache_flush]: bare metal with the disk's volatile write cache
+      enabled and a flush barrier after every log force. Safe — and the
+      barrier largely negates the cache, which is why the cache gets
+      disabled instead in practice.
+    - [Unsafe_wcache]: the same cache with no flushes. Fast and *not*
+      durable across power cuts.
+    - [Async_commit]: bare metal, commits acknowledge without forcing;
+      a background WAL writer forces periodically. Fast and not durable
+      across any crash. (PostgreSQL's [synchronous_commit = off].) *)
+
+type mode =
+  | Native_sync
+  | Virt_sync
+  | Rapilog
+  | Wcache_flush
+  | Unsafe_wcache
+  | Async_commit
+
+val mode_name : mode -> string
+val mode_of_name : string -> mode option
+val all_modes : mode list
+
+val mode_is_durable : mode -> [ `Always | `Os_crash_only | `Never ]
+(** The durability each mode promises: [`Always] covers OS crashes and
+    power cuts, [`Os_crash_only] survives OS crashes but not power cuts,
+    [`Never] can lose acknowledged commits on any failure. *)
+
+type device_kind = Disk of Storage.Hdd.config | Flash of Storage.Ssd.config
+
+val device_name : device_kind -> string
+
+type workload_kind =
+  | Tpcc of Workload.Tpcc_lite.config
+  | Micro of Workload.Microbench.config
+  | Ycsb of Workload.Ycsb_lite.config
+
+type config = {
+  mode : mode;
+  device : device_kind;
+  single_disk : bool;
+      (** log and data share one physical device (the log region at the
+          low addresses, data pages far above) instead of the default
+          dedicated log disk — the cost-saving configuration whose sync
+          penalty motivates RapiLog *)
+  data_spindles : int;
+      (** disks striped (RAID-0) into the data volume — a testbed's data
+          array; 1 for a single device, ignored for [single_disk] *)
+  profile : Dbms.Engine_profile.t;
+  clients : int;
+  think_time : Desim.Time.span;
+  workload : workload_kind;
+  warmup : Desim.Time.span;
+  duration : Desim.Time.span;  (** measurement window *)
+  seed : int64;
+  logger : Rapilog.Trusted_logger.config;
+  psu : Power.Psu.config;
+  checkpoint_interval : Desim.Time.span option;
+  pool : Dbms.Buffer_pool.config;
+  wal_writer_interval : Desim.Time.span;  (** for [Async_commit] *)
+}
+
+val default : config
+(** RapiLog mode, 7200 rpm disk, pg-like profile, 8 clients, TPC-C-lite,
+    0.5 s warmup, 3 s measurement, seed 42. *)
+
+type generator = {
+  initial_rows : (int * string) list;
+  next_txn : unit -> Dbms.Engine.op list;
+}
+
+type built = {
+  config : config;
+  sim : Desim.Sim.t;
+  vmm : Hypervisor.Vmm.t;
+  power : Power.Power_domain.t;
+  engine : Dbms.Engine.t;
+  wal : Dbms.Wal.t;
+  wal_config : Dbms.Wal.config;
+  pool : Dbms.Buffer_pool.t;
+  log_physical : Storage.Block.t;  (** raw log device: recovery reads this *)
+  log_attached : Storage.Block.t;  (** what the WAL writes to *)
+  data_physical : Storage.Block.t;
+  logger : Rapilog.Trusted_logger.t option;  (** in [Rapilog] mode *)
+  generator : generator;
+}
+
+val build : config -> built
+(** Assemble the machine; nothing is running yet except device-internal
+    and logger processes. *)
+
+val hdd_streaming_bandwidth : Storage.Hdd.config -> float
+(** Sequential write bandwidth in bytes/s — the drain rate available to
+    the trusted logger on this disk. *)

@@ -1,0 +1,1 @@
+lib/hypervisor/domain.ml: Desim List Process Sim

@@ -1,0 +1,1 @@
+lib/hypervisor/ipc.ml: Desim Process Time

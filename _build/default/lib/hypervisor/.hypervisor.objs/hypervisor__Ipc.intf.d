@@ -1,0 +1,1 @@
+lib/hypervisor/ipc.mli: Desim

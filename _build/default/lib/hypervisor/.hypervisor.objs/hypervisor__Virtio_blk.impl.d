@@ -1,0 +1,1 @@
+lib/hypervisor/virtio_blk.ml: Channel Desim Domain Ipc Printf Process Sim Storage String Time

@@ -1,0 +1,1 @@
+lib/hypervisor/virtio_blk.mli: Desim Domain Ipc Storage

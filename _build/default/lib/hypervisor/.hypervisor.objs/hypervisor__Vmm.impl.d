@@ -1,0 +1,1 @@
+lib/hypervisor/vmm.ml: Desim Domain Fun Ipc Process Resource Sim Storage Time Virtio_blk

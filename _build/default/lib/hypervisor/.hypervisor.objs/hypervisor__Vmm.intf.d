@@ -1,0 +1,1 @@
+lib/hypervisor/vmm.mli: Desim Domain Ipc Storage Virtio_blk

@@ -1,0 +1,41 @@
+open Desim
+
+type kind = Trusted | Guest
+
+type t = {
+  sim : Sim.t;
+  dname : string;
+  kind : kind;
+  mutable processes : Process.handle list;
+  mutable faulted : bool;
+}
+
+let create sim ~name ~kind = { sim; dname = name; kind; processes = []; faulted = false }
+
+let name t = t.dname
+let kind t = t.kind
+
+let spawn t ?name body =
+  let pname =
+    match name with Some n -> t.dname ^ "/" ^ n | None -> t.dname ^ "/proc"
+  in
+  if t.faulted then begin
+    (* Return a handle that was never scheduled. *)
+    let h = Process.spawn t.sim ~name:pname (fun () -> ()) in
+    Process.cancel h;
+    h
+  end
+  else begin
+    let h = Process.spawn t.sim ~name:pname body in
+    t.processes <- h :: t.processes;
+    h
+  end
+
+let crash t =
+  if not t.faulted then begin
+    t.faulted <- true;
+    List.iter Process.cancel t.processes
+  end
+
+let is_faulted t = t.faulted
+let live_processes t = List.length (List.filter Process.is_alive t.processes)

@@ -1,0 +1,29 @@
+(** Protection domains.
+
+    The property the paper buys from seL4's formal verification is fault
+    containment: the trusted logger lives in its own protection domain, so
+    no failure of the guest (the DBMS and its whole OS) can corrupt it. We
+    model a domain as a named set of processes with a fault flag; crashing
+    a domain cancels exactly its own processes and nothing else. Tests
+    exercise the containment property directly. *)
+
+type kind = Trusted | Guest
+
+type t
+
+val create : Desim.Sim.t -> name:string -> kind:kind -> t
+val name : t -> string
+val kind : t -> kind
+
+val spawn : t -> ?name:string -> (unit -> unit) -> Desim.Process.handle
+(** Spawn a process owned by this domain. Spawning in a faulted domain is
+    a no-op returning a dead handle. *)
+
+val crash : t -> unit
+(** Fault the domain: every owned process is cancelled and future spawns
+    are refused. Idempotent. *)
+
+val is_faulted : t -> bool
+
+val live_processes : t -> int
+(** Owned processes that have neither finished nor been cancelled. *)

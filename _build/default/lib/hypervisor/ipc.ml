@@ -1,0 +1,13 @@
+open Desim
+
+type cost = { submit : Time.span; complete : Time.span }
+
+let default_sel4 = { submit = Time.us 12; complete = Time.us 12 }
+let free = { submit = Time.zero_span; complete = Time.zero_span }
+
+let pay span =
+  if Time.compare_span span Time.zero_span > 0 then Process.sleep span
+
+let pay_submit cost = pay cost.submit
+let pay_complete cost = pay cost.complete
+let round_trip cost = Time.add_span cost.submit cost.complete

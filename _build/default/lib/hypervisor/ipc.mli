@@ -1,0 +1,26 @@
+(** Cost model for crossing protection boundaries.
+
+    A paravirtualised I/O request from the guest costs one VM exit plus a
+    kernel IPC to the backend domain on the way in, and an IPC plus a
+    guest re-entry on the way back. On the paper's hardware an seL4 IPC is
+    well under a microsecond, but the exit/entry path and the driver
+    round-trip dominate; we fold each direction into a single span. *)
+
+type cost = {
+  submit : Desim.Time.span;  (** guest → backend: exit + IPC + dispatch *)
+  complete : Desim.Time.span;  (** backend → guest: IPC + injection + entry *)
+}
+
+val default_sel4 : cost
+(** ~12 us each way: a paravirtual block request round-trip of the
+    paper's era. *)
+
+val free : cost
+(** Zero-cost boundary, for native (non-virtualised) configurations. *)
+
+val pay_submit : cost -> unit
+(** Sleep the calling process for the submit cost. *)
+
+val pay_complete : cost -> unit
+
+val round_trip : cost -> Desim.Time.span

@@ -1,0 +1,90 @@
+open Desim
+
+type backend = {
+  be_info : Storage.Block.info;
+  be_read : lba:int -> sectors:int -> string;
+  be_write : lba:int -> data:string -> fua:bool -> unit;
+  be_flush : unit -> unit;
+  be_durable_read : lba:int -> sectors:int -> string;
+  be_durable_extent : unit -> int;
+}
+
+let backend_of_block device =
+  {
+    be_info = Storage.Block.info device;
+    be_read = (fun ~lba ~sectors -> Storage.Block.read device ~lba ~sectors);
+    be_write = (fun ~lba ~data ~fua -> Storage.Block.write device ~fua ~lba data);
+    be_flush = (fun () -> Storage.Block.flush device);
+    be_durable_read =
+      (fun ~lba ~sectors -> Storage.Block.durable_read device ~lba ~sectors);
+    be_durable_extent = (fun () -> Storage.Block.durable_extent device);
+  }
+
+type request =
+  | Read of { lba : int; sectors : int; resume : string Process.resumer }
+  | Write of { lba : int; data : string; fua : bool; resume : unit Process.resumer }
+  | Flush of { resume : unit Process.resumer }
+
+let worker ipc backend queue () =
+  while true do
+    match Channel.recv queue with
+    | Read { lba; sectors; resume } ->
+        let data = backend.be_read ~lba ~sectors in
+        Ipc.pay_complete ipc;
+        resume data
+    | Write { lba; data; fua; resume } ->
+        backend.be_write ~lba ~data ~fua;
+        Ipc.pay_complete ipc;
+        resume ()
+    | Flush { resume } ->
+        backend.be_flush ();
+        Ipc.pay_complete ipc;
+        resume ()
+  done
+
+let create sim ~ipc ~backend_domain ?(queue_depth = 8) backend =
+  assert (queue_depth > 0);
+  let queue = Channel.create sim in
+  for i = 1 to queue_depth do
+    ignore
+      (Domain.spawn backend_domain
+         ~name:(Printf.sprintf "virtio-be-%d" i)
+         (worker ipc backend queue))
+  done;
+  let submit make_request =
+    Ipc.pay_submit ipc;
+    Process.suspend (fun resume -> Channel.send queue (make_request resume))
+  in
+  let stats = Storage.Disk_stats.create () in
+  let ops =
+    {
+      Storage.Block.op_read =
+        (fun ~lba ~sectors ->
+          let started = Sim.now sim in
+          let data = submit (fun resume -> Read { lba; sectors; resume }) in
+          Storage.Disk_stats.record_read stats ~sectors
+            ~service:(Time.diff (Sim.now sim) started);
+          data);
+      op_write =
+        (fun ~lba ~data ~fua ->
+          let started = Sim.now sim in
+          submit (fun resume -> Write { lba; data; fua; resume });
+          Storage.Disk_stats.record_write stats
+            ~sectors:(String.length data / backend.be_info.Storage.Block.sector_size)
+            ~service:(Time.diff (Sim.now sim) started));
+      op_flush =
+        (fun () ->
+          let started = Sim.now sim in
+          submit (fun resume -> Flush { resume });
+          Storage.Disk_stats.record_flush stats
+            ~service:(Time.diff (Sim.now sim) started));
+      op_power_cut = (fun () -> ());
+      (* The frontend is software; electrical failure reaches the physical
+         device through its own registration with the power domain. *)
+      op_durable_read = backend.be_durable_read;
+      op_durable_extent = backend.be_durable_extent;
+    }
+  in
+  Storage.Block.make
+    ~info:{ backend.be_info with Storage.Block.model = "virtio:" ^ backend.be_info.Storage.Block.model }
+    ~stats ~ops

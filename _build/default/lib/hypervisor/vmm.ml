@@ -1,0 +1,51 @@
+open Desim
+
+type config = { cpu_overhead : float; ipc : Ipc.cost; cores : int }
+
+let native = { cpu_overhead = 0.0; ipc = Ipc.free; cores = 4 }
+let default_sel4 = { cpu_overhead = 0.08; ipc = Ipc.default_sel4; cores = 4 }
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  cores : Resource.Semaphore.t;
+  guest : Domain.t;
+  mutable driver_domains : Domain.t list;
+}
+
+let create sim config =
+  assert (config.cpu_overhead >= 0. && config.cores > 0);
+  {
+    sim;
+    config;
+    cores = Resource.Semaphore.create sim config.cores;
+    guest = Domain.create sim ~name:"guest" ~kind:Domain.Guest;
+    driver_domains = [];
+  }
+
+let sim t = t.sim
+let config t = t.config
+let guest t = t.guest
+
+let trusted_domain t ~name =
+  let domain = Domain.create t.sim ~name ~kind:Domain.Trusted in
+  t.driver_domains <- domain :: t.driver_domains;
+  domain
+
+let on_core t span =
+  Resource.Semaphore.acquire t.cores;
+  Fun.protect ~finally:(fun () -> Resource.Semaphore.release t.cores)
+  @@ fun () -> Process.sleep span
+
+let exec t span =
+  on_core t (Time.scale_span span (1.0 +. t.config.cpu_overhead))
+
+let exec_trusted t span = on_core t span
+
+let spawn_guest t ?name body = Domain.spawn t.guest ?name body
+let crash_guest t = Domain.crash t.guest
+let guest_alive t = not (Domain.is_faulted t.guest)
+
+let attach_virtio_disk t ?queue_depth backend =
+  let backend_domain = trusted_domain t ~name:("drv-" ^ backend.Virtio_blk.be_info.Storage.Block.model) in
+  Virtio_blk.create t.sim ~ipc:t.config.ipc ~backend_domain ?queue_depth backend

@@ -1,0 +1,57 @@
+(** The virtual-machine monitor: guest lifecycle and CPU cost model.
+
+    A [Vmm.t] owns the physical CPU cores (a shared resource), the guest
+    domain running the DBMS and its OS, and any trusted driver domains.
+    Guest CPU work is inflated by the virtualisation overhead factor;
+    with {!native} the same object models a bare-metal machine (zero
+    overhead, free IPC, no isolation — there is still a guest domain, it
+    is just not protected from anything).
+
+    Crashing the guest cancels exactly the guest domain's processes:
+    trusted domains — and therefore RapiLog's buffered log data — are
+    untouched. That is the verified-isolation property of seL4 that the
+    whole design leans on. *)
+
+type config = {
+  cpu_overhead : float;
+      (** fractional slowdown of guest CPU work, e.g. 0.08 for 8% *)
+  ipc : Ipc.cost;
+  cores : int;
+}
+
+val native : config
+(** Bare metal: zero overhead, free IPC, 4 cores. *)
+
+val default_sel4 : config
+(** The paper's platform: seL4-based VMM with a measurable but modest
+    virtualisation overhead (8% CPU, paravirtual I/O costs). *)
+
+type t
+
+val create : Desim.Sim.t -> config -> t
+val sim : t -> Desim.Sim.t
+val config : t -> config
+
+val guest : t -> Domain.t
+
+val trusted_domain : t -> name:string -> Domain.t
+(** Create a trusted driver domain (e.g. for the RapiLog logger). *)
+
+val exec : t -> Desim.Time.span -> unit
+(** Perform guest CPU work: occupies one core for the inflated
+    duration. Must be called from a process. *)
+
+val exec_trusted : t -> Desim.Time.span -> unit
+(** CPU work in a trusted domain: occupies a core, no virtualisation
+    inflation (trusted components run natively on seL4). *)
+
+val spawn_guest : t -> ?name:string -> (unit -> unit) -> Desim.Process.handle
+
+val crash_guest : t -> unit
+(** The guest OS (and the DBMS with it) dies now. *)
+
+val guest_alive : t -> bool
+
+val attach_virtio_disk : t -> ?queue_depth:int -> Virtio_blk.backend -> Storage.Block.t
+(** Expose a backend to the guest through the paravirtual block path,
+    with the backend workers in a trusted driver domain. *)

@@ -1,0 +1,1 @@
+lib/power/failure_injector.ml: Desim Power_domain Rng Sim Time

@@ -1,0 +1,1 @@
+lib/power/failure_injector.mli: Desim Power_domain

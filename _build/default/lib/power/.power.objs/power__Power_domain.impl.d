@@ -1,0 +1,1 @@
+lib/power/power_domain.ml: Desim List Psu Sim Storage Time

@@ -1,0 +1,1 @@
+lib/power/power_domain.mli: Desim Psu Storage

@@ -1,0 +1,1 @@
+lib/power/psu.mli: Desim

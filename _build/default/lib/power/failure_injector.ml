@@ -1,0 +1,18 @@
+open Desim
+
+let pick_instant sim ~earliest ~latest =
+  let span = Time.diff latest earliest in
+  assert (Time.compare_span span Time.zero_span > 0);
+  Time.add earliest (Rng.span (Sim.rng sim) span)
+
+let power_cut_between sim domain ~earliest ~latest =
+  let at = pick_instant sim ~earliest ~latest in
+  Power_domain.cut_at domain at;
+  at
+
+let crash_at sim time action = Sim.schedule_at sim time action
+
+let crash_between sim ~earliest ~latest action =
+  let at = pick_instant sim ~earliest ~latest in
+  Sim.schedule_at sim at action;
+  at

@@ -1,0 +1,15 @@
+(** Failure injection for durability experiments. *)
+
+val power_cut_between :
+  Desim.Sim.t -> Power_domain.t -> earliest:Desim.Time.t -> latest:Desim.Time.t -> Desim.Time.t
+(** Schedule a power cut at an instant drawn uniformly from
+    [\[earliest, latest)] using the simulation's root generator; returns
+    the chosen instant. *)
+
+val crash_at : Desim.Sim.t -> Desim.Time.t -> (unit -> unit) -> unit
+(** Run an arbitrary crash action (e.g. halting a guest OS) at a given
+    instant. *)
+
+val crash_between :
+  Desim.Sim.t -> earliest:Desim.Time.t -> latest:Desim.Time.t -> (unit -> unit) -> Desim.Time.t
+(** Like {!power_cut_between} for an arbitrary crash action. *)

@@ -1,0 +1,36 @@
+open Desim
+
+type t = {
+  sim : Sim.t;
+  psu : Psu.config;
+  mutable handlers : (window:Time.span -> unit) list;  (* reverse order *)
+  mutable devices : Storage.Block.t list;
+  mutable failing : bool;
+  mutable dead_at : Time.t option;
+}
+
+let create sim psu =
+  { sim; psu; handlers = []; devices = []; failing = false; dead_at = None }
+
+let psu t = t.psu
+let window t = Psu.window t.psu
+let on_power_fail t handler = t.handlers <- handler :: t.handlers
+let register_device t device = t.devices <- device :: t.devices
+
+let cut t =
+  if not t.failing then begin
+    t.failing <- true;
+    let window = Psu.window t.psu in
+    let dead = Time.add (Sim.now t.sim) window in
+    t.dead_at <- Some dead;
+    (* Device loss-of-power is queued before the handlers run so that
+       anything a handler schedules for the same instant observes the
+       devices already dead. *)
+    Sim.schedule_at t.sim dead (fun () ->
+        List.iter Storage.Block.power_cut t.devices);
+    List.iter (fun handler -> handler ~window) (List.rev t.handlers)
+  end
+
+let cut_at t time = Sim.schedule_at t.sim time (fun () -> cut t)
+let is_failing t = t.failing
+let dead_at t = t.dead_at

@@ -1,0 +1,34 @@
+(** The electrical domain tying the PSU to devices and software.
+
+    A power cut proceeds in two phases:
+    + at the instant of the cut, every power-fail handler fires (this is
+      the NMI-like warning the trusted logger reacts to), receiving the
+      hold-up window it has left;
+    + when the window expires, every registered device loses power
+      ({!Storage.Block.power_cut}), dropping volatile caches and tearing
+      in-flight writes.
+
+    Handlers registered after a cut never fire. *)
+
+type t
+
+val create : Desim.Sim.t -> Psu.config -> t
+val psu : t -> Psu.config
+val window : t -> Desim.Time.span
+
+val on_power_fail : t -> (window:Desim.Time.span -> unit) -> unit
+(** Handlers run in registration order at the instant of the cut. *)
+
+val register_device : t -> Storage.Block.t -> unit
+
+val cut : t -> unit
+(** Cut mains power now. Idempotent. *)
+
+val cut_at : t -> Desim.Time.t -> unit
+(** Schedule a cut. *)
+
+val is_failing : t -> bool
+(** True from the instant of the cut onwards. *)
+
+val dead_at : t -> Desim.Time.t option
+(** The instant the hold-up window expires, once a cut has happened. *)

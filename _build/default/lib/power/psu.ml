@@ -1,0 +1,14 @@
+type config = { energy_joules : float; system_draw_watts : float }
+
+let default = { energy_joules = 30.0; system_draw_watts = 100.0 }
+
+let of_window span =
+  { energy_joules = Desim.Time.span_to_float_sec span; system_draw_watts = 1.0 }
+
+let window config =
+  assert (config.energy_joules >= 0. && config.system_draw_watts > 0.);
+  Desim.Time.span_of_float_sec (config.energy_joules /. config.system_draw_watts)
+
+let flushable_bytes config ~bandwidth =
+  assert (bandwidth >= 0.);
+  int_of_float (Desim.Time.span_to_float_sec (window config) *. bandwidth)

@@ -1,0 +1,27 @@
+(** Power-supply residual-energy model.
+
+    RapiLog's tolerance of electrical power cuts rests on the observation
+    that a PSU's output capacitors (plus, in the paper's setup, the rest
+    of the supply chain) keep the machine running for a short hold-up
+    window after mains power is cut. The trusted logger uses that window
+    to drain its buffer to disk. We model the window as stored energy
+    divided by system draw, so experiments can sweep either. *)
+
+type config = {
+  energy_joules : float;  (** usable stored energy at the moment of the cut *)
+  system_draw_watts : float;  (** draw while flushing (CPU + disk) *)
+}
+
+val default : config
+(** 30 J at 100 W: a 300 ms hold-up window, of the order the paper's
+    measurements support for a lightly loaded server. *)
+
+val of_window : Desim.Time.span -> config
+(** A config whose hold-up window is exactly the given span. *)
+
+val window : config -> Desim.Time.span
+(** Hold-up window: [energy / draw]. *)
+
+val flushable_bytes : config -> bandwidth:float -> int
+(** Upper bound on bytes a drain at [bandwidth] (bytes/s) can persist
+    within the window. *)

@@ -1,0 +1,1 @@
+lib/storage/block.ml: Bytes Desim Disk_stats Hashtbl String

@@ -1,0 +1,1 @@
+lib/storage/disk_stats.ml: Desim Format Stats Time

@@ -1,0 +1,1 @@
+lib/storage/disk_stats.mli: Desim Format

@@ -1,0 +1,1 @@
+lib/storage/hdd.ml: Block Desim Disk_stats Fun Process Resource Rng Sim String Time

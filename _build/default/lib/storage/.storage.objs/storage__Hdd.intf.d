@@ -1,0 +1,1 @@
+lib/storage/hdd.mli: Block Desim

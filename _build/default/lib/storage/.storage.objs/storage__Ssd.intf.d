@@ -1,0 +1,1 @@
+lib/storage/ssd.mli: Block Desim

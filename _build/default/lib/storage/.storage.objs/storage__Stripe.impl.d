@@ -1,0 +1,1 @@
+lib/storage/stripe.ml: Array Block Bytes Desim Disk_stats List Printf Process Resource Sim String Time

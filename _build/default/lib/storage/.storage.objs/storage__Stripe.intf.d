@@ -1,0 +1,1 @@
+lib/storage/stripe.mli: Block Desim

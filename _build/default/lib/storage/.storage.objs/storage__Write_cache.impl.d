@@ -1,0 +1,1 @@
+lib/storage/write_cache.ml: Block Bytes Desim Disk_stats Hashtbl List Process Queue Resource Sim String Time

@@ -1,0 +1,89 @@
+type info = { model : string; sector_size : int; capacity_sectors : int }
+
+type ops = {
+  op_read : lba:int -> sectors:int -> string;
+  op_write : lba:int -> data:string -> fua:bool -> unit;
+  op_flush : unit -> unit;
+  op_power_cut : unit -> unit;
+  op_durable_read : lba:int -> sectors:int -> string;
+  op_durable_extent : unit -> int;
+}
+
+type t = { info : info; stats : Disk_stats.t; ops : ops }
+
+let make ~info ~stats ~ops = { info; stats; ops }
+let info t = t.info
+let stats t = t.stats
+
+let check_range t ~lba ~sectors =
+  assert (lba >= 0 && sectors > 0);
+  assert (lba + sectors <= t.info.capacity_sectors)
+
+let read t ~lba ~sectors =
+  check_range t ~lba ~sectors;
+  t.ops.op_read ~lba ~sectors
+
+let write t ?(fua = false) ~lba data =
+  let len = String.length data in
+  assert (len > 0 && len mod t.info.sector_size = 0);
+  check_range t ~lba ~sectors:(len / t.info.sector_size);
+  t.ops.op_write ~lba ~data ~fua
+
+let flush t = t.ops.op_flush ()
+let power_cut t = t.ops.op_power_cut ()
+
+let durable_read t ~lba ~sectors =
+  check_range t ~lba ~sectors;
+  t.ops.op_durable_read ~lba ~sectors
+
+let durable_extent t = t.ops.op_durable_extent ()
+
+let sectors_of_bytes t bytes =
+  (bytes + t.info.sector_size - 1) / t.info.sector_size
+
+module Media = struct
+  type t = {
+    sector_size : int;
+    capacity_sectors : int;
+    sectors : (int, string) Hashtbl.t;
+    mutable extent : int;
+  }
+
+  let create ~sector_size ~capacity_sectors =
+    assert (sector_size > 0 && capacity_sectors > 0);
+    { sector_size; capacity_sectors; sectors = Hashtbl.create 4096; extent = 0 }
+
+  let sector_size t = t.sector_size
+  let capacity_sectors t = t.capacity_sectors
+
+  let read t ~lba ~sectors =
+    let buf = Bytes.make (sectors * t.sector_size) '\000' in
+    for i = 0 to sectors - 1 do
+      match Hashtbl.find_opt t.sectors (lba + i) with
+      | Some s -> Bytes.blit_string s 0 buf (i * t.sector_size) t.sector_size
+      | None -> ()
+    done;
+    Bytes.unsafe_to_string buf
+
+  let write_sectors t ~lba ~data ~count =
+    for i = 0 to count - 1 do
+      Hashtbl.replace t.sectors (lba + i)
+        (String.sub data (i * t.sector_size) t.sector_size)
+    done;
+    if lba + count > t.extent then t.extent <- lba + count
+
+  let write t ~lba ~data =
+    let len = String.length data in
+    assert (len mod t.sector_size = 0);
+    write_sectors t ~lba ~data ~count:(len / t.sector_size)
+
+  let write_torn t ~rng ~lba ~data =
+    let len = String.length data in
+    assert (len mod t.sector_size = 0);
+    let total = len / t.sector_size in
+    let persisted = Desim.Rng.int rng (total + 1) in
+    if persisted > 0 then write_sectors t ~lba ~data ~count:persisted
+
+  let extent t = t.extent
+  let check_range = check_range
+end

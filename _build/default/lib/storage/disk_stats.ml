@@ -1,0 +1,50 @@
+open Desim
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable flushes : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable busy : Time.span;
+  write_service : Stats.Sample.t;
+}
+
+let create () =
+  {
+    reads = 0;
+    writes = 0;
+    flushes = 0;
+    sectors_read = 0;
+    sectors_written = 0;
+    busy = Time.zero_span;
+    write_service = Stats.Sample.create ();
+  }
+
+let record_read t ~sectors ~service =
+  t.reads <- t.reads + 1;
+  t.sectors_read <- t.sectors_read + sectors;
+  t.busy <- Time.add_span t.busy service
+
+let record_write t ~sectors ~service =
+  t.writes <- t.writes + 1;
+  t.sectors_written <- t.sectors_written + sectors;
+  t.busy <- Time.add_span t.busy service;
+  Stats.Sample.add_span t.write_service service
+
+let record_flush t ~service =
+  t.flushes <- t.flushes + 1;
+  t.busy <- Time.add_span t.busy service
+
+let reads t = t.reads
+let writes t = t.writes
+let flushes t = t.flushes
+let sectors_read t = t.sectors_read
+let sectors_written t = t.sectors_written
+let busy t = t.busy
+let write_service t = t.write_service
+
+let pp fmt t =
+  Format.fprintf fmt
+    "reads=%d (%d sectors) writes=%d (%d sectors) flushes=%d busy=%a" t.reads
+    t.sectors_read t.writes t.sectors_written t.flushes Time.pp_span t.busy

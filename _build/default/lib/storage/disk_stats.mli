@@ -1,0 +1,23 @@
+(** Per-device operation counters. *)
+
+type t
+
+val create : unit -> t
+
+val record_read : t -> sectors:int -> service:Desim.Time.span -> unit
+val record_write : t -> sectors:int -> service:Desim.Time.span -> unit
+val record_flush : t -> service:Desim.Time.span -> unit
+
+val reads : t -> int
+val writes : t -> int
+val flushes : t -> int
+val sectors_read : t -> int
+val sectors_written : t -> int
+
+val busy : t -> Desim.Time.span
+(** Total time the device spent servicing requests. *)
+
+val write_service : t -> Desim.Stats.Sample.t
+(** Per-write service times in microseconds. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,160 @@
+open Desim
+
+type config = {
+  rpm : int;
+  sectors_per_track : int;
+  tracks : int;
+  seek_settle : Time.span;
+  seek_full_stroke : Time.span;
+  command_overhead : Time.span;
+  sector_size : int;
+}
+
+let default_7200rpm =
+  {
+    rpm = 7200;
+    sectors_per_track = 1000;
+    tracks = 262144;
+    seek_settle = Time.us 500;
+    seek_full_stroke = Time.ms 8;
+    command_overhead = Time.us 30;
+    sector_size = 512;
+  }
+
+let config_with_rpm config rpm = { config with rpm }
+
+let rotation_period config = Time.ns (60_000_000_000 / config.rpm)
+
+type state = {
+  sim : Sim.t;
+  config : config;
+  media : Block.Media.t;
+  rng : Rng.t;
+  actuator : Resource.Semaphore.t;
+  mutable head_track : int;
+  mutable in_flight : (int * string) option;  (* lba, data *)
+  mutable powered : bool;
+}
+
+let period_ns config = Time.span_to_ns (rotation_period config)
+
+let sector_time_ns config = period_ns config / config.sectors_per_track
+
+let seek_span state distance =
+  if distance = 0 then Time.zero_span
+  else
+    let frac = sqrt (float_of_int distance /. float_of_int state.config.tracks) in
+    Time.add_span state.config.seek_settle
+      (Time.scale_span state.config.seek_full_stroke frac)
+
+(* Time until the start of [target_sector]'s angular position passes under
+   the head, given the platter position implied by the current clock. *)
+let rotational_wait state target_sector =
+  let period = period_ns state.config in
+  let target_angle_ns =
+    target_sector mod state.config.sectors_per_track * sector_time_ns state.config
+  in
+  let now_angle_ns = Time.to_ns (Sim.now state.sim) mod period in
+  Time.ns ((target_angle_ns - now_angle_ns + period) mod period)
+
+(* Seek, then wait for the target sector. The controller overhead is
+   pipelined with the rotational wait (never under it): a request that
+   lands exactly where the head is pays only the overhead — this is the
+   drive's track buffer absorbing command latency, and it is what lets
+   back-to-back sequential writes run at close to the media rate. *)
+let position state lba =
+  let track = lba / state.config.sectors_per_track in
+  let seek = seek_span state (abs (track - state.head_track)) in
+  Process.sleep seek;
+  state.head_track <- track;
+  let rot = rotational_wait state lba in
+  let wait =
+    if Time.compare_span rot state.config.command_overhead >= 0 then rot
+    else state.config.command_overhead
+  in
+  Process.sleep wait
+
+let transfer_span state sectors = Time.ns (sectors * sector_time_ns state.config)
+
+let service_read state ~lba ~sectors =
+  let started = Sim.now state.sim in
+  Resource.Semaphore.acquire state.actuator;
+  Fun.protect ~finally:(fun () -> Resource.Semaphore.release state.actuator)
+  @@ fun () ->
+  position state lba;
+  Process.sleep (transfer_span state sectors);
+  let data = Block.Media.read state.media ~lba ~sectors in
+  (data, Time.diff (Sim.now state.sim) started)
+
+let service_write state ~lba ~data =
+  let started = Sim.now state.sim in
+  let sectors = String.length data / state.config.sector_size in
+  Resource.Semaphore.acquire state.actuator;
+  Fun.protect ~finally:(fun () -> Resource.Semaphore.release state.actuator)
+  @@ fun () ->
+  position state lba;
+  state.in_flight <- Some (lba, data);
+  Process.sleep (transfer_span state sectors);
+  state.in_flight <- None;
+  if state.powered then Block.Media.write state.media ~lba ~data;
+  Time.diff (Sim.now state.sim) started
+
+let power_cut state =
+  state.powered <- false;
+  match state.in_flight with
+  | Some (lba, data) ->
+      state.in_flight <- None;
+      Block.Media.write_torn state.media ~rng:state.rng ~lba ~data
+  | None -> ()
+
+let create sim ?(model = "hdd-7200") config =
+  assert (config.rpm > 0 && config.sectors_per_track > 0 && config.tracks > 0);
+  let media =
+    Block.Media.create ~sector_size:config.sector_size
+      ~capacity_sectors:(config.tracks * config.sectors_per_track)
+  in
+  let state =
+    {
+      sim;
+      config;
+      media;
+      rng = Rng.split (Sim.rng sim);
+      actuator = Resource.Semaphore.create sim 1;
+      head_track = 0;
+      in_flight = None;
+      powered = true;
+    }
+  in
+  let stats = Disk_stats.create () in
+  let ops =
+    {
+      Block.op_read =
+        (fun ~lba ~sectors ->
+          let data, service = service_read state ~lba ~sectors in
+          Disk_stats.record_read stats ~sectors ~service;
+          data);
+      op_write =
+        (fun ~lba ~data ~fua:_ ->
+          (* No volatile cache here, so FUA and plain writes coincide;
+             a cache is added by wrapping with {!Write_cache}. *)
+          let service = service_write state ~lba ~data in
+          let sectors = String.length data / config.sector_size in
+          Disk_stats.record_write stats ~sectors ~service);
+      op_flush =
+        (fun () ->
+          Process.sleep config.command_overhead;
+          Disk_stats.record_flush stats ~service:config.command_overhead);
+      op_power_cut = (fun () -> power_cut state);
+      op_durable_read =
+        (fun ~lba ~sectors -> Block.Media.read media ~lba ~sectors);
+      op_durable_extent = (fun () -> Block.Media.extent media);
+    }
+  in
+  Block.make
+    ~info:
+      {
+        Block.model;
+        sector_size = config.sector_size;
+        capacity_sectors = config.tracks * config.sectors_per_track;
+      }
+    ~stats ~ops

@@ -1,0 +1,43 @@
+(** Rotational disk model.
+
+    The model is positional: the platter rotates continuously, so the
+    rotational delay of a request depends on where the head is — which is
+    fully determined by the simulated clock — and on the angular position
+    of the target sector. This reproduces the latency structure that
+    RapiLog exploits: a stream of small synchronous log appends pays close
+    to a full rotation per write (the platter has moved past the next
+    sector by the time the next request arrives), whereas back-to-back
+    asynchronous sequential writes pay only transfer time.
+
+    The device services one request at a time (single actuator); queued
+    requests are served FIFO. Writes reach the media when the transfer
+    completes; a power cut during a transfer tears the write at sector
+    granularity. After a power cut the device stops persisting anything
+    (operations still "complete" so that in-flight processes do not wedge
+    the event loop — by then the simulation is being shut down). *)
+
+type config = {
+  rpm : int;  (** rotational speed, e.g. 7200 *)
+  sectors_per_track : int;
+  tracks : int;  (** capacity = [tracks * sectors_per_track] sectors *)
+  seek_settle : Desim.Time.span;  (** fixed cost of any track change *)
+  seek_full_stroke : Desim.Time.span;
+      (** additional cost of a full-stroke seek; a seek over distance [d]
+          costs [seek_settle + seek_full_stroke * sqrt (d / tracks)] *)
+  command_overhead : Desim.Time.span;  (** controller + bus cost per request *)
+  sector_size : int;
+}
+
+val default_7200rpm : config
+(** 7200 rpm, 500 KiB/track-ish geometry, ~8.3 ms rotation: a commodity
+    SATA disk of the paper's era. *)
+
+val config_with_rpm : config -> int -> config
+(** Same geometry at a different spindle speed (for the device-latency
+    sensitivity sweep). *)
+
+val rotation_period : config -> Desim.Time.span
+
+val create : Desim.Sim.t -> ?model:string -> config -> Block.t
+(** The device derives its torn-write randomness from the simulation's
+    root generator. *)

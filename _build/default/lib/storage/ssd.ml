@@ -1,0 +1,110 @@
+open Desim
+
+type config = {
+  page_sectors : int;
+  read_latency : Time.span;
+  program_latency : Time.span;
+  channels : int;
+  command_overhead : Time.span;
+  capacity_sectors : int;
+  sector_size : int;
+}
+
+let default =
+  {
+    page_sectors = 8;
+    read_latency = Time.us 60;
+    program_latency = Time.us 300;
+    channels = 4;
+    command_overhead = Time.us 20;
+    capacity_sectors = 268_435_456;  (* 128 GiB of 512-byte sectors *)
+    sector_size = 512;
+  }
+
+type state = {
+  config : config;
+  media : Block.Media.t;
+  rng : Rng.t;
+  lanes : Resource.Semaphore.t;
+  mutable in_flight : (int * string) option;
+  mutable powered : bool;
+}
+
+let pages_of state sectors = (sectors + state.config.page_sectors - 1) / state.config.page_sectors
+
+let rounds state pages = (pages + state.config.channels - 1) / state.config.channels
+
+let service state ~per_page ~sectors body =
+  Resource.Semaphore.acquire state.lanes;
+  Fun.protect ~finally:(fun () -> Resource.Semaphore.release state.lanes)
+  @@ fun () ->
+  Process.sleep state.config.command_overhead;
+  let span = Time.mul_span per_page (rounds state (pages_of state sectors)) in
+  body span
+
+let power_cut state =
+  state.powered <- false;
+  match state.in_flight with
+  | Some (lba, data) ->
+      state.in_flight <- None;
+      Block.Media.write_torn state.media ~rng:state.rng ~lba ~data
+  | None -> ()
+
+let create sim ?(model = "ssd") config =
+  assert (config.channels > 0 && config.page_sectors > 0);
+  let media =
+    Block.Media.create ~sector_size:config.sector_size
+      ~capacity_sectors:config.capacity_sectors
+  in
+  let state =
+    {
+      config;
+      media;
+      rng = Rng.split (Sim.rng sim);
+      lanes = Resource.Semaphore.create sim config.channels;
+      in_flight = None;
+      powered = true;
+    }
+  in
+  let stats = Disk_stats.create () in
+  let timed_read ~lba ~sectors =
+    let started = Sim.now sim in
+    let data =
+      service state ~per_page:config.read_latency ~sectors (fun span ->
+          Process.sleep span;
+          Block.Media.read media ~lba ~sectors)
+    in
+    Disk_stats.record_read stats ~sectors ~service:(Time.diff (Sim.now sim) started);
+    data
+  in
+  let timed_write ~lba ~data ~fua:_ =
+    let started = Sim.now sim in
+    let sectors = String.length data / config.sector_size in
+    service state ~per_page:config.program_latency ~sectors (fun span ->
+        state.in_flight <- Some (lba, data);
+        Process.sleep span;
+        state.in_flight <- None;
+        if state.powered then Block.Media.write media ~lba ~data);
+    Disk_stats.record_write stats ~sectors ~service:(Time.diff (Sim.now sim) started)
+  in
+  let ops =
+    {
+      Block.op_read = timed_read;
+      op_write = timed_write;
+      op_flush =
+        (fun () ->
+          Process.sleep config.command_overhead;
+          Disk_stats.record_flush stats ~service:config.command_overhead);
+      op_power_cut = (fun () -> power_cut state);
+      op_durable_read = (fun ~lba ~sectors -> Block.Media.read media ~lba ~sectors);
+      op_durable_extent = (fun () -> Block.Media.extent media);
+    }
+  in
+  Block.make
+    ~info:
+      {
+        Block.model;
+        sector_size = config.sector_size;
+        capacity_sectors = config.capacity_sectors;
+      }
+    ~stats ~ops

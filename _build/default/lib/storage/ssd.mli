@@ -1,0 +1,26 @@
+(** Flash SSD model.
+
+    Service time has no positional component: a write costs the controller
+    overhead plus one page-program round per [ceil (pages / channels)]
+    stripe. Up to [channels] requests are serviced concurrently. This is a
+    deliberate simplification of a real FTL — what the experiments need
+    from it is (a) synchronous-write latency two orders of magnitude below
+    a disk rotation and (b) high streaming bandwidth, which together
+    reproduce the paper's observation that RapiLog's gains shrink on
+    SSDs. *)
+
+type config = {
+  page_sectors : int;  (** flash page size in sectors *)
+  read_latency : Desim.Time.span;  (** per-page read *)
+  program_latency : Desim.Time.span;  (** per-page program *)
+  channels : int;
+  command_overhead : Desim.Time.span;
+  capacity_sectors : int;
+  sector_size : int;
+}
+
+val default : config
+(** 4 KiB pages, 300 us program, 60 us read, 4 channels: a SATA-era
+    enterprise SSD. *)
+
+val create : Desim.Sim.t -> ?model:string -> config -> Block.t

@@ -1,0 +1,19 @@
+(** RAID-0 striping across block devices.
+
+    Chunks of [chunk_sectors] rotate round-robin over the members, so
+    independent requests land on independent actuators and large
+    requests split across them. This models the multi-spindle data
+    volume of a paper-era database testbed; it adds bandwidth and
+    request parallelism, not redundancy (this is RAID-0 — member loss is
+    volume loss, which a durability experiment never relies on
+    surviving).
+
+    All members must share a sector size; the volume capacity is the
+    smallest member capacity times the member count (in whole stripes). *)
+
+val create :
+  Desim.Sim.t -> ?model:string -> chunk_sectors:int -> Block.t array -> Block.t
+(** Requires at least one member and [chunk_sectors > 0]. Requests
+    spanning several chunks are issued to the members concurrently and
+    complete when the slowest segment does. [power_cut] propagates to
+    every member. *)

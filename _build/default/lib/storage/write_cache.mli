@@ -1,0 +1,25 @@
+(** Volatile on-device write cache.
+
+    Wrapping a device with a write cache makes plain writes complete as
+    soon as the data is copied into cache RAM — fast, but *unsafe*: the
+    cached data is lost on power cut. This is the "enable the disk's write
+    cache" configuration that databases forbid for transaction logs, and
+    it serves as the unsafe upper-bound baseline in the experiments.
+
+    A background destager drains the cache to the underlying device in
+    admission order. [write ~fua:true] and {!Block.flush} retain their
+    durable semantics: FUA bypasses the cache, and flush blocks until the
+    cache is empty and the underlying device has flushed. When the cache
+    is full, writes block until the destager frees space. *)
+
+type config = {
+  capacity_bytes : int;
+  admit_bandwidth : float;  (** cache copy-in speed, bytes per second *)
+}
+
+val default : config
+(** 32 MiB cache, 200 MB/s copy-in. *)
+
+val wrap : Desim.Sim.t -> config -> Block.t -> Block.t
+(** The wrapped device shares the underlying media but has its own
+    stats. *)

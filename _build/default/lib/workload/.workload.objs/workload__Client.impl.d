@@ -1,0 +1,1 @@
+lib/workload/client.ml: Dbms Desim Hypervisor List Printf Process Time

@@ -1,0 +1,1 @@
+lib/workload/microbench.ml: Dbms Desim Key_dist List Printf Rng Value_gen

@@ -1,0 +1,1 @@
+lib/workload/tpcc_lite.ml: Dbms Desim Engine Hashtbl List Option Printf Rng Value_gen

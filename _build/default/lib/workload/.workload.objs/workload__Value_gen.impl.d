@@ -1,0 +1,1 @@
+lib/workload/value_gen.ml: Bytes Desim Rng String

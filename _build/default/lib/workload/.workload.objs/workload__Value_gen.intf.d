@@ -1,0 +1,1 @@
+lib/workload/value_gen.mli: Desim

@@ -1,0 +1,1 @@
+lib/workload/ycsb_lite.ml: Dbms Desim Key_dist List Printf Rng Value_gen

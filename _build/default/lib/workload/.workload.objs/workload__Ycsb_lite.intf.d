@@ -1,0 +1,1 @@
+lib/workload/ycsb_lite.mli: Dbms Desim

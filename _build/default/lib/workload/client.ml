@@ -1,0 +1,21 @@
+open Desim
+
+type config = { think_time : Time.span }
+
+let default_config = { think_time = Time.zero_span }
+
+let client_loop config ~client ~gen ~engine ~on_commit () =
+  while true do
+    let ops = gen ~client in
+    let result = Dbms.Engine.exec engine ops in
+    on_commit ~client result;
+    if Time.compare_span config.think_time Time.zero_span > 0 then
+      Process.sleep config.think_time
+  done
+
+let spawn ~vmm config ~count ~gen ~engine ~on_commit =
+  assert (count > 0);
+  List.init count (fun client ->
+      Hypervisor.Vmm.spawn_guest vmm
+        ~name:(Printf.sprintf "client-%d" client)
+        (client_loop config ~client ~gen ~engine ~on_commit))

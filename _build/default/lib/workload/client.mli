@@ -1,0 +1,23 @@
+(** Closed-loop clients.
+
+    Each client is a guest process that repeatedly draws a transaction
+    from its generator, executes it to commit, reports the
+    acknowledgement, then thinks. Clients run until the guest domain dies
+    or the simulation stops stepping. *)
+
+type config = { think_time : Desim.Time.span }
+
+val default_config : config
+(** No think time: maximum pressure, as in the paper's load generator. *)
+
+val spawn :
+  vmm:Hypervisor.Vmm.t ->
+  config ->
+  count:int ->
+  gen:(client:int -> Dbms.Engine.op list) ->
+  engine:Dbms.Engine.t ->
+  on_commit:(client:int -> Dbms.Engine.txn_result -> unit) ->
+  Desim.Process.handle list
+(** [on_commit] runs at the instant the client receives the commit
+    acknowledgement — the harness uses it to maintain the expected-state
+    model and the measurement window counters. *)

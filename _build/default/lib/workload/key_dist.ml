@@ -1,0 +1,15 @@
+open Desim
+
+type t = Uniform of int | Zipf of { n : int; dist : Rng.Zipf.dist }
+
+let uniform ~n =
+  assert (n > 0);
+  Uniform n
+
+let zipf ~n ~theta = Zipf { n; dist = Rng.Zipf.create ~n ~theta }
+
+let n = function Uniform n -> n | Zipf { n; _ } -> n
+
+let sample rng = function
+  | Uniform n -> Rng.int rng n
+  | Zipf { dist; _ } -> Rng.Zipf.sample rng dist

@@ -1,0 +1,9 @@
+(** Key-popularity distributions for workload generators. *)
+
+type t
+
+val uniform : n:int -> t
+val zipf : n:int -> theta:float -> t
+val n : t -> int
+val sample : Desim.Rng.t -> t -> int
+(** A key in [\[0, n)]. *)

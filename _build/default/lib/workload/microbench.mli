@@ -1,0 +1,26 @@
+(** Update-only microbenchmark: one small write per transaction.
+
+    This is the commit-latency stress: nothing amortises the log force,
+    so the gap between ack-on-media and ack-on-buffer shows up
+    undiluted. *)
+
+type config = {
+  keys : int;
+  value_bytes : int;
+  zipf_theta : float;  (** 0. = uniform *)
+  updates_per_txn : int;
+  delete_fraction : float;  (** probability an operation deletes instead *)
+}
+
+val default_config : config
+(** 10k keys, 128-byte values, uniform, 1 update/txn, no deletes. *)
+
+type t
+
+val create : Desim.Rng.t -> config -> t
+val config : t -> config
+
+val initial_rows : t -> (int * string) list
+(** One row per key. *)
+
+val next : t -> Dbms.Engine.op list

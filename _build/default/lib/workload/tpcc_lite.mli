@@ -1,0 +1,42 @@
+(** A TPC-C-flavoured OLTP workload.
+
+    This is a scaled-down New-Order/Payment/Order-Status/Delivery/
+    Stock-Level mix over a warehouse/district/customer/stock schema
+    flattened onto the engine's key–value interface. It is not a
+    conforming TPC-C implementation — it reproduces the *logging
+    profile* the paper's evaluation workload exercises: a commit rate
+    dominated by small transactions, each generating a few hundred bytes
+    to a few KiB of log, with occasional read-only transactions that
+    never touch the log device. *)
+
+type config = {
+  warehouses : int;
+  items_per_warehouse : int;
+  customers_per_district : int;  (** 10 districts per warehouse, fixed *)
+  value_bytes : int;  (** row payload size *)
+}
+
+val default_config : config
+(** 2 warehouses, 200 items, 30 customers per district, 96-byte rows. *)
+
+type kind = New_order | Payment | Order_status | Delivery | Stock_level
+
+val kind_name : kind -> string
+
+type t
+
+val create : Desim.Rng.t -> config -> t
+(** The generator owns a split of the given stream. *)
+
+val config : t -> config
+
+val initial_rows : t -> (int * string) list
+(** Every warehouse, district, customer and stock row; load these before
+    the measurement phase. *)
+
+val next : t -> kind * Dbms.Engine.op list
+(** Sample a transaction from the standard-ish mix
+    (45/43/4/4/4 NO/P/OS/D/SL). *)
+
+val mix_counts : t -> (kind * int) list
+(** How many of each kind {!next} has produced. *)

@@ -1,0 +1,8 @@
+(** Generated row contents.
+
+    Values carry a readable prefix (useful when eyeballing recovered
+    state in tests) padded with pseudo-random printable bytes to the
+    requested length. *)
+
+val make : Desim.Rng.t -> tag:string -> len:int -> string
+(** Requires [len >= 1]; the tag is truncated if longer than [len]. *)

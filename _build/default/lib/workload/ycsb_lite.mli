@@ -1,0 +1,34 @@
+(** A YCSB-flavoured key–value workload.
+
+    Each transaction performs [ops_per_txn] operations over a fixed key
+    space with Zipf popularity; each operation is a read with probability
+    [read_fraction], otherwise an update. Sweeping [read_fraction]
+    reproduces the YCSB workload family (A = 0.5, B = 0.95, C = 1.0) and
+    shows how RapiLog's advantage scales with the commit rate: read-only
+    transactions never touch the log device. *)
+
+type config = {
+  keys : int;
+  value_bytes : int;
+  zipf_theta : float;
+  read_fraction : float;  (** in [\[0, 1\]] *)
+  ops_per_txn : int;
+}
+
+val default_config : config
+(** Workload A: 10k keys, 100-byte values, theta 0.99, 50% reads,
+    2 ops per transaction. *)
+
+val workload_a : config
+val workload_b : config
+(** 95% reads. *)
+
+type t
+
+val create : Desim.Rng.t -> config -> t
+val config : t -> config
+
+val initial_rows : t -> (int * string) list
+val next : t -> Dbms.Engine.op list
+val reads_issued : t -> int
+val updates_issued : t -> int

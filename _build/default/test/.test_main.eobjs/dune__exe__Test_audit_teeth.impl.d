@@ -1,0 +1,1 @@
+test/test_audit_teeth.ml: Alcotest Dbms Desim Hashtbl Hypervisor List Printf Process Rapilog Sim Storage String Testu Time

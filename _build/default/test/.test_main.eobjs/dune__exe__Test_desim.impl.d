@@ -1,0 +1,1 @@
+test/test_desim.ml: Alcotest Array Channel Desim Event_queue Float Format Fun Int64 List Option Printf Process QCheck2 Resource Rng Sim Stats String Testu Time Trace

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Audit Dbms Desim Experiment Harness List Printf Rapilog Scenario Storage String Testu Time Workload

@@ -1,0 +1,1 @@
+test/test_hypervisor.ml: Alcotest Desim Hypervisor Process Sim Storage String Testu Time

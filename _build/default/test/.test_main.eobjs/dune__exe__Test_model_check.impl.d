@@ -1,0 +1,1 @@
+test/test_model_check.ml: Alcotest Bytes Char List QCheck2 Rapilog Storage String Testu

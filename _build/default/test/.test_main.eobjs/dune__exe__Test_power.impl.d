@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Desim List Power Process Sim Storage String Testu Time

@@ -1,0 +1,1 @@
+test/test_rapilog.ml: Alcotest Char Dbms Desim Harness Hashtbl Hypervisor List Option Power Printf Process QCheck2 Rapilog Sim Storage String Testu Time Trace

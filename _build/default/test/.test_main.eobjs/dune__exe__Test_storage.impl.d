@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Char Desim Int64 List Printf Process QCheck2 Rng Sim Storage String Testu Time

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Client Dbms Desim Hashtbl Hypervisor Int Key_dist List Microbench Option Printf Rng Sim Storage String Testu Time Tpcc_lite Value_gen Workload Ycsb_lite

@@ -1,0 +1,1 @@
+test/testu.ml: Alcotest Desim Float Process QCheck2 QCheck_alcotest Sim Time

@@ -1,0 +1,855 @@
+(* Tests for the discrete-event simulation engine. *)
+
+open Desim
+open Testu
+
+(* -- Time ---------------------------------------------------------- *)
+
+let time_units () =
+  check_span "us" (Time.ns 1_000) (Time.us 1);
+  check_span "ms" (Time.us 1_000) (Time.ms 1);
+  check_span "sec" (Time.ms 1_000) (Time.sec 1)
+
+let time_arithmetic () =
+  let t = Time.add Time.zero (Time.ms 5) in
+  check_span "diff" (Time.ms 5) (Time.diff t Time.zero);
+  check_span "add_span" (Time.ms 7) (Time.add_span (Time.ms 5) (Time.ms 2));
+  check_span "sub_span" (Time.ms 3) (Time.sub_span (Time.ms 5) (Time.ms 2));
+  check_span "mul" (Time.ms 10) (Time.mul_span (Time.ms 5) 2);
+  check_span "div" (Time.us 500) (Time.div_span (Time.ms 5) 10);
+  check_span "scale" (Time.ms 6) (Time.scale_span (Time.ms 4) 1.5)
+
+let time_float_conversions () =
+  check_near "to_sec" 0.005 (Time.span_to_float_sec (Time.ms 5));
+  check_near "to_us" 5000. (Time.span_to_float_us (Time.ms 5));
+  check_span "of_sec" (Time.ms 5) (Time.span_of_float_sec 0.005);
+  check_span "of_us" (Time.us 3) (Time.span_of_float_us 3.0)
+
+let time_compare () =
+  let a = Time.of_ns 10 and b = Time.of_ns 20 in
+  Alcotest.(check bool) "lt" true Time.(a < b);
+  Alcotest.(check bool) "le" true Time.(a <= a);
+  Alcotest.(check bool) "min" true (Time.equal (Time.min a b) a);
+  Alcotest.(check bool) "max" true (Time.equal (Time.max a b) b)
+
+let time_pp () =
+  let show span = Format.asprintf "%a" Time.pp_span span in
+  Alcotest.(check string) "ns" "999ns" (show (Time.ns 999));
+  Alcotest.(check string) "us" "1.500us" (show (Time.ns 1_500));
+  Alcotest.(check string) "ms" "2.000ms" (show (Time.ms 2));
+  Alcotest.(check string) "s" "3.000s" (show (Time.sec 3))
+
+(* -- Event queue ---------------------------------------------------- *)
+
+let queue_ordering () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:(Time.of_ns 30) 3;
+  Event_queue.add q ~time:(Time.of_ns 10) 1;
+  Event_queue.add q ~time:(Time.of_ns 20) 2;
+  let pop () =
+    match Event_queue.pop q with Some (_, v) -> v | None -> Alcotest.fail "empty"
+  in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] [ first; second; third ];
+  Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
+
+let queue_fifo_same_time () =
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.add q ~time:(Time.of_ns 5) v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4 ] order
+
+let queue_peek_and_length () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option reject)) "peek empty" None
+    (Option.map ignore (Event_queue.peek_time q));
+  Event_queue.add q ~time:(Time.of_ns 42) ();
+  Alcotest.(check int) "len" 1 (Event_queue.length q);
+  (match Event_queue.peek_time q with
+  | Some t -> Alcotest.(check int) "peek time" 42 (Time.to_ns t)
+  | None -> Alcotest.fail "expected event");
+  Alcotest.(check int) "peek does not pop" 1 (Event_queue.length q)
+
+let queue_growth () =
+  let q = Event_queue.create () in
+  for i = 999 downto 0 do
+    Event_queue.add q ~time:(Time.of_ns i) i
+  done;
+  Alcotest.(check int) "length" 1000 (Event_queue.length q);
+  let sorted = ref true and prev = ref (-1) in
+  for _ = 1 to 1000 do
+    let _, v = Option.get (Event_queue.pop q) in
+    if v < !prev then sorted := false;
+    prev := v
+  done;
+  Alcotest.(check bool) "heap order maintained across growth" true !sorted
+
+let queue_pop_sorted_prop =
+  prop "event queue pops in nondecreasing time order"
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 1000))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iter (fun t -> Event_queue.add q ~time:(Time.of_ns t) t) times;
+      let rec drain prev =
+        match Event_queue.pop q with
+        | None -> true
+        | Some (t, _) -> Time.to_ns t >= prev && drain (Time.to_ns t)
+      in
+      drain (-1))
+
+(* -- Sim ------------------------------------------------------------ *)
+
+let sim_schedule_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule_after sim (Time.ms 2) (fun () -> log := 2 :: !log);
+  Sim.schedule_after sim (Time.ms 1) (fun () -> log := 1 :: !log);
+  Sim.schedule_after sim (Time.ms 3) (fun () -> log := 3 :: !log);
+  Sim.run sim;
+  Alcotest.(check (list int)) "in time order" [ 1; 2; 3 ] (List.rev !log)
+
+let sim_clock_advances () =
+  let sim = Sim.create () in
+  let seen = ref Time.zero in
+  Sim.schedule_after sim (Time.ms 7) (fun () -> seen := Sim.now sim);
+  Sim.run sim;
+  Alcotest.(check int) "clock at event" (Time.to_ns (Time.add Time.zero (Time.ms 7)))
+    (Time.to_ns !seen)
+
+let sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  Sim.schedule_after sim (Time.ms 1) (fun () -> fired := 1 :: !fired);
+  Sim.schedule_after sim (Time.ms 10) (fun () -> fired := 10 :: !fired);
+  Sim.run ~until:(Time.add Time.zero (Time.ms 5)) sim;
+  Alcotest.(check (list int)) "only early event" [ 1 ] !fired;
+  Alcotest.(check int) "clock parked at limit"
+    (Time.to_ns (Time.add Time.zero (Time.ms 5)))
+    (Time.to_ns (Sim.now sim));
+  Alcotest.(check int) "late event still queued" 1 (Sim.pending sim)
+
+let sim_step () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  Sim.schedule_now sim (fun () -> incr count);
+  Sim.schedule_now sim (fun () -> incr count);
+  Alcotest.(check bool) "step 1" true (Sim.step sim);
+  Alcotest.(check int) "one ran" 1 !count;
+  Alcotest.(check bool) "step 2" true (Sim.step sim);
+  Alcotest.(check bool) "step empty" false (Sim.step sim)
+
+let sim_nested_scheduling () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule_after sim (Time.ms 1) (fun () ->
+      log := "outer" :: !log;
+      Sim.schedule_after sim (Time.ms 1) (fun () -> log := "inner" :: !log));
+  Sim.run sim;
+  Alcotest.(check (list string)) "nested" [ "outer"; "inner" ] (List.rev !log)
+
+let sim_seed_exposed () =
+  let sim = Sim.create ~seed:99L () in
+  Alcotest.(check int64) "seed" 99L (Sim.seed sim)
+
+(* -- Rng ------------------------------------------------------------ *)
+
+let rng_deterministic () =
+  let a = Rng.create 7L and b = Rng.create 7L in
+  let sa = List.init 16 (fun _ -> Rng.bits64 a) in
+  let sb = List.init 16 (fun _ -> Rng.bits64 b) in
+  Alcotest.(check (list int64)) "same seed, same stream" sa sb
+
+let rng_seeds_differ () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different" true (Rng.bits64 a <> Rng.bits64 b)
+
+let rng_split_independent () =
+  let parent = Rng.create 3L in
+  let child = Rng.split parent in
+  let child_vals = List.init 8 (fun _ -> Rng.bits64 child) in
+  let parent_vals = List.init 8 (fun _ -> Rng.bits64 parent) in
+  Alcotest.(check bool) "streams differ" true (child_vals <> parent_vals)
+
+let rng_copy () =
+  let a = Rng.create 5L in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy resumes identically" (Rng.bits64 a) (Rng.bits64 b)
+
+let rng_int_bounds_prop =
+  prop "Rng.int stays in [0, n)"
+    QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 1000))
+    (fun (n, salt) ->
+      let rng = Rng.create (Int64.of_int salt) in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let rng_float_bounds_prop =
+  prop "Rng.float stays in [0, 1)" QCheck2.Gen.(int_range 0 100_000) (fun seed ->
+      let rng = Rng.create (Int64.of_int seed) in
+      let v = Rng.float rng in
+      v >= 0. && v < 1.)
+
+let rng_int_in () =
+  let rng = Rng.create 11L in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng 5 9 in
+    if v < 5 || v > 9 then Alcotest.fail "out of range"
+  done
+
+let rng_uniformity_rough () =
+  let rng = Rng.create 13L in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun count ->
+      let frac = float_of_int count /. float_of_int n in
+      if frac < 0.08 || frac > 0.12 then Alcotest.failf "bucket fraction %g" frac)
+    buckets
+
+let rng_exponential_mean () =
+  let rng = Rng.create 17L in
+  let n = 50_000 in
+  let total = ref 0. in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng ~mean:4.0
+  done;
+  check_near "mean" ~tolerance:0.15 4.0 (!total /. float_of_int n)
+
+let rng_normal_moments () =
+  let rng = Rng.create 19L in
+  let n = 50_000 in
+  let s = Stats.Summary.create () in
+  for _ = 1 to n do
+    Stats.Summary.add s (Rng.normal rng ~mu:10. ~sigma:2.)
+  done;
+  check_near "mu" ~tolerance:0.1 10. (Stats.Summary.mean s);
+  check_near "sigma" ~tolerance:0.1 2. (Stats.Summary.stddev s)
+
+let rng_shuffle_permutation_prop =
+  prop "shuffle is a permutation" QCheck2.Gen.(list_size (int_range 0 50) int)
+    (fun items ->
+      let arr = Array.of_list items in
+      let rng = Rng.create 23L in
+      Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare items)
+
+let rng_pick () =
+  let rng = Rng.create 29L in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng arr in
+    if not (Array.exists (String.equal v) arr) then Alcotest.fail "pick outside"
+  done
+
+let zipf_bounds_and_skew () =
+  let rng = Rng.create 31L in
+  let dist = Rng.Zipf.create ~n:100 ~theta:0.99 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20_000 do
+    let v = Rng.Zipf.sample rng dist in
+    if v < 0 || v >= 100 then Alcotest.fail "zipf out of range";
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 0 beats rank 50" true (counts.(0) > counts.(50))
+
+let zipf_theta_zero_uniform () =
+  let rng = Rng.create 37L in
+  let dist = Rng.Zipf.create ~n:10 ~theta:0. in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Rng.Zipf.sample rng dist in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun count ->
+      let frac = float_of_int count /. float_of_int n in
+      if frac < 0.08 || frac > 0.12 then Alcotest.failf "not uniform: %g" frac)
+    counts
+
+let rng_span () =
+  let rng = Rng.create 41L in
+  for _ = 1 to 1000 do
+    let s = Rng.span rng (Time.ms 2) in
+    let ns = Time.span_to_ns s in
+    if ns < 0 || ns >= 2_000_000 then Alcotest.fail "span out of range"
+  done
+
+(* -- Process -------------------------------------------------------- *)
+
+let process_runs () =
+  let ran = run_in_sim (fun _sim -> true) in
+  Alcotest.(check bool) "body executed" true ran
+
+let process_sleep_advances_clock () =
+  let elapsed =
+    run_in_sim (fun sim ->
+        let before = Sim.now sim in
+        Process.sleep (Time.ms 3);
+        Time.diff (Sim.now sim) before)
+  in
+  check_span "slept" (Time.ms 3) elapsed
+
+let process_sleeps_accumulate () =
+  let elapsed =
+    run_in_sim (fun sim ->
+        Process.sleep (Time.ms 1);
+        Process.sleep (Time.ms 2);
+        Process.sleep (Time.us 500);
+        Time.diff (Sim.now sim) Time.zero)
+  in
+  check_span "total" (Time.us 3500) elapsed
+
+let process_self_name () =
+  let name =
+    with_sim (fun sim ->
+        let result = ref "" in
+        ignore
+          (Process.spawn sim ~name:"alpha" (fun () ->
+               result := Process.name (Process.self ())));
+        fun () -> !result)
+  in
+  Alcotest.(check string) "name" "alpha" name
+
+let process_cancel_pending_sleep () =
+  let sim = Sim.create () in
+  let reached = ref false in
+  let h =
+    Process.spawn sim ~name:"victim" (fun () ->
+        Process.sleep (Time.ms 10);
+        reached := true)
+  in
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Process.cancel h);
+  Sim.run sim;
+  Alcotest.(check bool) "never resumed past cancel" false !reached;
+  Alcotest.(check bool) "dead" false (Process.is_alive h)
+
+let process_cancel_runs_finalisers () =
+  let sim = Sim.create () in
+  let cleaned = ref false in
+  let h =
+    Process.spawn sim (fun () ->
+        Fun.protect
+          ~finally:(fun () -> cleaned := true)
+          (fun () -> Process.sleep (Time.ms 10)))
+  in
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Process.cancel h);
+  Sim.run sim;
+  Alcotest.(check bool) "finaliser ran on cancellation" true !cleaned
+
+let process_suspend_resume_value () =
+  let sim = Sim.create () in
+  let got = ref 0 in
+  let resume_slot = ref None in
+  ignore
+    (Process.spawn sim (fun () ->
+         got := Process.suspend (fun resume -> resume_slot := Some resume)));
+  Sim.schedule_after sim (Time.ms 1) (fun () ->
+      match !resume_slot with
+      | Some resume -> resume 42
+      | None -> Alcotest.fail "not registered");
+  Sim.run sim;
+  Alcotest.(check int) "value delivered" 42 !got
+
+let process_resume_twice_ignored () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let resume_slot = ref None in
+  ignore
+    (Process.spawn sim (fun () ->
+         ignore (Process.suspend (fun resume -> resume_slot := Some resume) : int);
+         incr count));
+  Sim.schedule_after sim (Time.ms 1) (fun () ->
+      let resume = Option.get !resume_slot in
+      resume 1;
+      resume 2);
+  Sim.run sim;
+  Alcotest.(check int) "resumed exactly once" 1 !count
+
+let process_yield_interleaves () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  let worker tag () =
+    for i = 1 to 2 do
+      log := Printf.sprintf "%s%d" tag i :: !log;
+      Process.yield ()
+    done
+  in
+  ignore (Process.spawn sim (worker "a"));
+  ignore (Process.spawn sim (worker "b"));
+  Sim.run sim;
+  Alcotest.(check (list string)) "round robin" [ "a1"; "b1"; "a2"; "b2" ]
+    (List.rev !log)
+
+let process_blocking_outside_raises () =
+  Alcotest.check_raises "sleep outside process" Process.Not_in_process (fun () ->
+      Process.sleep (Time.ms 1))
+
+let process_exception_propagates () =
+  let sim = Sim.create () in
+  ignore (Process.spawn sim (fun () -> failwith "boom"));
+  Alcotest.check_raises "escapes run" (Failure "boom") (fun () -> Sim.run sim)
+
+let process_spawn_from_process () =
+  let total =
+    with_sim (fun sim ->
+        let count = ref 0 in
+        ignore
+          (Process.spawn sim (fun () ->
+               for _ = 1 to 3 do
+                 ignore (Process.spawn sim (fun () -> incr count))
+               done));
+        fun () -> !count)
+  in
+  Alcotest.(check int) "children ran" 3 total
+
+(* -- Resource -------------------------------------------------------- *)
+
+let semaphore_counting () =
+  with_sim (fun sim ->
+      let sem = Resource.Semaphore.create sim 2 in
+      Alcotest.(check int) "initial" 2 (Resource.Semaphore.available sem);
+      Alcotest.(check bool) "try 1" true (Resource.Semaphore.try_acquire sem);
+      Alcotest.(check bool) "try 2" true (Resource.Semaphore.try_acquire sem);
+      Alcotest.(check bool) "exhausted" false (Resource.Semaphore.try_acquire sem);
+      Resource.Semaphore.release sem;
+      Alcotest.(check int) "released" 1 (Resource.Semaphore.available sem);
+      fun () -> ())
+
+let semaphore_blocking_fifo () =
+  let sim = Sim.create () in
+  let sem = Resource.Semaphore.create sim 1 in
+  let order = ref [] in
+  let contender tag delay () =
+    Process.sleep delay;
+    Resource.Semaphore.acquire sem;
+    order := tag :: !order;
+    Process.sleep (Time.ms 5);
+    Resource.Semaphore.release sem
+  in
+  ignore (Process.spawn sim (contender "a" (Time.ms 0)));
+  ignore (Process.spawn sim (contender "b" (Time.ms 1)));
+  ignore (Process.spawn sim (contender "c" (Time.ms 2)));
+  Sim.run sim;
+  Alcotest.(check (list string)) "FIFO grant order" [ "a"; "b"; "c" ]
+    (List.rev !order)
+
+let semaphore_waiting_count () =
+  let sim = Sim.create () in
+  let sem = Resource.Semaphore.create sim 1 in
+  ignore
+    (Process.spawn sim (fun () ->
+         Resource.Semaphore.acquire sem;
+         Process.sleep (Time.ms 10);
+         Resource.Semaphore.release sem));
+  ignore (Process.spawn sim (fun () -> Resource.Semaphore.acquire sem));
+  Sim.schedule_after sim (Time.ms 5) (fun () ->
+      Alcotest.(check int) "one waiter" 1 (Resource.Semaphore.waiting sem));
+  Sim.run sim
+
+let mutex_exclusion () =
+  let sim = Sim.create () in
+  let mutex = Resource.Mutex.create sim in
+  let inside = ref 0 and max_inside = ref 0 in
+  let worker () =
+    Resource.Mutex.with_lock mutex (fun () ->
+        incr inside;
+        max_inside := max !max_inside !inside;
+        Process.sleep (Time.ms 1);
+        decr inside)
+  in
+  for _ = 1 to 4 do
+    ignore (Process.spawn sim worker)
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "never two holders" 1 !max_inside
+
+let mutex_releases_on_exception () =
+  let sim = Sim.create () in
+  let mutex = Resource.Mutex.create sim in
+  let second_ran = ref false in
+  ignore
+    (Process.spawn sim (fun () ->
+         try Resource.Mutex.with_lock mutex (fun () -> failwith "inner")
+         with Failure _ -> ()));
+  ignore
+    (Process.spawn sim (fun () ->
+         Resource.Mutex.with_lock mutex (fun () -> second_ran := true)));
+  Sim.run sim;
+  Alcotest.(check bool) "lock recovered after exception" true !second_ran
+
+let condition_signal_wakes_one () =
+  let sim = Sim.create () in
+  let cond = Resource.Condition.create sim in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Process.spawn sim (fun () ->
+           Resource.Condition.wait cond;
+           incr woken))
+  done;
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Resource.Condition.signal cond);
+  Sim.schedule_after sim (Time.ms 2) (fun () ->
+      Alcotest.(check int) "exactly one" 1 !woken;
+      Alcotest.(check int) "two still waiting" 2 (Resource.Condition.waiting cond));
+  Sim.run sim
+
+let condition_broadcast_wakes_all () =
+  let sim = Sim.create () in
+  let cond = Resource.Condition.create sim in
+  let woken = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Process.spawn sim (fun () ->
+           Resource.Condition.wait cond;
+           incr woken))
+  done;
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Resource.Condition.broadcast cond);
+  Sim.run sim;
+  Alcotest.(check int) "all woken" 3 !woken
+
+let condition_rewait_not_double_woken () =
+  let sim = Sim.create () in
+  let cond = Resource.Condition.create sim in
+  let wakes = ref 0 in
+  ignore
+    (Process.spawn sim (fun () ->
+         Resource.Condition.wait cond;
+         incr wakes;
+         (* Re-arm during the broadcast: must not fire again from the
+            same broadcast. *)
+         Resource.Condition.wait cond;
+         incr wakes));
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Resource.Condition.broadcast cond);
+  Sim.run sim;
+  Alcotest.(check int) "woken once" 1 !wakes
+
+(* -- Channel -------------------------------------------------------- *)
+
+let channel_send_then_recv () =
+  let got =
+    run_in_sim (fun sim ->
+        let ch = Channel.create sim in
+        Channel.send ch 7;
+        Channel.recv ch)
+  in
+  Alcotest.(check int) "value" 7 got
+
+let channel_recv_blocks_until_send () =
+  let sim = Sim.create () in
+  let got = ref 0 and when_got = ref Time.zero in
+  let ch = Channel.create sim in
+  ignore
+    (Process.spawn sim (fun () ->
+         got := Channel.recv ch;
+         when_got := Sim.now sim));
+  Sim.schedule_after sim (Time.ms 4) (fun () -> Channel.send ch 9);
+  Sim.run sim;
+  Alcotest.(check int) "value" 9 !got;
+  check_span "blocked until send" (Time.ms 4) (Time.diff !when_got Time.zero)
+
+let channel_fifo () =
+  let order =
+    run_in_sim (fun sim ->
+        let ch = Channel.create sim in
+        List.iter (Channel.send ch) [ 1; 2; 3 ];
+        let first = Channel.recv ch in
+        let second = Channel.recv ch in
+        let third = Channel.recv ch in
+        [ first; second; third ])
+  in
+  Alcotest.(check (list int)) "fifo" [ 1; 2; 3 ] order
+
+let channel_recv_opt_and_length () =
+  let sim = Sim.create () in
+  let ch = Channel.create sim in
+  Alcotest.(check (option int)) "empty" None (Channel.recv_opt ch);
+  Channel.send ch 1;
+  Channel.send ch 2;
+  Alcotest.(check int) "length" 2 (Channel.length ch);
+  Alcotest.(check (option int)) "first" (Some 1) (Channel.recv_opt ch)
+
+(* -- Stats ----------------------------------------------------------- *)
+
+let summary_known_values () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.Summary.count s);
+  check_near "mean" 5.0 (Stats.Summary.mean s);
+  check_near "variance" ~tolerance:1e-9 4.571428571428571 (Stats.Summary.variance s);
+  check_near "min" 2.0 (Stats.Summary.min s);
+  check_near "max" 9.0 (Stats.Summary.max s)
+
+let summary_empty () =
+  let s = Stats.Summary.create () in
+  check_near "mean of empty" 0. (Stats.Summary.mean s);
+  Alcotest.(check bool) "min nan" true (Float.is_nan (Stats.Summary.min s))
+
+let sample_percentiles () =
+  let s = Stats.Sample.create () in
+  for i = 1 to 100 do
+    Stats.Sample.add s (float_of_int i)
+  done;
+  check_near "p0" 1.0 (Stats.Sample.percentile s 0.);
+  check_near "p100" 100.0 (Stats.Sample.percentile s 100.);
+  check_near "median" 50.5 (Stats.Sample.median s);
+  check_near "p25" 25.75 (Stats.Sample.percentile s 25.)
+
+let sample_interpolation () =
+  let s = Stats.Sample.create () in
+  List.iter (Stats.Sample.add s) [ 10.; 20. ];
+  check_near "p50 interpolates" 15.0 (Stats.Sample.percentile s 50.)
+
+let sample_growth_and_sort () =
+  let s = Stats.Sample.create () in
+  for i = 1000 downto 1 do
+    Stats.Sample.add s (float_of_int i)
+  done;
+  let arr = Stats.Sample.to_array s in
+  Alcotest.(check int) "size" 1000 (Array.length arr);
+  check_near "sorted first" 1.0 arr.(0);
+  check_near "sorted last" 1000.0 arr.(999)
+
+let sample_empty_nan () =
+  let s = Stats.Sample.create () in
+  Alcotest.(check bool) "nan" true (Float.is_nan (Stats.Sample.percentile s 50.))
+
+let histogram_quantiles () =
+  let h = Stats.Histogram.create () in
+  for _ = 1 to 90 do
+    Stats.Histogram.add h 100.
+  done;
+  for _ = 1 to 10 do
+    Stats.Histogram.add h 10_000.
+  done;
+  Alcotest.(check int) "count" 100 (Stats.Histogram.count h);
+  let p50 = Stats.Histogram.quantile h 0.5 in
+  let p99 = Stats.Histogram.quantile h 0.99 in
+  Alcotest.(check bool) "p50 near 100us" true (p50 >= 90. && p50 <= 130.);
+  Alcotest.(check bool) "p99 near 10ms" true (p99 >= 9_000. && p99 <= 13_000.)
+
+let histogram_quantile_monotone_prop =
+  prop "histogram quantiles are monotone"
+    QCheck2.Gen.(list_size (int_range 1 100) (float_range 0.5 1e6))
+    (fun values ->
+      let h = Stats.Histogram.create () in
+      List.iter (Stats.Histogram.add h) values;
+      Stats.Histogram.quantile h 0.25 <= Stats.Histogram.quantile h 0.75)
+
+let histogram_buckets_sum () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 0.5; 3.; 3.; 900.; 1e6 ];
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 (Stats.Histogram.buckets h) in
+  Alcotest.(check int) "buckets account for all" 5 total
+
+let counter_ops () =
+  let c = Stats.Counter.create () in
+  Stats.Counter.incr c;
+  Stats.Counter.add c 4;
+  Alcotest.(check int) "value" 5 (Stats.Counter.get c);
+  Stats.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Stats.Counter.get c)
+
+let rate_per_sec () =
+  check_near "rate" 500. (Stats.rate_per_sec 1000 (Time.sec 2));
+  check_near "zero duration" 0. (Stats.rate_per_sec 1000 Time.zero_span)
+
+(* -- Trace ----------------------------------------------------------- *)
+
+let trace_collector () =
+  let sim = Sim.create () in
+  let trace = Trace.collector () in
+  Trace.emit trace sim ~tag:"io" "wrote %d sectors" 8;
+  Trace.emit trace sim ~tag:"commit" "txid=%d" 3;
+  Alcotest.(check int) "count" 2 (Trace.count trace);
+  match Trace.records trace with
+  | [ first; second ] ->
+      Alcotest.(check string) "tag" "io" first.Trace.tag;
+      Alcotest.(check string) "message" "wrote 8 sectors" first.Trace.message;
+      Alcotest.(check string) "second" "txid=3" second.Trace.message
+  | records -> Alcotest.failf "expected 2 records, got %d" (List.length records)
+
+let trace_capacity_eviction () =
+  let sim = Sim.create () in
+  let trace = Trace.collector ~capacity:3 () in
+  for i = 1 to 5 do
+    Trace.emit trace sim ~tag:"t" "%d" i
+  done;
+  Alcotest.(check int) "emitted total" 5 (Trace.count trace);
+  Alcotest.(check (list string)) "keeps newest" [ "3"; "4"; "5" ]
+    (List.map (fun r -> r.Trace.message) (Trace.records trace))
+
+let trace_null_discards () =
+  let sim = Sim.create () in
+  Trace.emit Trace.null sim ~tag:"x" "ignored";
+  Alcotest.(check (list reject)) "no records" []
+    (List.map ignore (Trace.records Trace.null))
+
+let suites =
+  [
+    ( "desim.time",
+      [
+        case "units" time_units;
+        case "arithmetic" time_arithmetic;
+        case "float conversions" time_float_conversions;
+        case "comparisons" time_compare;
+        case "pretty printing" time_pp;
+      ] );
+    ( "desim.event_queue",
+      [
+        case "pops in time order" queue_ordering;
+        case "same-time events are FIFO" queue_fifo_same_time;
+        case "peek and length" queue_peek_and_length;
+        case "growth beyond initial capacity" queue_growth;
+        queue_pop_sorted_prop;
+      ] );
+    ( "desim.sim",
+      [
+        case "events run in schedule order" sim_schedule_order;
+        case "clock advances to event time" sim_clock_advances;
+        case "run ~until stops and parks clock" sim_run_until;
+        case "single stepping" sim_step;
+        case "nested scheduling" sim_nested_scheduling;
+        case "seed exposed" sim_seed_exposed;
+      ] );
+    ( "desim.rng",
+      [
+        case "deterministic from seed" rng_deterministic;
+        case "different seeds differ" rng_seeds_differ;
+        case "split gives independent stream" rng_split_independent;
+        case "copy preserves state" rng_copy;
+        rng_int_bounds_prop;
+        rng_float_bounds_prop;
+        case "int_in inclusive bounds" rng_int_in;
+        case "int is roughly uniform" rng_uniformity_rough;
+        case "exponential has requested mean" rng_exponential_mean;
+        case "normal has requested moments" rng_normal_moments;
+        rng_shuffle_permutation_prop;
+        case "pick stays in array" rng_pick;
+        case "zipf bounds and skew" zipf_bounds_and_skew;
+        case "zipf theta=0 is uniform" zipf_theta_zero_uniform;
+        case "span in range" rng_span;
+      ] );
+    ( "desim.process",
+      [
+        case "spawned body runs" process_runs;
+        case "sleep advances the clock" process_sleep_advances_clock;
+        case "sleeps accumulate" process_sleeps_accumulate;
+        case "self and name" process_self_name;
+        case "cancel kills at next resume" process_cancel_pending_sleep;
+        case "cancel runs finalisers" process_cancel_runs_finalisers;
+        case "suspend delivers resumed value" process_suspend_resume_value;
+        case "double resume is ignored" process_resume_twice_ignored;
+        case "yield interleaves fairly" process_yield_interleaves;
+        case "blocking outside a process raises" process_blocking_outside_raises;
+        case "exceptions escape the run loop" process_exception_propagates;
+        case "processes can spawn processes" process_spawn_from_process;
+      ] );
+    ( "desim.resource",
+      [
+        case "semaphore counts permits" semaphore_counting;
+        case "semaphore blocks and wakes FIFO" semaphore_blocking_fifo;
+        case "semaphore waiting count" semaphore_waiting_count;
+        case "mutex provides exclusion" mutex_exclusion;
+        case "mutex releases on exception" mutex_releases_on_exception;
+        case "condition signal wakes one" condition_signal_wakes_one;
+        case "condition broadcast wakes all" condition_broadcast_wakes_all;
+        case "re-wait during broadcast not double-woken"
+          condition_rewait_not_double_woken;
+      ] );
+    ( "desim.channel",
+      [
+        case "send then recv" channel_send_then_recv;
+        case "recv blocks until send" channel_recv_blocks_until_send;
+        case "fifo ordering" channel_fifo;
+        case "recv_opt and length" channel_recv_opt_and_length;
+      ] );
+    ( "desim.stats",
+      [
+        case "summary on known data" summary_known_values;
+        case "summary when empty" summary_empty;
+        case "sample percentiles" sample_percentiles;
+        case "sample interpolation" sample_interpolation;
+        case "sample growth and sorting" sample_growth_and_sort;
+        case "sample empty gives nan" sample_empty_nan;
+        case "histogram quantiles" histogram_quantiles;
+        histogram_quantile_monotone_prop;
+        case "histogram buckets sum to count" histogram_buckets_sum;
+        case "counter" counter_ops;
+        case "rate_per_sec" rate_per_sec;
+      ] );
+    ( "desim.trace",
+      [
+        case "collector records" trace_collector;
+        case "capacity eviction" trace_capacity_eviction;
+        case "null discards" trace_null_discards;
+      ] );
+  ]
+
+(* -- Latch (appended) ----------------------------------------------------------- *)
+
+let latch_blocks_until_zero () =
+  let sim = Sim.create () in
+  let latch = Resource.Latch.create sim 3 in
+  let released_at = ref None in
+  ignore
+    (Process.spawn sim (fun () ->
+         Resource.Latch.wait latch;
+         released_at := Some (Sim.now sim)));
+  for i = 1 to 3 do
+    Sim.schedule_after sim (Time.ms i) (fun () -> Resource.Latch.count_down latch)
+  done;
+  Sim.run sim;
+  match !released_at with
+  | Some at -> check_span "released at the third count-down" (Time.ms 3) (Time.diff at Time.zero)
+  | None -> Alcotest.fail "never released"
+
+let latch_wait_after_zero_is_immediate () =
+  let elapsed =
+    run_in_sim (fun sim ->
+        let latch = Resource.Latch.create sim 1 in
+        Resource.Latch.count_down latch;
+        let before = Sim.now sim in
+        Resource.Latch.wait latch;
+        Time.diff (Sim.now sim) before)
+  in
+  check_span "no wait" Time.zero_span elapsed
+
+let latch_multiple_waiters () =
+  let sim = Sim.create () in
+  let latch = Resource.Latch.create sim 1 in
+  let woken = ref 0 in
+  for _ = 1 to 4 do
+    ignore
+      (Process.spawn sim (fun () ->
+           Resource.Latch.wait latch;
+           incr woken))
+  done;
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Resource.Latch.count_down latch);
+  Sim.run sim;
+  Alcotest.(check int) "all released" 4 !woken
+
+let latch_pending () =
+  let sim = Sim.create () in
+  let latch = Resource.Latch.create sim 2 in
+  Alcotest.(check int) "initial" 2 (Resource.Latch.pending latch);
+  Resource.Latch.count_down latch;
+  Alcotest.(check int) "after one" 1 (Resource.Latch.pending latch)
+
+let latch_suite =
+  ( "desim.latch",
+    [
+      case "blocks until the count reaches zero" latch_blocks_until_zero;
+      case "wait after zero returns immediately" latch_wait_after_zero_is_immediate;
+      case "releases every waiter" latch_multiple_waiters;
+      case "pending count" latch_pending;
+    ] )
+
+let suites = suites @ [ latch_suite ]

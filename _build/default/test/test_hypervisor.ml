@@ -1,0 +1,287 @@
+(* Tests for protection domains, IPC costs, the paravirtual block path
+   and the VMM — in particular the fault-containment property the whole
+   RapiLog argument rests on. *)
+
+open Desim
+open Testu
+
+(* -- Domain ----------------------------------------------------------- *)
+
+let domain_spawn_and_name () =
+  let sim = Sim.create () in
+  let domain = Hypervisor.Domain.create sim ~name:"guest0" ~kind:Hypervisor.Domain.Guest in
+  let seen = ref "" in
+  ignore
+    (Hypervisor.Domain.spawn domain ~name:"worker" (fun () ->
+         seen := Process.name (Process.self ())));
+  Sim.run sim;
+  Alcotest.(check string) "qualified name" "guest0/worker" !seen;
+  Alcotest.(check string) "domain name" "guest0" (Hypervisor.Domain.name domain)
+
+let domain_crash_cancels_own_processes () =
+  let sim = Sim.create () in
+  let domain = Hypervisor.Domain.create sim ~name:"g" ~kind:Hypervisor.Domain.Guest in
+  let progressed = ref 0 in
+  for _ = 1 to 3 do
+    ignore
+      (Hypervisor.Domain.spawn domain (fun () ->
+           Process.sleep (Time.ms 10);
+           incr progressed))
+  done;
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Hypervisor.Domain.crash domain);
+  Sim.run sim;
+  Alcotest.(check int) "no process survived" 0 !progressed;
+  Alcotest.(check bool) "faulted" true (Hypervisor.Domain.is_faulted domain)
+
+let domain_crash_contained () =
+  (* The property verification buys: a guest crash cannot touch another
+     domain's processes. *)
+  let sim = Sim.create () in
+  let guest = Hypervisor.Domain.create sim ~name:"guest" ~kind:Hypervisor.Domain.Guest in
+  let trusted = Hypervisor.Domain.create sim ~name:"logger" ~kind:Hypervisor.Domain.Trusted in
+  let trusted_done = ref false and guest_done = ref false in
+  ignore
+    (Hypervisor.Domain.spawn guest (fun () ->
+         Process.sleep (Time.ms 10);
+         guest_done := true));
+  ignore
+    (Hypervisor.Domain.spawn trusted (fun () ->
+         Process.sleep (Time.ms 10);
+         trusted_done := true));
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Hypervisor.Domain.crash guest);
+  Sim.run sim;
+  Alcotest.(check bool) "guest died" false !guest_done;
+  Alcotest.(check bool) "trusted domain untouched" true !trusted_done;
+  Alcotest.(check bool) "trusted not faulted" false
+    (Hypervisor.Domain.is_faulted trusted)
+
+let domain_spawn_after_crash_is_dead () =
+  let sim = Sim.create () in
+  let domain = Hypervisor.Domain.create sim ~name:"g" ~kind:Hypervisor.Domain.Guest in
+  Hypervisor.Domain.crash domain;
+  let ran = ref false in
+  let h = Hypervisor.Domain.spawn domain (fun () -> ran := true) in
+  Sim.run sim;
+  Alcotest.(check bool) "refused" false !ran;
+  Alcotest.(check bool) "handle dead" false (Process.is_alive h)
+
+let domain_live_process_count () =
+  let sim = Sim.create () in
+  let domain = Hypervisor.Domain.create sim ~name:"g" ~kind:Hypervisor.Domain.Guest in
+  ignore (Hypervisor.Domain.spawn domain (fun () -> Process.sleep (Time.ms 10)));
+  ignore (Hypervisor.Domain.spawn domain (fun () -> ()));
+  Sim.schedule_after sim (Time.ms 1) (fun () ->
+      Alcotest.(check int) "one still alive" 1
+        (Hypervisor.Domain.live_processes domain));
+  Sim.run sim;
+  Alcotest.(check int) "none at the end" 0 (Hypervisor.Domain.live_processes domain)
+
+(* -- Ipc --------------------------------------------------------------- *)
+
+let ipc_costs_paid () =
+  let elapsed =
+    run_in_sim (fun sim ->
+        let before = Sim.now sim in
+        Hypervisor.Ipc.pay_submit Hypervisor.Ipc.default_sel4;
+        Hypervisor.Ipc.pay_complete Hypervisor.Ipc.default_sel4;
+        Time.diff (Sim.now sim) before)
+  in
+  check_span "round trip" (Hypervisor.Ipc.round_trip Hypervisor.Ipc.default_sel4) elapsed
+
+let ipc_free_is_zero () =
+  check_span "free" Time.zero_span (Hypervisor.Ipc.round_trip Hypervisor.Ipc.free);
+  let elapsed =
+    run_in_sim (fun sim ->
+        let before = Sim.now sim in
+        Hypervisor.Ipc.pay_submit Hypervisor.Ipc.free;
+        Time.diff (Sim.now sim) before)
+  in
+  check_span "no sleep for free ipc" Time.zero_span elapsed
+
+(* -- Virtio ------------------------------------------------------------ *)
+
+(* SSD backend: service time is phase-free, so timing comparisons are
+   exact (the disk's rotational position would otherwise dominate). *)
+let make_virtio ?(ipc = Hypervisor.Ipc.default_sel4) sim =
+  let raw = Storage.Ssd.create sim Storage.Ssd.default in
+  let backend_domain =
+    Hypervisor.Domain.create sim ~name:"drv" ~kind:Hypervisor.Domain.Trusted
+  in
+  let frontend =
+    Hypervisor.Virtio_blk.create sim ~ipc ~backend_domain
+      (Hypervisor.Virtio_blk.backend_of_block raw)
+  in
+  (frontend, raw)
+
+let virtio_passthrough () =
+  run_in_sim (fun sim ->
+      let frontend, raw = make_virtio sim in
+      Storage.Block.write frontend ~lba:7 (String.make 1024 'v');
+      Alcotest.(check string) "backend device has the data" (String.make 1024 'v')
+        (Storage.Block.durable_read raw ~lba:7 ~sectors:2);
+      Alcotest.(check string) "frontend reads it back" (String.make 1024 'v')
+        (Storage.Block.read frontend ~lba:7 ~sectors:2))
+
+let virtio_adds_ipc_cost () =
+  let timed ipc =
+    run_in_sim (fun sim ->
+        let frontend, _ = make_virtio ~ipc sim in
+        let before = Sim.now sim in
+        Storage.Block.write frontend ~lba:0 (String.make 512 'x');
+        Time.span_to_ns (Time.diff (Sim.now sim) before))
+  in
+  let with_ipc = timed Hypervisor.Ipc.default_sel4 in
+  let without = timed Hypervisor.Ipc.free in
+  Alcotest.(check int) "exactly the round trip dearer"
+    (Time.span_to_ns (Hypervisor.Ipc.round_trip Hypervisor.Ipc.default_sel4))
+    (with_ipc - without)
+
+let virtio_flush_passes_through () =
+  run_in_sim (fun sim ->
+      let frontend, raw = make_virtio sim in
+      Storage.Block.flush frontend;
+      Alcotest.(check int) "backend flushed" 1
+        (Storage.Disk_stats.flushes (Storage.Block.stats raw)))
+
+let virtio_queued_request_survives_guest_crash () =
+  (* A request already handed to the backend completes even if the guest
+     dies meanwhile — the queue lives outside the guest. This is the
+     structural fact RapiLog exploits. *)
+  let sim = Sim.create () in
+  let frontend, raw = make_virtio sim in
+  let guest = Hypervisor.Domain.create sim ~name:"guest" ~kind:Hypervisor.Domain.Guest in
+  let acked = ref false in
+  ignore
+    (Hypervisor.Domain.spawn guest (fun () ->
+         Storage.Block.write frontend ~lba:0 (String.make 512 'g');
+         acked := true));
+  (* Crash the guest while the write is in flight at the device: past the
+     12us virtio submission, inside the ~320us SSD program. *)
+  Sim.schedule_after sim (Time.us 100) (fun () -> Hypervisor.Domain.crash guest);
+  Sim.run sim;
+  Alcotest.(check bool) "guest never saw the ack" false !acked;
+  Alcotest.(check string) "data still reached the device" (String.make 512 'g')
+    (Storage.Block.durable_read raw ~lba:0 ~sectors:1)
+
+let virtio_concurrent_requests () =
+  let sim = Sim.create () in
+  let frontend, _ = make_virtio sim in
+  let completed = ref 0 in
+  for i = 0 to 3 do
+    ignore
+      (Process.spawn sim (fun () ->
+           Storage.Block.write frontend ~lba:(i * 1000) (String.make 512 'c');
+           incr completed))
+  done;
+  Sim.run sim;
+  Alcotest.(check int) "all completed" 4 !completed
+
+let virtio_model_name () =
+  run_in_sim (fun sim ->
+      let frontend, raw = make_virtio sim in
+      Alcotest.(check string) "prefixed"
+        ("virtio:" ^ (Storage.Block.info raw).Storage.Block.model)
+        (Storage.Block.info frontend).Storage.Block.model)
+
+(* -- Vmm ---------------------------------------------------------------- *)
+
+let vmm_exec_inflates_cpu () =
+  let timed config =
+    run_in_sim (fun sim ->
+        let vmm = Hypervisor.Vmm.create sim config in
+        let before = Sim.now sim in
+        Hypervisor.Vmm.exec vmm (Time.ms 1);
+        Time.span_to_ns (Time.diff (Sim.now sim) before))
+  in
+  Alcotest.(check int) "native unchanged" 1_000_000 (timed Hypervisor.Vmm.native);
+  Alcotest.(check int) "8% overhead" 1_080_000 (timed Hypervisor.Vmm.default_sel4)
+
+let vmm_trusted_exec_not_inflated () =
+  let elapsed =
+    run_in_sim (fun sim ->
+        let vmm = Hypervisor.Vmm.create sim Hypervisor.Vmm.default_sel4 in
+        let before = Sim.now sim in
+        Hypervisor.Vmm.exec_trusted vmm (Time.ms 1);
+        Time.span_to_ns (Time.diff (Sim.now sim) before))
+  in
+  Alcotest.(check int) "native speed" 1_000_000 elapsed
+
+let vmm_cores_limit_parallelism () =
+  let finish_with cores jobs =
+    let sim = Sim.create () in
+    let vmm = Hypervisor.Vmm.create sim { Hypervisor.Vmm.native with cores } in
+    let latest = ref Time.zero in
+    for _ = 1 to jobs do
+      ignore
+        (Process.spawn sim (fun () ->
+             Hypervisor.Vmm.exec vmm (Time.ms 1);
+             latest := Time.max !latest (Sim.now sim)))
+    done;
+    Sim.run sim;
+    Time.to_ns !latest
+  in
+  Alcotest.(check int) "8 jobs on 1 core take 8ms" 8_000_000 (finish_with 1 8);
+  Alcotest.(check int) "8 jobs on 4 cores take 2ms" 2_000_000 (finish_with 4 8)
+
+let vmm_crash_guest_containment () =
+  let sim = Sim.create () in
+  let vmm = Hypervisor.Vmm.create sim Hypervisor.Vmm.default_sel4 in
+  let trusted = Hypervisor.Vmm.trusted_domain vmm ~name:"svc" in
+  let guest_ran = ref false and trusted_ran = ref false in
+  ignore
+    (Hypervisor.Vmm.spawn_guest vmm (fun () ->
+         Process.sleep (Time.ms 5);
+         guest_ran := true));
+  ignore
+    (Hypervisor.Domain.spawn trusted (fun () ->
+         Process.sleep (Time.ms 5);
+         trusted_ran := true));
+  Sim.schedule_after sim (Time.ms 1) (fun () -> Hypervisor.Vmm.crash_guest vmm);
+  Sim.run sim;
+  Alcotest.(check bool) "guest work lost" false !guest_ran;
+  Alcotest.(check bool) "trusted work survived" true !trusted_ran;
+  Alcotest.(check bool) "guest_alive reports dead" false (Hypervisor.Vmm.guest_alive vmm)
+
+let vmm_attach_virtio_disk_end_to_end () =
+  run_in_sim (fun sim ->
+      let vmm = Hypervisor.Vmm.create sim Hypervisor.Vmm.default_sel4 in
+      let raw = Storage.Ssd.create sim Storage.Ssd.default in
+      let disk =
+        Hypervisor.Vmm.attach_virtio_disk vmm
+          (Hypervisor.Virtio_blk.backend_of_block raw)
+      in
+      Storage.Block.write disk ~lba:0 (String.make 512 'e');
+      Alcotest.(check string) "roundtrip through the stack" (String.make 512 'e')
+        (Storage.Block.read disk ~lba:0 ~sectors:1))
+
+let suites =
+  [
+    ( "hypervisor.domain",
+      [
+        case "spawn and naming" domain_spawn_and_name;
+        case "crash cancels own processes" domain_crash_cancels_own_processes;
+        case "crash is contained to the domain" domain_crash_contained;
+        case "spawn after crash refused" domain_spawn_after_crash_is_dead;
+        case "live process count" domain_live_process_count;
+      ] );
+    ( "hypervisor.ipc",
+      [ case "costs are paid in time" ipc_costs_paid; case "free is free" ipc_free_is_zero ] );
+    ( "hypervisor.virtio",
+      [
+        case "write/read passthrough" virtio_passthrough;
+        case "adds exactly the IPC round trip" virtio_adds_ipc_cost;
+        case "flush passes through" virtio_flush_passes_through;
+        case "queued request survives guest crash"
+          virtio_queued_request_survives_guest_crash;
+        case "concurrent requests" virtio_concurrent_requests;
+        case "model name prefixed" virtio_model_name;
+      ] );
+    ( "hypervisor.vmm",
+      [
+        case "exec applies virtualisation overhead" vmm_exec_inflates_cpu;
+        case "trusted exec is not inflated" vmm_trusted_exec_not_inflated;
+        case "cores bound parallelism" vmm_cores_limit_parallelism;
+        case "guest crash is contained" vmm_crash_guest_containment;
+        case "attach_virtio_disk end to end" vmm_attach_virtio_disk_end_to_end;
+      ] );
+  ]

@@ -1,0 +1,172 @@
+(* Tests for the power-supply model and failure injection. *)
+
+open Desim
+open Testu
+
+let psu_window_math () =
+  let config = { Power.Psu.energy_joules = 30.0; system_draw_watts = 100.0 } in
+  check_span "30J at 100W = 300ms" (Time.ms 300) (Power.Psu.window config)
+
+let psu_of_window () =
+  check_span "roundtrip" (Time.ms 150)
+    (Power.Psu.window (Power.Psu.of_window (Time.ms 150)))
+
+let psu_flushable_bytes () =
+  let config = Power.Psu.of_window (Time.ms 200) in
+  Alcotest.(check int) "200ms at 50MB/s" 10_000_000
+    (Power.Psu.flushable_bytes config ~bandwidth:50e6)
+
+let psu_more_draw_shorter_window () =
+  let base = { Power.Psu.energy_joules = 30.0; system_draw_watts = 100.0 } in
+  let loaded = { base with Power.Psu.system_draw_watts = 200.0 } in
+  Alcotest.(check bool) "halved" true
+    (Time.compare_span (Power.Psu.window loaded) (Power.Psu.window base) < 0)
+
+let domain_handlers_fire_in_order_with_window () =
+  let sim = Sim.create () in
+  let domain = Power.Power_domain.create sim (Power.Psu.of_window (Time.ms 100)) in
+  let log = ref [] in
+  Power.Power_domain.on_power_fail domain (fun ~window ->
+      log := ("first", window) :: !log);
+  Power.Power_domain.on_power_fail domain (fun ~window ->
+      log := ("second", window) :: !log);
+  Sim.schedule_after sim (Time.ms 5) (fun () -> Power.Power_domain.cut domain);
+  Sim.run sim;
+  match List.rev !log with
+  | [ ("first", w1); ("second", w2) ] ->
+      check_span "window reported" (Time.ms 100) w1;
+      check_span "same for all" (Time.ms 100) w2
+  | _ -> Alcotest.fail "handlers did not fire in order"
+
+let domain_devices_lose_power_at_window_expiry () =
+  let sim = Sim.create () in
+  let domain = Power.Power_domain.create sim (Power.Psu.of_window (Time.ms 50)) in
+  let dev = Storage.Hdd.create sim Storage.Hdd.default_7200rpm in
+  Power.Power_domain.register_device domain dev;
+  Power.Power_domain.cut_at domain (Time.add Time.zero (Time.ms 10));
+  (* A write completing inside the hold-up window persists... *)
+  ignore
+    (Process.spawn sim (fun () ->
+         Process.sleep (Time.ms 11);
+         Storage.Block.write dev ~lba:0 (String.make 512 'a')));
+  (* ...one completing after it does not. *)
+  ignore
+    (Process.spawn sim (fun () ->
+         Process.sleep (Time.ms 70);
+         Storage.Block.write dev ~lba:1 (String.make 512 'b')));
+  Sim.run sim;
+  Alcotest.(check string) "within window persisted" (String.make 512 'a')
+    (Storage.Block.durable_read dev ~lba:0 ~sectors:1);
+  Alcotest.(check string) "after window lost" (String.make 512 '\000')
+    (Storage.Block.durable_read dev ~lba:1 ~sectors:1)
+
+let domain_cut_is_idempotent () =
+  let sim = Sim.create () in
+  let domain = Power.Power_domain.create sim (Power.Psu.of_window (Time.ms 10)) in
+  let fires = ref 0 in
+  Power.Power_domain.on_power_fail domain (fun ~window:_ -> incr fires);
+  Sim.schedule_after sim (Time.ms 1) (fun () ->
+      Power.Power_domain.cut domain;
+      Power.Power_domain.cut domain);
+  Sim.run sim;
+  Alcotest.(check int) "handler fired once" 1 !fires
+
+let domain_is_failing_and_dead_at () =
+  let sim = Sim.create () in
+  let domain = Power.Power_domain.create sim (Power.Psu.of_window (Time.ms 20)) in
+  Alcotest.(check bool) "initially fine" false (Power.Power_domain.is_failing domain);
+  Alcotest.(check bool) "no dead_at yet" true
+    (Power.Power_domain.dead_at domain = None);
+  Sim.schedule_after sim (Time.ms 5) (fun () -> Power.Power_domain.cut domain);
+  Sim.run sim;
+  Alcotest.(check bool) "failing after cut" true (Power.Power_domain.is_failing domain);
+  match Power.Power_domain.dead_at domain with
+  | Some dead ->
+      Alcotest.(check int) "dead at cut + window"
+        (Time.to_ns (Time.add Time.zero (Time.ms 25)))
+        (Time.to_ns dead)
+  | None -> Alcotest.fail "dead_at unset"
+
+let domain_handler_registered_after_cut_never_fires () =
+  let sim = Sim.create () in
+  let domain = Power.Power_domain.create sim (Power.Psu.of_window (Time.ms 10)) in
+  let fired = ref false in
+  Sim.schedule_after sim (Time.ms 1) (fun () ->
+      Power.Power_domain.cut domain;
+      Power.Power_domain.on_power_fail domain (fun ~window:_ -> fired := true));
+  Sim.run sim;
+  Alcotest.(check bool) "late handler silent" false !fired
+
+let injector_power_cut_in_range () =
+  let sim = Sim.create ~seed:3L () in
+  let domain = Power.Power_domain.create sim (Power.Psu.of_window (Time.ms 10)) in
+  let earliest = Time.add Time.zero (Time.ms 100) in
+  let latest = Time.add Time.zero (Time.ms 200) in
+  let at = Power.Failure_injector.power_cut_between sim domain ~earliest ~latest in
+  Alcotest.(check bool) "within range" true Time.(earliest <= at && at < latest);
+  Sim.run sim;
+  Alcotest.(check bool) "cut happened" true (Power.Power_domain.is_failing domain)
+
+let injector_deterministic_by_seed () =
+  let choose () =
+    let sim = Sim.create ~seed:9L () in
+    let domain = Power.Power_domain.create sim (Power.Psu.of_window (Time.ms 10)) in
+    Power.Failure_injector.power_cut_between sim domain
+      ~earliest:(Time.add Time.zero (Time.ms 1))
+      ~latest:(Time.add Time.zero (Time.sec 1))
+  in
+  Alcotest.(check int) "same seed, same instant" (Time.to_ns (choose ()))
+    (Time.to_ns (choose ()))
+
+let injector_crash_at () =
+  let sim = Sim.create () in
+  let fired_at = ref Time.zero in
+  Power.Failure_injector.crash_at sim
+    (Time.add Time.zero (Time.ms 42))
+    (fun () -> fired_at := Sim.now sim);
+  Sim.run sim;
+  check_span "at requested instant" (Time.ms 42) (Time.diff !fired_at Time.zero)
+
+let injector_crash_between () =
+  let sim = Sim.create ~seed:5L () in
+  let fired_at = ref None in
+  let earliest = Time.add Time.zero (Time.ms 10) in
+  let latest = Time.add Time.zero (Time.ms 20) in
+  let chosen =
+    Power.Failure_injector.crash_between sim ~earliest ~latest (fun () ->
+        fired_at := Some (Sim.now sim))
+  in
+  Sim.run sim;
+  match !fired_at with
+  | Some at ->
+      Alcotest.(check int) "fired at chosen instant" (Time.to_ns chosen) (Time.to_ns at);
+      Alcotest.(check bool) "in range" true Time.(earliest <= at && at < latest)
+  | None -> Alcotest.fail "crash action did not run"
+
+let suites =
+  [
+    ( "power.psu",
+      [
+        case "window arithmetic" psu_window_math;
+        case "of_window roundtrip" psu_of_window;
+        case "flushable bytes budget" psu_flushable_bytes;
+        case "higher draw shrinks the window" psu_more_draw_shorter_window;
+      ] );
+    ( "power.domain",
+      [
+        case "handlers fire in order with the window" domain_handlers_fire_in_order_with_window;
+        case "devices lose power at window expiry"
+          domain_devices_lose_power_at_window_expiry;
+        case "cut is idempotent" domain_cut_is_idempotent;
+        case "is_failing and dead_at" domain_is_failing_and_dead_at;
+        case "handler registered after cut never fires"
+          domain_handler_registered_after_cut_never_fires;
+      ] );
+    ( "power.injector",
+      [
+        case "power cut lands in range" injector_power_cut_in_range;
+        case "deterministic by seed" injector_deterministic_by_seed;
+        case "crash_at fires on time" injector_crash_at;
+        case "crash_between fires at chosen instant" injector_crash_between;
+      ] );
+  ]
