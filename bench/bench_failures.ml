@@ -29,34 +29,43 @@ let new_tally () =
 
 let run_matrix ~quick ~kind =
   let trials = failure_trials ~quick in
+  (* All modes x all trials are independent simulations: build the full
+     spec list up front and fan it out across the worker pool, then
+     tally per mode from the in-order results. *)
+  let specs =
+    List.concat_map
+      (fun mode ->
+        List.init trials (fun i ->
+            let trial = i + 1 in
+            ( {
+                (base_config ~quick) with
+                Scenario.mode;
+                seed = Int64.of_int (1000 + trial);
+                duration = Time.ms 500;
+              },
+              Time.ms (100 + (37 * trial mod 400)) )))
+      all_modes
+  in
+  let results = Experiment.run_failure_batch ~kind specs in
   List.map
     (fun mode ->
       let tally = new_tally () in
-      for trial = 1 to trials do
-        let config =
-          {
-            (base_config ~quick) with
-            Scenario.mode;
-            seed = Int64.of_int (1000 + trial);
-            duration = Time.ms 500;
-          }
-        in
-        let r =
-          Experiment.run_failure config ~kind
-            ~after:(Time.ms (100 + (37 * trial mod 400)))
-        in
-        let lost =
-          List.length r.Experiment.audit.Audit.durability.Rapilog.Durability.lost
-        in
-        tally.trials <- tally.trials + 1;
-        tally.acked_total <- tally.acked_total + r.Experiment.acked;
-        tally.lost_total <- tally.lost_total + lost;
-        if lost > 0 then tally.lossy_trials <- tally.lossy_trials + 1;
-        if r.Experiment.audit.Audit.state_exact then
-          tally.state_exact_trials <- tally.state_exact_trials + 1;
-        if not (Experiment.durability_ok r) then
-          tally.violations <- tally.violations + 1
-      done;
+      List.iter
+        (fun (r : Experiment.failure_result) ->
+          if r.Experiment.fmode = mode then begin
+            let lost =
+              List.length r.Experiment.audit.Audit.durability.Rapilog.Durability.lost
+            in
+            tally.trials <- tally.trials + 1;
+            tally.acked_total <- tally.acked_total + r.Experiment.acked;
+            tally.lost_total <- tally.lost_total + lost;
+            if lost > 0 then tally.lossy_trials <- tally.lossy_trials + 1;
+            if r.Experiment.audit.Audit.state_exact then
+              tally.state_exact_trials <- tally.state_exact_trials + 1;
+            if not (Experiment.durability_ok r) then
+              tally.violations <- tally.violations + 1
+          end)
+        results;
       (mode, tally))
     all_modes
 

@@ -21,27 +21,27 @@ let tab4 =
         let redo = Stats.Summary.create () in
         let undo = Stats.Summary.create () in
         let losers = Stats.Summary.create () in
-        for trial = 1 to trials do
-          let config =
-            {
-              (base_config ~quick) with
-              Scenario.mode = Scenario.Rapilog;
-              seed = Int64.of_int (5000 + trial);
-            }
-          in
-          let r =
-            Experiment.run_failure config ~kind:Experiment.Os_crash
-              ~after:(Time.ms (50 + (113 * trial mod 500)))
-          in
-          if r.Experiment.audit.Audit.state_exact then incr exact;
-          lost :=
-            !lost
-            + List.length r.Experiment.audit.Audit.durability.Rapilog.Durability.lost;
-          Stats.Summary.add records (float_of_int r.Experiment.durable_records);
-          Stats.Summary.add redo (float_of_int r.Experiment.redo_applied);
-          Stats.Summary.add undo (float_of_int r.Experiment.undo_applied);
-          Stats.Summary.add losers (float_of_int r.Experiment.losers)
-        done;
+        let specs =
+          List.init trials (fun i ->
+              let trial = i + 1 in
+              ( {
+                  (base_config ~quick) with
+                  Scenario.mode = Scenario.Rapilog;
+                  seed = Int64.of_int (5000 + trial);
+                },
+                Time.ms (50 + (113 * trial mod 500)) ))
+        in
+        List.iter
+          (fun (r : Experiment.failure_result) ->
+            if r.Experiment.audit.Audit.state_exact then incr exact;
+            lost :=
+              !lost
+              + List.length r.Experiment.audit.Audit.durability.Rapilog.Durability.lost;
+            Stats.Summary.add records (float_of_int r.Experiment.durable_records);
+            Stats.Summary.add redo (float_of_int r.Experiment.redo_applied);
+            Stats.Summary.add undo (float_of_int r.Experiment.undo_applied);
+            Stats.Summary.add losers (float_of_int r.Experiment.losers))
+          (Experiment.run_failure_batch ~kind:Experiment.Os_crash specs);
         Report.table
           ~columns:[ "metric"; "value" ]
           ~rows:

@@ -39,33 +39,44 @@ let tab5 =
         (* Empirical: inject cuts under load at several PSU budgets. *)
         Report.subsection "injected cuts at each PSU budget (rapilog, 16 clients)";
         let trials = if quick then 3 else 8 in
-        let rows =
-          List.map
+        let windows = [ 50; 100; 300 ] in
+        (* Fan every (window, trial) cut out across the worker pool. *)
+        let specs =
+          List.concat_map
             (fun window_ms ->
               let psu = Power.Psu.of_window (Time.ms window_ms) in
+              List.init trials (fun i ->
+                  let trial = i + 1 in
+                  ( {
+                      (base_config ~quick) with
+                      Scenario.mode = Scenario.Rapilog;
+                      clients = 16;
+                      psu;
+                      seed = Int64.of_int ((window_ms * 100) + trial);
+                    },
+                    Time.ms (150 + (61 * trial mod 300)) )))
+            windows
+        in
+        let results =
+          Experiment.run_failure_batch ~kind:Experiment.Power_cut specs
+        in
+        let rows =
+          List.mapi
+            (fun wi window_ms ->
               let lost = ref 0 and acked = ref 0 and buffered = ref 0 in
-              for trial = 1 to trials do
-                let config =
-                  {
-                    (base_config ~quick) with
-                    Scenario.mode = Scenario.Rapilog;
-                    clients = 16;
-                    psu;
-                    seed = Int64.of_int ((window_ms * 100) + trial);
-                  }
-                in
-                let r =
-                  Experiment.run_failure config ~kind:Experiment.Power_cut
-                    ~after:(Time.ms (150 + (61 * trial mod 300)))
-                in
-                acked := !acked + r.Experiment.acked;
-                lost :=
-                  !lost
-                  + List.length
-                      r.Experiment.audit.Audit.durability.Rapilog.Durability.lost;
-                buffered :=
-                  max !buffered (Option.value r.Experiment.buffered_at_cut ~default:0)
-              done;
+              List.iteri
+                (fun i (r : Experiment.failure_result) ->
+                  if i / trials = wi then begin
+                    acked := !acked + r.Experiment.acked;
+                    lost :=
+                      !lost
+                      + List.length
+                          r.Experiment.audit.Audit.durability.Rapilog.Durability.lost;
+                    buffered :=
+                      max !buffered
+                        (Option.value r.Experiment.buffered_at_cut ~default:0)
+                  end)
+                results;
               [
                 Printf.sprintf "%dms" window_ms;
                 string_of_int trials;
@@ -73,7 +84,7 @@ let tab5 =
                 Printf.sprintf "%dKiB" (!buffered / 1024);
                 string_of_int !lost;
               ])
-            [ 50; 100; 300 ]
+            windows
         in
         Report.table
           ~columns:[ "hold-up"; "trials"; "acked"; "max buffered at cut"; "lost" ]

@@ -26,18 +26,14 @@ let mode_columns = List.map Scenario.mode_name all_modes
 
 let steady config = Experiment.run_steady config
 
-(* Throughput of every mode at each client count, as a printable series. *)
+(* Throughput of every mode at each client count, as a printable series.
+   The cells are independent simulations, so they fan out across the
+   RAPILOG_JOBS worker pool. *)
 let throughput_sweep ~config ~clients ~modes =
   List.map
-    (fun n ->
-      let per_mode =
-        List.map
-          (fun mode ->
-            (steady { config with Scenario.mode; clients = n }).Experiment.throughput)
-          modes
-      in
-      (float_of_int n, per_mode))
-    clients
+    (fun (n, row) ->
+      (float_of_int n, List.map (fun r -> r.Experiment.throughput) row))
+    (Experiment.sweep ~config ~clients ~modes ())
 
 let print_config_line (config : Scenario.config) =
   Report.kv "engine" config.Scenario.profile.Dbms.Engine_profile.name;

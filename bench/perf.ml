@@ -1,0 +1,379 @@
+(* The machine-readable performance harness: the trajectory gate that
+   later PRs must not regress.
+
+   Measures, with fixed seeds:
+   - the desim core: event-queue add/pop throughput and the Sim.step
+     hot path's allocation rate (Gc.minor_words per event — the
+     acceptance bar is zero);
+   - the experiment sweep: wall-clock for a fixed scenario grid at
+     jobs=1 and jobs=N, asserting the parallel results are
+     bit-identical to serial.
+
+   Writes a JSON report (default BENCH_PR1.json). With --check it also
+   self-validates: the JSON must parse, parallel must equal serial, and
+   the step path must not allocate — so `dune runtest` keeps this
+   harness honest.
+
+   Usage: perf.exe [--quick] [--check] [--jobs N] [--output PATH] *)
+
+open Desim
+open Harness
+
+(* ---- tiny JSON writer + validating parser (no external deps) ------- *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+
+let rec write_json buf = function
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%S: " k);
+          write_json buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          write_json buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+let json_to_string j =
+  let buf = Buffer.create 1024 in
+  write_json buf j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Recursive-descent JSON reader, used by --check to assert the report
+   we just serialised is well-formed. *)
+exception Bad_json of string
+
+let parse_json text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let peek () = if !pos < len then text.[!pos] else '\000' in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          let c = peek () in
+          advance ();
+          (match c with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'u' ->
+              (* four hex digits; validity only, keep them raw *)
+              for _ = 1 to 4 do
+                (match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> fail "bad unicode escape");
+                advance ()
+              done
+          | ('"' | '\\' | '/') as c -> Buffer.add_char buf c
+          | _ -> fail "bad escape");
+          loop ()
+      | '\000' -> fail "unterminated string"
+      | c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while is_num_char (peek ()) do advance () done;
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let parse_literal lit value =
+    if !pos + String.length lit <= len && String.sub text !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      value
+    end
+    else fail "bad literal"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); fields ((key, v) :: acc)
+            | '}' -> advance (); List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (fields [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); items (v :: acc)
+            | ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (items [])
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> parse_literal "true" (Bool true)
+    | 'f' -> parse_literal "false" (Bool false)
+    | 'n' -> parse_literal "null" (Bool false)
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+(* ---- desim microbenchmarks ----------------------------------------- *)
+
+(* Raw queue churn: keep a standing population and cycle add+pop. *)
+let bench_event_queue ~events =
+  let q = Event_queue.create () in
+  for i = 0 to 1023 do
+    Event_queue.add q ~time:(Time.of_ns i) i
+  done;
+  (* warm the arrays past any growth before measuring *)
+  Gc.minor ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to events - 1 do
+    Event_queue.add q ~time:(Time.of_ns (1024 + i)) i;
+    ignore (Event_queue.pop_min q)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  ( float_of_int events /. elapsed,
+    words /. float_of_int events,
+    elapsed )
+
+(* The Sim.step hot path: one self-rescheduling closure, so every
+   simulated event exercises schedule_after + step + pop with no
+   per-event closure construction. The minor-words delta across the run
+   is the per-event allocation of the engine itself. *)
+let bench_sim_step ~events =
+  let sim = Sim.create ~seed:7L () in
+  let remaining = ref events in
+  let rec tick () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Sim.schedule_after sim (Time.ns 100) tick
+    end
+  in
+  Sim.schedule_now sim tick;
+  (* run the first few events, then measure the steady state *)
+  for _ = 1 to 8 do
+    ignore (Sim.step sim)
+  done;
+  Gc.minor ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Sim.run sim;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  let measured = float_of_int (events - 8) in
+  (measured /. elapsed, words /. measured, elapsed)
+
+(* ---- sweep wall-clock at jobs=1 vs jobs=N -------------------------- *)
+
+let sweep_grid ~quick =
+  let config =
+    {
+      Scenario.default with
+      Scenario.warmup = Time.ms 100;
+      duration = (if quick then Time.ms 300 else Time.ms 800);
+      seed = 4242L;
+    }
+  in
+  let clients = if quick then [ 1; 4 ] else [ 1; 4; 16 ] in
+  let modes =
+    if quick then [ Scenario.Native_sync; Scenario.Rapilog ]
+    else Scenario.all_modes
+  in
+  List.concat_map
+    (fun n -> List.map (fun mode -> { config with Scenario.mode; clients = n }) modes)
+    clients
+
+let steady_fingerprint (r : Experiment.steady_result) =
+  (* Every scalar the sweep reports; identical records ⇒ identical runs. *)
+  Obj
+    [
+      ("mode", Str (Scenario.mode_name r.Experiment.mode));
+      ("clients", Num (float_of_int r.Experiment.clients));
+      ("committed", Num (float_of_int r.Experiment.committed_in_window));
+      ("throughput", Num r.Experiment.throughput);
+      ("p50_us", Num r.Experiment.latency_p50_us);
+      ("p99_us", Num r.Experiment.latency_p99_us);
+      ("log_writes", Num (float_of_int r.Experiment.physical_log_writes));
+      ("wal_forces", Num (float_of_int r.Experiment.wal_forces));
+    ]
+
+let bench_sweep ~quick ~jobs =
+  let grid = sweep_grid ~quick in
+  let t0 = Unix.gettimeofday () in
+  let serial = Experiment.run_steady_batch ~jobs:1 grid in
+  let serial_s = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let parallel = Experiment.run_steady_batch ~jobs grid in
+  let parallel_s = Unix.gettimeofday () -. t1 in
+  let identical = serial = parallel in
+  (List.length grid, serial, serial_s, parallel_s, identical)
+
+(* ---- main ----------------------------------------------------------- *)
+
+let usage () =
+  print_endline "usage: perf.exe [--quick] [--check] [--jobs N] [--output PATH]";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let check = ref false in
+  let jobs = ref (Parallel.default_jobs ()) in
+  let output = ref "BENCH_PR1.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--check" :: rest -> check := true; parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> usage ());
+        parse rest
+    | "--output" :: path :: rest -> output := path; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick and jobs = !jobs in
+  let micro_events = if quick then 200_000 else 2_000_000 in
+
+  Printf.printf "perf: event-queue microbench (%d events)...\n%!" micro_events;
+  let eq_rate, eq_words, _ = bench_event_queue ~events:micro_events in
+  Printf.printf "perf: sim-step microbench (%d events)...\n%!" micro_events;
+  let step_rate, step_words, _ = bench_sim_step ~events:micro_events in
+  Printf.printf "perf: scenario sweep at jobs=1 then jobs=%d...\n%!" jobs;
+  let scenarios, serial_results, serial_s, parallel_s, identical =
+    bench_sweep ~quick ~jobs
+  in
+  let speedup = serial_s /. parallel_s in
+
+  let report =
+    Obj
+      [
+        ("pr", Num 1.);
+        ("harness", Str "perf.exe");
+        ("quick", Bool quick);
+        ("cores", Num (float_of_int (Domain.recommended_domain_count ())));
+        ("jobs", Num (float_of_int jobs));
+        ( "event_queue",
+          Obj
+            [
+              ("events", Num (float_of_int micro_events));
+              ("events_per_sec", Num eq_rate);
+              ("minor_words_per_event", Num eq_words);
+            ] );
+        ( "sim_step",
+          Obj
+            [
+              ("events", Num (float_of_int micro_events));
+              ("events_per_sec", Num step_rate);
+              ("minor_words_per_event", Num step_words);
+            ] );
+        ( "sweep",
+          Obj
+            [
+              ("scenarios", Num (float_of_int scenarios));
+              ("serial_seconds", Num serial_s);
+              ("parallel_seconds", Num parallel_s);
+              ("speedup", Num speedup);
+              ("bit_identical", Bool identical);
+              ("results", Arr (List.map steady_fingerprint serial_results));
+            ] );
+      ]
+  in
+  let text = json_to_string report in
+  let oc = open_out !output in
+  output_string oc text;
+  close_out oc;
+  Printf.printf
+    "perf: queue %.2fM ev/s (%.3f words/ev) | step %.2fM ev/s (%.3f words/ev)\n"
+    (eq_rate /. 1e6) eq_words (step_rate /. 1e6) step_words;
+  Printf.printf
+    "perf: sweep %d scenarios: serial %.2fs, jobs=%d %.2fs (%.2fx), bit-identical: %b\n"
+    scenarios serial_s jobs parallel_s speedup identical;
+  Printf.printf "perf: wrote %s\n%!" !output;
+
+  if !check then begin
+    let failures = ref [] in
+    let fail msg = failures := msg :: !failures in
+    (match parse_json text with
+    | exception Bad_json msg -> fail (Printf.sprintf "report is not valid JSON: %s" msg)
+    | Obj _ -> ()
+    | _ -> fail "report is not a JSON object");
+    if not identical then fail "parallel sweep results differ from serial";
+    if step_words > 0.5 then
+      fail
+        (Printf.sprintf "Sim.step allocates %.3f minor words/event (want 0)"
+           step_words);
+    if eq_words > 0.5 then
+      fail
+        (Printf.sprintf "event queue allocates %.3f minor words/event (want 0)"
+           eq_words);
+    (* The 2x bar only applies where the hardware can provide it. *)
+    if Domain.recommended_domain_count () >= 4 && jobs >= 4 && speedup < 2.
+    then fail (Printf.sprintf "parallel speedup %.2fx < 2x on >=4 cores" speedup);
+    match !failures with
+    | [] -> print_endline "perf: check OK"
+    | msgs ->
+        List.iter (fun m -> Printf.eprintf "perf: CHECK FAILED: %s\n" m) msgs;
+        exit 1
+  end

@@ -1,20 +1,33 @@
 type entry = { lba : int; data : string }
 
+(* Entries live in two parallel circular arrays (unboxed ints for the
+   LBAs, strings for the payloads) instead of a [Queue.t] of records:
+   pushing writes two slots, popping reads them back, and nothing else
+   is allocated. Capacity is kept a power of two so the circular index
+   is a mask. *)
 type t = {
   sector_size : int;
   capacity_bytes : int;
-  entries : entry Queue.t;
+  mutable lbas : int array;
+  mutable datas : string array;
+  mutable head : int;     (* index of the oldest entry *)
+  mutable count : int;
   mutable bytes : int;
   mutable pushed : int;
   mutable popped : int;
 }
+
+let initial_slots = 64
 
 let create ~sector_size ~capacity_bytes =
   assert (sector_size > 0 && capacity_bytes >= sector_size);
   {
     sector_size;
     capacity_bytes;
-    entries = Queue.create ();
+    lbas = Array.make initial_slots 0;
+    datas = Array.make initial_slots "";
+    head = 0;
+    count = 0;
     bytes = 0;
     pushed = 0;
     popped = 0;
@@ -22,68 +35,96 @@ let create ~sector_size ~capacity_bytes =
 
 let capacity_bytes t = t.capacity_bytes
 let bytes_used t = t.bytes
-let length t = Queue.length t.entries
-let is_empty t = Queue.is_empty t.entries
+let length t = t.count
+let is_empty t = t.count = 0
 let fits t n = t.bytes + n <= t.capacity_bytes
+
+let slot t i = (t.head + i) land (Array.length t.lbas - 1)
+
+let grow t =
+  let cap = Array.length t.lbas in
+  let lbas = Array.make (2 * cap) 0 in
+  let datas = Array.make (2 * cap) "" in
+  for i = 0 to t.count - 1 do
+    let j = slot t i in
+    lbas.(i) <- t.lbas.(j);
+    datas.(i) <- t.datas.(j)
+  done;
+  t.lbas <- lbas;
+  t.datas <- datas;
+  t.head <- 0
 
 let try_push t ~lba ~data =
   let len = String.length data in
   assert (len > 0 && len mod t.sector_size = 0);
   if not (fits t len) then false
   else begin
-    Queue.push { lba; data } t.entries;
+    if t.count = Array.length t.lbas then grow t;
+    let j = slot t t.count in
+    t.lbas.(j) <- lba;
+    t.datas.(j) <- data;
+    t.count <- t.count + 1;
     t.bytes <- t.bytes + len;
     t.pushed <- t.pushed + len;
     true
   end
 
-let account_pop t entry =
-  t.bytes <- t.bytes - String.length entry.data;
-  t.popped <- t.popped + String.length entry.data
+(* Drop the oldest entry, clearing its slot so the string is not
+   retained by the ring after it leaves. *)
+let drop_head t =
+  let j = t.head in
+  let len = String.length t.datas.(j) in
+  t.datas.(j) <- "";
+  t.head <- (j + 1) land (Array.length t.lbas - 1);
+  t.count <- t.count - 1;
+  t.bytes <- t.bytes - len;
+  t.popped <- t.popped + len
 
 let pop t =
-  match Queue.take_opt t.entries with
-  | None -> None
-  | Some entry ->
-      account_pop t entry;
-      Some entry
+  if t.count = 0 then None
+  else begin
+    let j = t.head in
+    let e = { lba = t.lbas.(j); data = t.datas.(j) } in
+    drop_head t;
+    Some e
+  end
 
 let sectors t data = String.length data / t.sector_size
 
+(* Coalescing works directly on the circular arrays: one scan decides
+   how many entries merge and the extent of the merged write, then the
+   batch is blitted straight into the result buffer — no intermediate
+   list, no reversal. *)
 let pop_coalesced t ~max_bytes =
-  match Queue.take_opt t.entries with
-  | None -> None
-  | Some head ->
-      account_pop t head;
-      let base = head.lba in
-      (* Accumulate the batch as (lba, data) pieces; materialise once. *)
-      let pieces = ref [ head ] in
-      let end_lba = ref (base + sectors t head.data) in
-      let batch_bytes = ref (String.length head.data) in
-      let mergeable entry =
-        entry.lba >= base
-        && entry.lba <= !end_lba
-        && !batch_bytes + String.length entry.data <= max_bytes
-      in
-      let continue = ref true in
-      while !continue do
-        match Queue.peek_opt t.entries with
-        | Some entry when mergeable entry ->
-            ignore (Queue.pop t.entries);
-            account_pop t entry;
-            pieces := entry :: !pieces;
-            end_lba := max !end_lba (entry.lba + sectors t entry.data);
-            batch_bytes := !batch_bytes + String.length entry.data
-        | Some _ | None -> continue := false
-      done;
-      let merged = Bytes.make ((!end_lba - base) * t.sector_size) '\000' in
-      List.iter
-        (fun entry ->
-          Bytes.blit_string entry.data 0 merged
-            ((entry.lba - base) * t.sector_size)
-            (String.length entry.data))
-        (List.rev !pieces);
-      Some { lba = base; data = Bytes.unsafe_to_string merged }
+  if t.count = 0 then None
+  else begin
+    let base = t.lbas.(t.head) in
+    let end_lba = ref (base + sectors t t.datas.(t.head)) in
+    let batch_bytes = ref (String.length t.datas.(t.head)) in
+    let n = ref 1 in
+    let continue = ref true in
+    while !continue && !n < t.count do
+      let j = slot t !n in
+      let lba = t.lbas.(j) and len = String.length t.datas.(j) in
+      if lba >= base && lba <= !end_lba && !batch_bytes + len <= max_bytes
+      then begin
+        end_lba := max !end_lba (lba + len / t.sector_size);
+        batch_bytes := !batch_bytes + len;
+        incr n
+      end
+      else continue := false
+    done;
+    let merged = Bytes.make ((!end_lba - base) * t.sector_size) '\000' in
+    for _ = 1 to !n do
+      let j = t.head in
+      let data = t.datas.(j) in
+      Bytes.blit_string data 0 merged
+        ((t.lbas.(j) - base) * t.sector_size)
+        (String.length data);
+      drop_head t
+    done;
+    Some { lba = base; data = Bytes.unsafe_to_string merged }
+  end
 
 let pushed_bytes t = t.pushed
 let popped_bytes t = t.popped

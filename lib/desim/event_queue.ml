@@ -1,71 +1,114 @@
-type 'a entry = { time : Time.t; seq : int; payload : 'a }
+(* A binary min-heap over three parallel arrays: times and sequence
+   numbers live in unboxed [int array]s (simulated time is integer
+   nanoseconds), payloads in a plain ['a array]. Compared to the old
+   ['a entry option array], inserting and popping touch no heap at all
+   in the steady state — no entry record, no [Some] box — which matters
+   because every simulated event passes through here twice. *)
 
 type 'a t = {
-  mutable heap : 'a entry option array;
+  mutable times : int array;      (* Time.to_ns of each entry *)
+  mutable seqs : int array;       (* insertion order, breaks time ties *)
+  mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = Array.make 64 None; size = 0; next_seq = 0 }
+(* Payload arrays cannot be pre-filled before the first element exists,
+   so a queue starts at capacity zero and allocates on the first [add]. *)
+let create () =
+  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
 
-let entry_lt a b =
-  match Time.compare a.time b.time with
-  | 0 -> a.seq < b.seq
-  | c -> c < 0
+let lt q i tj sj = q.times.(i) < tj || (q.times.(i) = tj && q.seqs.(i) < sj)
 
-let get q i =
-  match q.heap.(i) with
-  | Some e -> e
-  | None -> assert false
+let grow q payload =
+  let cap = Array.length q.times in
+  let cap' = if cap = 0 then 64 else 2 * cap in
+  let times = Array.make cap' 0 in
+  let seqs = Array.make cap' 0 in
+  let payloads = Array.make cap' payload in
+  Array.blit q.times 0 times 0 q.size;
+  Array.blit q.seqs 0 seqs 0 q.size;
+  Array.blit q.payloads 0 payloads 0 q.size;
+  q.times <- times;
+  q.seqs <- seqs;
+  q.payloads <- payloads
 
-let grow q =
-  let heap = Array.make (2 * Array.length q.heap) None in
-  Array.blit q.heap 0 heap 0 q.size;
-  q.heap <- heap
+let set q i time seq payload =
+  q.times.(i) <- time;
+  q.seqs.(i) <- seq;
+  q.payloads.(i) <- payload
 
-let rec sift_up q i =
+(* Hole-based sifts: carry the displaced element in registers and write
+   it exactly once, instead of swapping three arrays at every level. *)
+
+let rec sift_up q i time seq payload =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if entry_lt (get q i) (get q parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
-      sift_up q parent
+    if lt q parent time seq then set q i time seq payload
+    else begin
+      set q i q.times.(parent) q.seqs.(parent) q.payloads.(parent);
+      sift_up q parent time seq payload
     end
   end
+  else set q i time seq payload
 
-let rec sift_down q i =
+let rec sift_down q i time seq payload =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = if l < q.size && entry_lt (get q l) (get q i) then l else i in
-  let smallest =
-    if r < q.size && entry_lt (get q r) (get q smallest) then r else smallest
-  in
-  if smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(smallest);
-    q.heap.(smallest) <- tmp;
-    sift_down q smallest
+  if l >= q.size then set q i time seq payload
+  else begin
+    let smallest = if r < q.size && lt q r q.times.(l) q.seqs.(l) then r else l in
+    if lt q smallest time seq then begin
+      set q i q.times.(smallest) q.seqs.(smallest) q.payloads.(smallest);
+      sift_down q smallest time seq payload
+    end
+    else set q i time seq payload
   end
 
 let add q ~time payload =
-  if q.size = Array.length q.heap then grow q;
-  let e = { time; seq = q.next_seq; payload } in
-  q.next_seq <- q.next_seq + 1;
-  q.heap.(q.size) <- Some e;
+  if q.size = Array.length q.times then grow q payload;
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
   q.size <- q.size + 1;
-  sift_up q (q.size - 1)
+  sift_up q (q.size - 1) (Time.to_ns time) seq payload
+
+let length q = q.size
+let is_empty q = q.size = 0
+
+let min_time q =
+  assert (q.size > 0);
+  Time.of_ns q.times.(0)
+
+(* Shared removal of the root. The freed slot is overwritten with a live
+   payload so popped closures are not retained by the heap; only a fully
+   drained queue keeps its final payload reachable until the next add. *)
+let remove_min q =
+  let root = q.payloads.(0) in
+  q.size <- q.size - 1;
+  let n = q.size in
+  if n > 0 then begin
+    let time = q.times.(n) and seq = q.seqs.(n) and payload = q.payloads.(n) in
+    sift_down q 0 time seq payload;
+    q.payloads.(n) <- q.payloads.(0)
+  end;
+  root
+
+let pop_min q =
+  assert (q.size > 0);
+  remove_min q
 
 let pop q =
   if q.size = 0 then None
   else begin
-    let root = get q 0 in
-    q.size <- q.size - 1;
-    q.heap.(0) <- q.heap.(q.size);
-    q.heap.(q.size) <- None;
-    if q.size > 0 then sift_down q 0;
-    Some (root.time, root.payload)
+    let time = Time.of_ns q.times.(0) in
+    Some (time, remove_min q)
   end
 
-let peek_time q = if q.size = 0 then None else Some (get q 0).time
-let length q = q.size
-let is_empty q = q.size = 0
+let drain_one q ~f =
+  if q.size = 0 then false
+  else begin
+    let time = Time.of_ns q.times.(0) in
+    f time (remove_min q);
+    true
+  end
+
+let peek_time q = if q.size = 0 then None else Some (Time.of_ns q.times.(0))

@@ -3,20 +3,42 @@
     A binary min-heap ordered by (time, sequence number). The sequence
     number is assigned on insertion, so two events scheduled for the same
     instant fire in insertion order — this is what makes simulation runs
-    deterministic. *)
+    deterministic.
+
+    The heap is stored as unboxed parallel arrays, so {!add},
+    {!pop_min} and {!drain_one} perform no per-event heap allocation
+    (array growth amortises away); only the option-returning
+    conveniences {!pop} and {!peek_time} allocate. *)
 
 type 'a t
 
 val create : unit -> 'a t
 
 val add : 'a t -> time:Time.t -> 'a -> unit
-(** Insert an event payload to fire at [time]. *)
+(** Insert an event payload to fire at [time]. Allocation-free except
+    when the heap has to grow. *)
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val min_time : 'a t -> Time.t
+(** Time of the earliest event. The queue must be non-empty (checked by
+    an assert); callers guard with {!is_empty}. *)
+
+val pop_min : 'a t -> 'a
+(** Remove and return the earliest event's payload without boxing it.
+    The queue must be non-empty (checked by an assert); callers guard
+    with {!is_empty} — this is the allocation-free hot path used by
+    [Sim.step]. *)
+
+val drain_one : 'a t -> f:(Time.t -> 'a -> unit) -> bool
+(** [drain_one q ~f] pops the earliest event and applies [f time
+    payload]; [false] (and [f] not called) when empty. Exceptionless and
+    allocation-free provided [f] is a pre-existing closure. *)
 
 val pop : 'a t -> (Time.t * 'a) option
-(** Remove and return the earliest event, or [None] if empty. *)
+(** Remove and return the earliest event, or [None] if empty.
+    Convenience form; allocates the tuple and the [Some]. *)
 
 val peek_time : 'a t -> Time.t option
 (** Time of the earliest event without removing it. *)
-
-val length : 'a t -> int
-val is_empty : 'a t -> bool

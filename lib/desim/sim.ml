@@ -22,23 +22,28 @@ let schedule_after t d f =
 
 let schedule_now t f = Event_queue.add t.queue ~time:t.clock f
 
+(* The hot path: no option, no tuple — the queue hands the closure back
+   unboxed, so stepping allocates nothing beyond what the event body
+   itself allocates. *)
 let step t =
-  match Event_queue.pop t.queue with
-  | None -> false
-  | Some (time, f) ->
-      t.clock <- time;
-      f ();
-      true
+  let q = t.queue in
+  if Event_queue.is_empty q then false
+  else begin
+    t.clock <- Event_queue.min_time q;
+    (Event_queue.pop_min q) ();
+    true
+  end
 
 let run ?until t =
   match until with
   | None -> while step t do () done
   | Some limit ->
+      let q = t.queue in
       let continue = ref true in
       while !continue do
-        match Event_queue.peek_time t.queue with
-        | Some time when Time.(time <= limit) -> ignore (step t)
-        | Some _ | None -> continue := false
+        if (not (Event_queue.is_empty q)) && Time.(Event_queue.min_time q <= limit)
+        then ignore (step t)
+        else continue := false
       done;
       if Time.(t.clock < limit) then t.clock <- limit
 

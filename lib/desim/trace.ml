@@ -24,8 +24,15 @@ let record t time tag message =
       if Queue.length items > capacity then ignore (Queue.pop items)
   | Print fmt -> Format.fprintf fmt "[%a] %-12s %s@." Time.pp time tag message
 
+(* A [Null] sink never formats: [ikfprintf] consumes the arguments
+   without rendering them, so hot-path emits (the drainer, logger
+   backpressure) cost a branch instead of a formatted-and-dropped
+   string. Null traces consequently do not count emissions either. *)
 let emit t sim ~tag fmt =
-  Format.kasprintf (fun message -> record t (Sim.now sim) tag message) fmt
+  match t.sink with
+  | Null -> Format.ikfprintf ignore Format.err_formatter fmt
+  | Collect _ | Print _ ->
+      Format.kasprintf (fun message -> record t (Sim.now sim) tag message) fmt
 
 let records t =
   match t.sink with

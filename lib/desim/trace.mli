@@ -17,10 +17,13 @@ val printer : Format.formatter -> t
 (** Prints each record as it is emitted. *)
 
 val emit : t -> Sim.t -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** [emit t sim ~tag fmt …] records a message stamped with [Sim.now sim]. *)
+(** [emit t sim ~tag fmt …] records a message stamped with [Sim.now sim].
+    Emitting to {!null} is free: the format arguments are consumed
+    without being rendered and nothing is allocated or counted. *)
 
 val records : t -> record list
 (** Collected records, oldest first; [] for [null] and [printer]. *)
 
 val count : t -> int
-(** Total records emitted to this trace, including any evicted ones. *)
+(** Total records emitted to this trace, including any evicted ones;
+    always [0] for {!null}, whose emissions are skipped entirely. *)

@@ -240,6 +240,41 @@ let run_failure config ~kind ~after =
       | None -> 0);
   }
 
+(* Batch entry points: each config is an independent world keyed by its
+   seed, so sweeps fan out across domains via {!Parallel.map} with
+   results (and their order) identical to a serial run. *)
+
+let run_steady_batch ?jobs configs = Parallel.map ?jobs run_steady configs
+
+let run_failure_batch ?jobs ~kind specs =
+  Parallel.map ?jobs (fun (config, after) -> run_failure config ~kind ~after) specs
+
+let sweep ?jobs ~config ~clients ~modes () =
+  let cells =
+    List.concat_map
+      (fun n -> List.map (fun mode -> { config with Scenario.mode; clients = n }) modes)
+      clients
+  in
+  let results = run_steady_batch ?jobs cells in
+  let per_client = List.length modes in
+  let rec take_drop n xs =
+    if n = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: rest ->
+          let taken, dropped = take_drop (n - 1) rest in
+          (x :: taken, dropped)
+  in
+  let rec regroup clients results =
+    match clients with
+    | [] -> []
+    | n :: rest ->
+        let row, remainder = take_drop per_client results in
+        (n, row) :: regroup rest remainder
+  in
+  regroup clients results
+
 let durability_ok result =
   let safe =
     Rapilog.Durability.holds result.audit.Audit.durability

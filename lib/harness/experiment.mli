@@ -62,6 +62,31 @@ val run_failure :
   Scenario.config -> kind:failure_kind -> after:Desim.Time.span -> failure_result
 (** [after] is measured from the end of the load phase. *)
 
+val run_steady_batch : ?jobs:int -> Scenario.config list -> steady_result list
+(** Evaluate independent steady-state scenarios on a {!Parallel} worker
+    pool ([jobs] defaults to {!Parallel.default_jobs}, overridable with
+    [RAPILOG_JOBS]). Results are in input order and bit-identical to
+    running each config through {!run_steady} serially. *)
+
+val run_failure_batch :
+  ?jobs:int ->
+  kind:failure_kind ->
+  (Scenario.config * Desim.Time.span) list ->
+  failure_result list
+(** Failure trials, fanned out like {!run_steady_batch}; each pair is a
+    config plus the [after] delay for the injected failure. *)
+
+val sweep :
+  ?jobs:int ->
+  config:Scenario.config ->
+  clients:int list ->
+  modes:Scenario.mode list ->
+  unit ->
+  (int * steady_result list) list
+(** The canonical throughput-sweep shape: every mode at every client
+    count, evaluated in parallel, returned as one row per client count
+    with the results in [modes] order. *)
+
 val durability_ok : failure_result -> bool
 (** Whether the outcome matches the mode's durability promise: safe modes
     must lose nothing; unsafe modes are allowed (expected) to lose. Any

@@ -99,6 +99,67 @@ let queue_pop_sorted_prop =
       in
       drain (-1))
 
+(* The full determinism contract: pop order is exactly the stable sort
+   of the inserted events by time — ties resolved by insertion order. *)
+let queue_stable_sort_prop =
+  prop "pop order equals stable sort by (time, insertion seq)"
+    QCheck2.Gen.(list_size (int_range 0 300) (int_range 0 20))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.add q ~time:(Time.of_ns t) (t, i)) times;
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      let rec drain acc =
+        if Event_queue.is_empty q then List.rev acc
+        else drain (Event_queue.pop_min q :: acc)
+      in
+      drain [] = expected)
+
+(* Interleaved add/pop against a sorted-list reference model: whatever
+   the heap's internal layout after arbitrary interleavings, it must
+   keep serving the (time, seq) minimum. *)
+let queue_interleaved_model_prop =
+  prop "interleaved add/pop matches a reference model"
+    QCheck2.Gen.(
+      list_size (int_range 0 300)
+        (oneof [ map (fun t -> `Add t) (int_range 0 50); return `Pop ]))
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Add t ->
+              Event_queue.add q ~time:(Time.of_ns t) (t, !seq);
+              model :=
+                List.merge
+                  (fun (t1, s1) (t2, s2) -> compare (t1, s1) (t2, s2))
+                  !model
+                  [ (t, !seq) ];
+              incr seq
+          | `Pop -> (
+              match (Event_queue.is_empty q, !model) with
+              | true, [] -> ()
+              | true, _ :: _ | false, [] -> ok := false
+              | false, expected :: rest ->
+                  if Event_queue.min_time q <> Time.of_ns (fst expected) then
+                    ok := false;
+                  if Event_queue.pop_min q <> expected then ok := false;
+                  model := rest))
+        ops;
+      !ok
+      && List.length !model = Event_queue.length q
+      && (let rec drain acc =
+            if Event_queue.is_empty q then List.rev acc
+            else drain (Event_queue.pop_min q :: acc)
+          in
+          drain [] = !model))
+
 (* -- Sim ------------------------------------------------------------ *)
 
 let sim_schedule_order () =
@@ -709,6 +770,8 @@ let suites =
         case "peek and length" queue_peek_and_length;
         case "growth beyond initial capacity" queue_growth;
         queue_pop_sorted_prop;
+        queue_stable_sort_prop;
+        queue_interleaved_model_prop;
       ] );
     ( "desim.sim",
       [

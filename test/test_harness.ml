@@ -398,3 +398,74 @@ let stripe_suite =
     ] )
 
 let suites = suites @ [ stripe_suite ]
+
+(* -- Parallel fan-out (appended) ---------------------------------------------- *)
+
+let parallel_map_preserves_order () =
+  let squares = Parallel.map ~jobs:4 (fun n -> n * n) (List.init 50 Fun.id) in
+  Alcotest.(check (list int)) "in submission order"
+    (List.init 50 (fun n -> n * n))
+    squares
+
+let parallel_map_serial_fallback () =
+  (* jobs=1 must not spawn domains: it runs on the calling domain, so
+     effects of the caller's context (here: plain closures) behave
+     exactly as List.map. *)
+  Alcotest.(check (list int)) "jobs=1 degenerates to List.map"
+    (List.map succ [ 1; 2; 3 ])
+    (Parallel.map ~jobs:1 succ [ 1; 2; 3 ])
+
+let parallel_map_propagates_exceptions () =
+  match Parallel.map ~jobs:3 (fun n -> if n = 7 then failwith "boom" else n)
+          [ 1; 7; 9 ]
+  with
+  | _ -> Alcotest.fail "expected the worker failure to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "original exception" "boom" msg
+
+let parallel_sweep_equals_serial () =
+  (* The tentpole determinism contract: fanning a sweep out across
+     domains must be bit-identical to running it serially, because each
+     scenario builds its own world from its own seed. *)
+  let configs =
+    List.concat_map
+      (fun mode ->
+        List.map
+          (fun clients -> { (with_mode mode) with Scenario.clients })
+          [ 1; 4 ])
+      [ Scenario.Native_sync; Scenario.Rapilog; Scenario.Async_commit ]
+  in
+  let serial = Experiment.run_steady_batch ~jobs:1 configs in
+  let parallel = Experiment.run_steady_batch ~jobs:4 configs in
+  Alcotest.(check bool) "bit-identical results" true (serial = parallel)
+
+let parallel_failure_trials_equal_serial () =
+  let specs =
+    List.init 3 (fun i ->
+        ( { (failure_config Scenario.Rapilog (Int64.of_int (31 + i))) with
+            Scenario.duration = Time.ms 400 },
+          Time.ms (200 + (40 * i)) ))
+  in
+  let project (r : Experiment.failure_result) =
+    (r.Experiment.acked, r.Experiment.durable_records, r.Experiment.redo_applied,
+     r.Experiment.losers, Time.to_ns r.Experiment.cut_at)
+  in
+  let serial =
+    Experiment.run_failure_batch ~jobs:1 ~kind:Experiment.Power_cut specs
+  in
+  let parallel =
+    Experiment.run_failure_batch ~jobs:3 ~kind:Experiment.Power_cut specs
+  in
+  Alcotest.(check bool) "identical failure trials" true
+    (List.map project serial = List.map project parallel)
+
+let parallel_suite =
+  ( "harness.parallel",
+    [
+      case "map preserves order" parallel_map_preserves_order;
+      case "jobs=1 serial fallback" parallel_map_serial_fallback;
+      case "exceptions propagate" parallel_map_propagates_exceptions;
+      case "parallel sweep equals serial" parallel_sweep_equals_serial;
+      case "parallel failure trials equal serial" parallel_failure_trials_equal_serial;
+    ] )
+
+let suites = suites @ [ parallel_suite ]
