@@ -7,7 +7,14 @@ type t =
   | Noop of { filler : int }
 
 let magic = 0xA55A
-let header_size = 11
+
+(* Framing: a 7-byte prefix (magic, kind, len), the body, then a trailing
+   CRC-32 of everything from the kind byte onwards. Keeping the CRC last
+   makes its covered region contiguous, so no temporary buffer is needed
+   to check it. [header_size] is the total framing overhead. *)
+let prefix_size = 7
+let trailer_size = 4
+let header_size = prefix_size + trailer_size
 let max_body = 1 lsl 20
 
 let pp fmt = function
@@ -60,8 +67,9 @@ let encode t =
   Bytes.set_uint16_le buf 0 magic;
   Bytes.set_uint8 buf 2 (kind_code t);
   Bytes.set_int32_le buf 3 (Int32.of_int blen);
-  Bytes.set_int32_le buf 7 (Crc32.digest_bytes body ~pos:0 ~len:blen);
-  Bytes.blit body 0 buf header_size blen;
+  Bytes.blit body 0 buf prefix_size blen;
+  Bytes.set_int32_le buf (prefix_size + blen)
+    (Crc32.digest_bytes buf ~pos:2 ~len:(prefix_size - 2 + blen));
   Bytes.unsafe_to_string buf
 
 let encode_into t buf = Buffer.add_string buf (encode t)
@@ -104,10 +112,11 @@ let decode s ~pos =
     let blen = u32 s (pos + 3) in
     if blen < 0 || blen > max_body || remaining < header_size + blen then None
     else begin
-      let crc = String.get_int32_le s (pos + 7) in
-      if Crc32.digest s ~pos:(pos + header_size) ~len:blen <> crc then None
+      let crc = String.get_int32_le s (pos + prefix_size + blen) in
+      if Crc32.digest s ~pos:(pos + 2) ~len:(prefix_size - 2 + blen) <> crc then
+        None
       else
-        match decode_body kind s ~pos:(pos + header_size) ~len:blen with
+        match decode_body kind s ~pos:(pos + prefix_size) ~len:blen with
         | Some record -> Some (record, header_size + blen)
         | None -> None
     end

@@ -5,13 +5,17 @@
       magic   u16   0xA55A
       kind    u8
       len     u32   body length in bytes
-      crc     u32   CRC-32 of the body
       body    len bytes
+      crc     u32   CRC-32 of kind, len and body
     v}
 
     Decoding is defensive: a record whose magic, kind, length or CRC does
-    not check out is treated as end-of-log. Together with the fact that
-    devices tear writes only at sector granularity, the CRC ensures a
+    not check out is treated as end-of-log. The CRC covers the kind and
+    length fields as well as the body, so no single corrupted byte
+    (outside the magic, whose corruption is detected directly) can turn
+    one valid record into a different valid record — a flipped kind byte
+    must not reinterpret a [Begin] as a [Commit]. Together with the fact
+    that devices tear writes only at sector granularity, this ensures a
     torn tail is cleanly cut off rather than misparsed — which is exactly
     the property recovery relies on. *)
 

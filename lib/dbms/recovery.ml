@@ -13,6 +13,38 @@ type result = {
   pages_loaded : int;
 }
 
+type replay_stats = {
+  s_durable_records : int;
+  s_durable_bytes : int;
+  s_committed : int;
+  s_aborted : int;
+  s_losers : int;
+  s_redo_applied : int;
+  s_undo_applied : int;
+  s_pages_loaded : int;
+  s_store_keys : int;
+}
+
+let stats result =
+  {
+    s_durable_records = result.durable_records;
+    s_durable_bytes = Lsn.to_int result.durable_end;
+    s_committed = List.length result.committed;
+    s_aborted = List.length result.aborted;
+    s_losers = List.length result.losers;
+    s_redo_applied = result.redo_applied;
+    s_undo_applied = result.undo_applied;
+    s_pages_loaded = result.pages_loaded;
+    s_store_keys = Hashtbl.length result.store;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "records=%d bytes=%d committed=%d aborted=%d losers=%d redo=%d undo=%d \
+     pages=%d keys=%d"
+    s.s_durable_records s.s_durable_bytes s.s_committed s.s_aborted s.s_losers
+    s.s_redo_applied s.s_undo_applied s.s_pages_loaded s.s_store_keys
+
 let read_durable_log ~log_device ~wal_config =
   let extent = Storage.Block.durable_extent log_device in
   let start = wal_config.Wal.log_start_lba in

@@ -39,6 +39,26 @@ type result = {
   pages_loaded : int;
 }
 
+type replay_stats = {
+  s_durable_records : int;
+  s_durable_bytes : int;  (** LSN of the durable log prefix *)
+  s_committed : int;
+  s_aborted : int;
+  s_losers : int;
+  s_redo_applied : int;
+  s_undo_applied : int;
+  s_pages_loaded : int;
+  s_store_keys : int;
+}
+(** A flat scalar summary of one recovery pass — what the crash-surface
+    sweep records per crash point, and what two runs over the same media
+    must reproduce identically (recovery is a pure function of durable
+    media). *)
+
+val stats : result -> replay_stats
+
+val pp_stats : Format.formatter -> replay_stats -> unit
+
 val run :
   log_device:Storage.Block.t ->
   data_device:Storage.Block.t ->

@@ -3,14 +3,22 @@ type t = {
   queue : (unit -> unit) Event_queue.t;
   rng : Rng.t;
   seed : int64;
+  mutable executed : int;
 }
 
 let create ?(seed = 1L) () =
-  { clock = Time.zero; queue = Event_queue.create (); rng = Rng.create seed; seed }
+  {
+    clock = Time.zero;
+    queue = Event_queue.create ();
+    rng = Rng.create seed;
+    seed;
+    executed = 0;
+  }
 
 let now t = t.clock
 let rng t = t.rng
 let seed t = t.seed
+let events_executed t = t.executed
 
 let schedule_at t time f =
   assert (Time.(t.clock <= time));
@@ -30,9 +38,14 @@ let step t =
   if Event_queue.is_empty q then false
   else begin
     t.clock <- Event_queue.min_time q;
+    t.executed <- t.executed + 1;
     (Event_queue.pop_min q) ();
     true
   end
+
+let run_to_event t target =
+  while t.executed < target && step t do () done;
+  t.executed >= target
 
 let run ?until t =
   match until with

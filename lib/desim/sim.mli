@@ -39,5 +39,19 @@ val run : ?until:Time.t -> t -> unit
 val step : t -> bool
 (** Execute a single event; [false] if the queue was empty. *)
 
+val events_executed : t -> int
+(** Total events executed so far. Two simulations built identically (same
+    seed, same construction order) execute identical event sequences, so
+    an event index names the same instant in both — this is what lets the
+    crash-surface explorer enumerate event boundaries in one replay and
+    stop a fresh replay at any chosen boundary. *)
+
+val run_to_event : t -> int -> bool
+(** [run_to_event t n] executes events until [events_executed t >= n] or
+    the queue drains; returns whether the boundary was reached. The clock
+    is left at the time of the last executed event — the caller stands
+    exactly on the event boundary and may inject state changes (a power
+    cut, a guest crash) before resuming with {!run} or {!step}. *)
+
 val pending : t -> int
 (** Number of queued events, for tests and debugging. *)

@@ -1,0 +1,277 @@
+open Desim
+
+type kind = Os_crash | Power_cut | Power_cut_tight
+
+let kind_name = function
+  | Os_crash -> "os-crash"
+  | Power_cut -> "power-cut"
+  | Power_cut_tight -> "power-cut-tight"
+
+let all_kinds = [ Os_crash; Power_cut; Power_cut_tight ]
+
+let kind_of_name name =
+  List.find_opt (fun kind -> String.equal (kind_name kind) name) all_kinds
+
+type config = {
+  scenario : Scenario.config;
+  window_start : Time.span;
+  window_length : Time.span;
+  stride : int;
+  kinds : kind list;
+  tight_window : Time.span;
+  tight_buffer_bytes : int;
+}
+
+let default scenario =
+  {
+    scenario;
+    window_start = Time.ms 5;
+    window_length = Time.ms 40;
+    stride = 1;
+    kinds = all_kinds;
+    tight_window = Time.ms 20;
+    tight_buffer_bytes = 128 * 1024;
+  }
+
+(* The tight-budget kind changes the machine under test: a smaller PSU
+   hold-up window and a trusted buffer shrunk to fit it. Everything that
+   runs before the cut is affected (a smaller buffer backpressures
+   earlier), so each kind enumerates its own effective configuration —
+   boundary indices are only meaningful against the world they were
+   counted in. *)
+let effective_scenario config = function
+  | Os_crash | Power_cut -> config.scenario
+  | Power_cut_tight ->
+      {
+        config.scenario with
+        Scenario.psu = Power.Psu.of_window config.tight_window;
+        logger =
+          {
+            config.scenario.Scenario.logger with
+            Rapilog.Trusted_logger.buffer_bytes = config.tight_buffer_bytes;
+          };
+      }
+
+type enumeration = {
+  e_kind : kind;
+  e_window_start_ns : int;
+  e_window_end_ns : int;
+  e_boundaries : int;
+  e_candidates : (int * int) array;
+}
+
+let enumerate config kind =
+  if config.stride < 1 then invalid_arg "Crash_surface: stride must be >= 1";
+  let built = Scenario.build (effective_scenario config kind) in
+  let sim = built.Scenario.sim in
+  let track = Driver.make_tracking () in
+  (* The crash replays run with the invariants monitor attached, and the
+     monitor schedules its own poll events — so the enumeration replay
+     must carry it too, or event indices would name different instants
+     in the two replays. The monitor is simply abandoned with the rest
+     of the simulation when enumeration stops. *)
+  let (_ : Rapilog.Invariants.t option) =
+    Option.map (Rapilog.Invariants.attach sim) built.Scenario.logger
+  in
+  let window = ref None in
+  Driver.spawn_loader built track ~after_load:(fun () ->
+      let ws = Time.add (Sim.now sim) config.window_start in
+      window := Some (ws, Time.add ws config.window_length);
+      Driver.spawn_clients built track);
+  let boundaries = ref 0 in
+  let candidates = ref [] in
+  let stop = ref false in
+  while (not !stop) && Sim.step sim do
+    match !window with
+    | None -> ()
+    | Some (ws, we) ->
+        let now = Sim.now sim in
+        if Time.(we <= now) then stop := true
+        else if Time.(ws <= now) then begin
+          (* The boundary after the [n]-th executed event: the clock
+             stands at that event's time and the next event has not run.
+             Boundaries between same-instant events count too — that is
+             what makes the sweep finer than time-based sampling. *)
+          if !boundaries mod config.stride = 0 then
+            candidates :=
+              (Sim.events_executed sim, Time.to_ns now) :: !candidates;
+          incr boundaries
+        end
+  done;
+  let ws, we =
+    match !window with
+    | Some (ws, we) -> (Time.to_ns ws, Time.to_ns we)
+    | None -> failwith "Crash_surface.enumerate: load phase never completed"
+  in
+  {
+    e_kind = kind;
+    e_window_start_ns = ws;
+    e_window_end_ns = we;
+    e_boundaries = !boundaries;
+    e_candidates = Array.of_list (List.rev !candidates);
+  }
+
+type verdict = {
+  v_kind : kind;
+  v_event_index : int;
+  v_at_ns : int;
+  v_acked : int;
+  v_lost : int;
+  v_extra : int;
+  v_state_exact : bool;
+  v_diff_count : int;
+  v_invariant_violations : int;
+  v_buffered_at_cut : int;
+  v_stats : Dbms.Recovery.replay_stats;
+  v_contract_ok : bool;
+}
+
+let run_point config kind ~event_index ~at_ns =
+  let built = Scenario.build (effective_scenario config kind) in
+  let sim = built.Scenario.sim in
+  let track = Driver.make_tracking () in
+  (* The runtime monitor rides along exactly as in the sampled failure
+     experiments; it must be stopped once the failure settles or its
+     self-rescheduling would keep the event loop alive forever. *)
+  let monitor = Option.map (Rapilog.Invariants.attach sim) built.Scenario.logger in
+  let stop_monitor () = Option.iter Rapilog.Invariants.stop monitor in
+  Driver.spawn_loader built track ~after_load:(fun () ->
+      Driver.spawn_clients built track);
+  if not (Sim.run_to_event sim event_index) then
+    failwith
+      (Printf.sprintf "Crash_surface: event boundary %d beyond simulation end"
+         event_index);
+  (* Replay-determinism cross-check: the boundary enumerated in one
+     replay must fall at the identical instant in this one. *)
+  let now_ns = Time.to_ns (Sim.now sim) in
+  if now_ns <> at_ns then
+    failwith
+      (Printf.sprintf
+         "Crash_surface: replay diverged at event %d: enumerated %d ns, \
+          replayed %d ns"
+         event_index at_ns now_ns);
+  let buffered_at_cut =
+    match built.Scenario.logger with
+    | Some logger -> Rapilog.Trusted_logger.buffered_bytes logger
+    | None -> -1
+  in
+  (match kind with
+  | Os_crash -> (
+      Hypervisor.Vmm.crash_guest built.Scenario.vmm;
+      (* The logger outlives the guest: wait for its drain. *)
+      match built.Scenario.logger with
+      | Some logger ->
+          ignore
+            (Process.spawn sim ~name:"quiesce" (fun () ->
+                 Rapilog.Trusted_logger.quiesce logger;
+                 stop_monitor ()))
+      | None -> stop_monitor ())
+  | Power_cut | Power_cut_tight ->
+      Power.Power_domain.cut built.Scenario.power;
+      let dead =
+        match Power.Power_domain.dead_at built.Scenario.power with
+        | Some dead -> dead
+        | None -> assert false
+      in
+      (* Just before hold-up expiry the machine stops executing (the
+         guest halts); nothing is acknowledged at or after the instant
+         the devices lose power. Same discipline as
+         {!Experiment.run_failure}. *)
+      Sim.schedule_at sim
+        (Time.add dead (Time.ns (-1000)))
+        (fun () -> Hypervisor.Vmm.crash_guest built.Scenario.vmm);
+      Sim.schedule_at sim (Time.add dead (Time.ms 2)) stop_monitor);
+  Sim.run sim;
+  let recovery =
+    Dbms.Recovery.run ~log_device:built.Scenario.log_physical
+      ~data_device:built.Scenario.data_physical
+      ~wal_config:built.Scenario.wal_config
+      ~pool_config:built.Scenario.config.Scenario.pool
+  in
+  let audit = Audit.check ~model:track.Driver.model ~acked:track.Driver.acked ~recovery in
+  let invariant_violations =
+    match monitor with
+    | Some monitor -> List.length (Rapilog.Invariants.violations monitor)
+    | None -> 0
+  in
+  let lost = List.length audit.Audit.durability.Rapilog.Durability.lost in
+  {
+    v_kind = kind;
+    v_event_index = event_index;
+    v_at_ns = at_ns;
+    v_acked = List.length track.Driver.acked;
+    v_lost = lost;
+    v_extra = List.length audit.Audit.durability.Rapilog.Durability.extra;
+    v_state_exact = audit.Audit.state_exact;
+    v_diff_count = audit.Audit.diff_count;
+    v_invariant_violations = invariant_violations;
+    v_buffered_at_cut = buffered_at_cut;
+    v_stats = Dbms.Recovery.stats recovery;
+    v_contract_ok =
+      Rapilog.Durability.holds audit.Audit.durability
+      && audit.Audit.state_exact
+      && invariant_violations = 0;
+  }
+
+type kind_summary = {
+  k_kind : kind;
+  k_boundaries : int;
+  k_explored : int;
+  k_contract_breaks : int;
+  k_lost : int;
+}
+
+type result = {
+  r_mode : Scenario.mode;
+  r_stride : int;
+  r_kinds : kind_summary list;
+  r_total_boundaries : int;
+  r_explored : int;
+  r_contract_breaks : int;
+  r_lost_total : int;
+  r_verdicts : verdict list;
+}
+
+let sweep ?jobs config =
+  (* Enumeration is one serial replay per kind; the crash points are the
+     fan-out. Each point is an independent deterministic simulation, so
+     {!Parallel.map} returns verdicts bit-identical to a serial run. *)
+  let enums = List.map (fun kind -> enumerate config kind) config.kinds in
+  let tasks =
+    List.concat_map
+      (fun e ->
+        List.map
+          (fun (index, at) -> (e.e_kind, index, at))
+          (Array.to_list e.e_candidates))
+      enums
+  in
+  let verdicts =
+    Parallel.map ?jobs
+      (fun (kind, event_index, at_ns) ->
+        run_point config kind ~event_index ~at_ns)
+      tasks
+  in
+  let summary_of e =
+    let of_kind = List.filter (fun v -> v.v_kind = e.e_kind) verdicts in
+    {
+      k_kind = e.e_kind;
+      k_boundaries = e.e_boundaries;
+      k_explored = List.length of_kind;
+      k_contract_breaks =
+        List.length (List.filter (fun v -> not v.v_contract_ok) of_kind);
+      k_lost = List.fold_left (fun acc v -> acc + v.v_lost) 0 of_kind;
+    }
+  in
+  let kinds = List.map summary_of enums in
+  {
+    r_mode = config.scenario.Scenario.mode;
+    r_stride = config.stride;
+    r_kinds = kinds;
+    r_total_boundaries =
+      List.fold_left (fun acc k -> acc + k.k_boundaries) 0 kinds;
+    r_explored = List.fold_left (fun acc k -> acc + k.k_explored) 0 kinds;
+    r_contract_breaks =
+      List.fold_left (fun acc k -> acc + k.k_contract_breaks) 0 kinds;
+    r_lost_total = List.fold_left (fun acc k -> acc + k.k_lost) 0 kinds;
+    r_verdicts = verdicts;
+  }

@@ -1,0 +1,119 @@
+(** Exhaustive crash-surface exploration.
+
+    The sampled failure experiments ({!Experiment.run_failure}) draw a
+    handful of random crash instants per configuration; an ordering bug
+    that only bites in a narrow window — say, between a virtio ring
+    publish and trusted-logger admission — would likely never be hit.
+    This module turns the sampled evidence into systematic evidence: it
+    replays a fixed-seed scenario once to {b enumerate every event
+    boundary} inside a time window, then re-runs the scenario once per
+    boundary (or every [stride]-th), injects a failure {b exactly} at
+    that boundary, recovers from post-crash media, and audits.
+
+    Determinism is what makes this sound: two simulations built from the
+    same configuration execute identical event sequences, so an event
+    index names the same instant in the enumeration replay and in the
+    crash replay — {!run_point} cross-checks the clock against the
+    enumerated timestamp and fails loudly if replay determinism is ever
+    broken. Crash points are independent simulations, so {!sweep} fans
+    them out over {!Parallel} with verdicts bit-identical to a serial
+    sweep.
+
+    Three crash kinds distinguish the failure modes the paper's claim 3
+    covers: a guest-OS crash (the logger's drain simply continues), a
+    mains power cut (the drain races the PSU hold-up window), and a
+    power cut under a deliberately tight residual-energy budget with a
+    correspondingly small trusted buffer (the budget expires mid-activity,
+    so window-expiry effects — torn in-flight writes, the halt just
+    before device death — are actually exercised). *)
+
+type kind = Os_crash | Power_cut | Power_cut_tight
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+val all_kinds : kind list
+
+type config = {
+  scenario : Scenario.config;
+  window_start : Desim.Time.span;
+      (** window opens this long after the load phase completes *)
+  window_length : Desim.Time.span;
+  stride : int;  (** explore every [stride]-th boundary; 1 = all *)
+  kinds : kind list;
+  tight_window : Desim.Time.span;
+      (** PSU hold-up budget for [Power_cut_tight] *)
+  tight_buffer_bytes : int;
+      (** trusted-buffer size for [Power_cut_tight]; must fit the tight
+          budget at the log device's streaming bandwidth or the
+          configuration itself violates the logger's admission
+          precondition *)
+}
+
+val default : Scenario.config -> config
+(** Window of 40 ms opening 5 ms after load, stride 1, all three kinds,
+    20 ms tight budget with a 128 KiB buffer. *)
+
+type enumeration = {
+  e_kind : kind;
+  e_window_start_ns : int;
+  e_window_end_ns : int;
+  e_boundaries : int;  (** every event boundary inside the window *)
+  e_candidates : (int * int) array;
+      (** (event index, clock ns) of each boundary, already strided *)
+}
+
+val enumerate : config -> kind -> enumeration
+(** One full replay of the scenario under [kind]'s effective
+    configuration, recording each event boundary whose clock falls in
+    [\[window_start, window_end)]. *)
+
+type verdict = {
+  v_kind : kind;
+  v_event_index : int;  (** events executed when the failure was injected *)
+  v_at_ns : int;  (** simulated clock at the injection boundary *)
+  v_acked : int;  (** write txns acknowledged over the whole run *)
+  v_lost : int;  (** acknowledged but not recovered — durability breaks *)
+  v_extra : int;  (** durable but never acknowledged — always permitted *)
+  v_state_exact : bool;
+  v_diff_count : int;
+  v_invariant_violations : int;
+  v_buffered_at_cut : int;  (** trusted-buffer bytes at injection; -1 if no logger *)
+  v_stats : Dbms.Recovery.replay_stats;
+  v_contract_ok : bool;
+      (** the always-durable contract: nothing lost, state exact, zero
+          runtime invariant violations. Expected true at {e every} point
+          for RapiLog; expected false somewhere for the unprotected
+          baselines — that asymmetry is the sweep's teeth. *)
+}
+
+val run_point : config -> kind -> event_index:int -> at_ns:int -> verdict
+(** Re-run the scenario, stop at [event_index] executed events, verify
+    the clock equals [at_ns] (replay-determinism cross-check; raises
+    [Failure] otherwise), inject [kind]'s failure at that exact
+    boundary, let the simulation settle, recover and audit. *)
+
+type kind_summary = {
+  k_kind : kind;
+  k_boundaries : int;
+  k_explored : int;
+  k_contract_breaks : int;
+  k_lost : int;  (** acknowledged-commit losses summed over the kind's points *)
+}
+
+type result = {
+  r_mode : Scenario.mode;
+  r_stride : int;
+  r_kinds : kind_summary list;
+  r_total_boundaries : int;
+  r_explored : int;
+  r_contract_breaks : int;
+  r_lost_total : int;
+  r_verdicts : verdict list;  (** kind-major, boundary order *)
+}
+
+val sweep : ?jobs:int -> config -> result
+(** Enumerate each kind, then evaluate every candidate crash point on
+    the {!Parallel} worker pool ([jobs] defaults to
+    {!Parallel.default_jobs}, [RAPILOG_JOBS] overrides). Results are in
+    deterministic kind-major boundary order and bit-identical to
+    [~jobs:1]. *)

@@ -1,0 +1,78 @@
+open Desim
+
+type tracking = {
+  model : (int, string) Hashtbl.t;
+  mutable acked : int list;
+  mutable window_start : Time.t option;
+  mutable window_end : Time.t option;
+  mutable in_window : int;
+  latencies : Stats.Sample.t;
+}
+
+let make_tracking () =
+  {
+    model = Hashtbl.create 4096;
+    acked = [];
+    window_start = None;
+    window_end = None;
+    in_window = 0;
+    latencies = Stats.Sample.create ();
+  }
+
+let record_ack track sim (result : Dbms.Engine.txn_result) =
+  if result.Dbms.Engine.writes <> [] then begin
+    track.acked <- result.Dbms.Engine.txid :: track.acked;
+    List.iter
+      (fun (key, value) ->
+        match value with
+        | Some v -> Hashtbl.replace track.model key v
+        | None -> Hashtbl.remove track.model key)
+      result.Dbms.Engine.writes
+  end;
+  match (track.window_start, track.window_end) with
+  | Some ws, Some we ->
+      let now = Sim.now sim in
+      if Time.(ws <= now) && Time.(now < we) then begin
+        track.in_window <- track.in_window + 1;
+        Stats.Sample.add_span track.latencies result.Dbms.Engine.latency
+      end
+  | Some _, None | None, Some _ | None, None -> ()
+
+let load_chunk_rows = 64
+
+(* Populate the schema through ordinary transactions, then hand over. *)
+let spawn_loader (built : Scenario.built) track ~after_load =
+  let rows = built.Scenario.generator.Scenario.initial_rows in
+  ignore
+    (Hypervisor.Vmm.spawn_guest built.Scenario.vmm ~name:"loader" (fun () ->
+         let rec load = function
+           | [] -> ()
+           | rows ->
+               let chunk, rest =
+                 let rec split i acc = function
+                   | [] -> (List.rev acc, [])
+                   | rows when i = load_chunk_rows -> (List.rev acc, rows)
+                   | row :: rows -> split (i + 1) (row :: acc) rows
+                 in
+                 split 0 [] rows
+               in
+               let ops =
+                 List.map
+                   (fun (key, value) -> Dbms.Engine.Put { key; value })
+                   chunk
+               in
+               let result = Dbms.Engine.exec built.Scenario.engine ops in
+               record_ack track built.Scenario.sim result;
+               load rest
+         in
+         load rows;
+         after_load ()))
+
+let spawn_clients (built : Scenario.built) track =
+  ignore
+    (Workload.Client.spawn ~vmm:built.Scenario.vmm
+       { Workload.Client.think_time = built.Scenario.config.Scenario.think_time }
+       ~count:built.Scenario.config.Scenario.clients
+       ~gen:(fun ~client:_ -> built.Scenario.generator.Scenario.next_txn ())
+       ~engine:built.Scenario.engine
+       ~on_commit:(fun ~client:_ result -> record_ack track built.Scenario.sim result))

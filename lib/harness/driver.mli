@@ -1,0 +1,35 @@
+(** Shared machinery for driving a built scenario.
+
+    Every experiment — steady-state, sampled failure injection, and the
+    exhaustive crash-surface sweep — runs the same way: load the initial
+    rows through ordinary transactions, launch the closed-loop clients,
+    and track on the client side every acknowledged write transaction
+    and the store state those acknowledgements imply. This module is
+    that common substrate, extracted so {!Experiment} and
+    {!Crash_surface} drive scenarios identically (a crash-point verdict
+    is only comparable to a sampled-trial verdict if both audits use the
+    same client-side record). *)
+
+type tracking = {
+  model : (int, string) Hashtbl.t;
+      (** expected store contents implied by acknowledged writes *)
+  mutable acked : int list;  (** acknowledged write-transaction ids *)
+  mutable window_start : Desim.Time.t option;
+  mutable window_end : Desim.Time.t option;
+  mutable in_window : int;
+  latencies : Desim.Stats.Sample.t;
+}
+
+val make_tracking : unit -> tracking
+
+val record_ack : tracking -> Desim.Sim.t -> Dbms.Engine.txn_result -> unit
+(** Fold one acknowledged transaction into the client-side record; reads
+    and aborted transactions leave the model untouched. *)
+
+val spawn_loader : Scenario.built -> tracking -> after_load:(unit -> unit) -> unit
+(** Populate the schema through ordinary transactions in a guest
+    process, then call [after_load] (still inside the process). *)
+
+val spawn_clients : Scenario.built -> tracking -> unit
+(** Launch the scenario's closed-loop clients; every commit is folded
+    into [tracking]. *)

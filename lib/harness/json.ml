@@ -1,0 +1,158 @@
+type t =
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+
+let rec write buf = function
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%S: " k);
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+  | Arr items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string buf ", ";
+          write buf v)
+        items;
+      Buffer.add_char buf ']'
+  | Str s -> Buffer.add_string buf (Printf.sprintf "%S" s)
+  | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string buf (Printf.sprintf "%.0f" f)
+      else Buffer.add_string buf (Printf.sprintf "%.6g" f)
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+
+let to_string j =
+  let buf = Buffer.create 1024 in
+  write buf j;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+exception Parse_error of string
+
+let of_string text =
+  let pos = ref 0 in
+  let len = String.length text in
+  let peek () = if !pos < len then text.[!pos] else '\000' in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+  in
+  let expect c = if peek () = c then advance () else fail (Printf.sprintf "expected %c" c) in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          let c = peek () in
+          advance ();
+          (match c with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'u' ->
+              (* four hex digits; validity only, keep them raw *)
+              for _ = 1 to 4 do
+                (match peek () with
+                | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> ()
+                | _ -> fail "bad unicode escape");
+                advance ()
+              done
+          | ('"' | '\\' | '/') as c -> Buffer.add_char buf c
+          | _ -> fail "bad escape");
+          loop ()
+      | '\000' -> fail "unterminated string"
+      | c ->
+          advance ();
+          Buffer.add_char buf c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while is_num_char (peek ()) do advance () done;
+    match float_of_string_opt (String.sub text start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "bad number"
+  in
+  let parse_literal lit value =
+    if !pos + String.length lit <= len && String.sub text !pos (String.length lit) = lit
+    then begin
+      pos := !pos + String.length lit;
+      value
+    end
+    else fail "bad literal"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Obj [] end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); fields ((key, v) :: acc)
+            | '}' -> advance (); List.rev ((key, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (fields [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Arr [] end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' -> advance (); items (v :: acc)
+            | ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          Arr (items [])
+        end
+    | '"' -> Str (parse_string ())
+    | 't' -> parse_literal "true" (Bool true)
+    | 'f' -> parse_literal "false" (Bool false)
+    | 'n' -> parse_literal "null" (Bool false)
+    | _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Arr _ | Str _ | Num _ | Bool _ -> None
+
+let to_num = function Num f -> Some f | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None

@@ -1,0 +1,30 @@
+(** A minimal JSON writer and validating reader (no external deps).
+
+    The machine-readable bench harnesses ([perf.exe],
+    [crash_surface.exe]) serialise their reports with this, and their
+    [--check] modes re-parse the emitted text to assert well-formedness.
+    It supports exactly the JSON the reports need: objects, arrays,
+    strings, numbers and booleans ([null] parses as [Bool false]). *)
+
+type t =
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+
+val to_string : t -> string
+(** Serialise, followed by a trailing newline. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse a complete JSON document; raises {!Parse_error} on malformed
+    input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** [member key json] is the value of [key] when [json] is an object
+    that binds it. *)
+
+val to_num : t -> float option
+val to_bool : t -> bool option

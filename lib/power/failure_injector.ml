@@ -1,9 +1,16 @@
 open Desim
 
+(* The interval is half-open, [earliest, latest): [Rng.span] draws
+   uniformly from [0, span), so [latest] itself is never chosen. The
+   empty interval [earliest = latest] degenerates deterministically to
+   [earliest] without consuming randomness; a reversed interval is a
+   caller bug and is rejected loudly. *)
 let pick_instant sim ~earliest ~latest =
   let span = Time.diff latest earliest in
-  assert (Time.compare_span span Time.zero_span > 0);
-  Time.add earliest (Rng.span (Sim.rng sim) span)
+  if Time.compare_span span Time.zero_span < 0 then
+    invalid_arg "Failure_injector: latest is before earliest";
+  if Time.compare_span span Time.zero_span = 0 then earliest
+  else Time.add earliest (Rng.span (Sim.rng sim) span)
 
 let power_cut_between sim domain ~earliest ~latest =
   let at = pick_instant sim ~earliest ~latest in

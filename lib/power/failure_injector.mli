@@ -2,9 +2,13 @@
 
 val power_cut_between :
   Desim.Sim.t -> Power_domain.t -> earliest:Desim.Time.t -> latest:Desim.Time.t -> Desim.Time.t
-(** Schedule a power cut at an instant drawn uniformly from
-    [\[earliest, latest)] using the simulation's root generator; returns
-    the chosen instant. *)
+(** Schedule a power cut at an instant drawn uniformly from the
+    half-open interval [\[earliest, latest)] using the simulation's root
+    generator; returns the chosen instant. [latest] itself is never
+    chosen. [earliest = latest] is the degenerate interval: the cut is
+    scheduled deterministically at [earliest] and no randomness is
+    consumed. Raises [Invalid_argument] if [latest] is before
+    [earliest]. *)
 
 val crash_at : Desim.Sim.t -> Desim.Time.t -> (unit -> unit) -> unit
 (** Run an arbitrary crash action (e.g. halting a guest OS) at a given
@@ -12,4 +16,6 @@ val crash_at : Desim.Sim.t -> Desim.Time.t -> (unit -> unit) -> unit
 
 val crash_between :
   Desim.Sim.t -> earliest:Desim.Time.t -> latest:Desim.Time.t -> (unit -> unit) -> Desim.Time.t
-(** Like {!power_cut_between} for an arbitrary crash action. *)
+(** Like {!power_cut_between} for an arbitrary crash action: the same
+    half-open [\[earliest, latest)] draw, the same degenerate and error
+    cases. *)

@@ -1,0 +1,128 @@
+(* Tests for the exhaustive crash-surface explorer.
+
+   These are deliberately tiny sweeps — a handful of points over a short
+   window — because `dune runtest` also runs the bench harness's quick
+   sweep. What they pin down is the machinery itself: enumeration finds
+   boundaries, replay determinism holds point-for-point, the parallel
+   fan-out is bit-identical to serial, and the explorer has teeth (it
+   sees the losses of an unprotected configuration). *)
+
+open Desim
+open Testu
+open Harness
+
+let scenario mode =
+  {
+    Scenario.default with
+    Scenario.mode;
+    workload =
+      Scenario.Micro
+        {
+          Workload.Microbench.default_config with
+          Workload.Microbench.keys = 64;
+          value_bytes = 32;
+        };
+    clients = 2;
+    seed = 99L;
+  }
+
+let tiny mode =
+  {
+    (Crash_surface.default (scenario mode)) with
+    Crash_surface.window_start = Time.ms 2;
+    window_length = Time.ms 2;
+    stride = 40;
+    tight_window = Time.ms 20;
+    tight_buffer_bytes = 64 * 1024;
+  }
+
+let enumeration_finds_boundaries () =
+  let config = tiny Scenario.Rapilog in
+  let e = Crash_surface.enumerate config Crash_surface.Power_cut in
+  Alcotest.(check bool)
+    (Printf.sprintf "boundaries found (%d)" e.Crash_surface.e_boundaries)
+    true
+    (e.Crash_surface.e_boundaries > 0);
+  Alcotest.(check bool) "candidates strided" true
+    (Array.length e.Crash_surface.e_candidates
+    <= (e.Crash_surface.e_boundaries / config.Crash_surface.stride) + 1);
+  (* Candidate clocks lie inside the window and are non-decreasing. *)
+  let previous = ref 0 in
+  Array.iter
+    (fun (_, at_ns) ->
+      Alcotest.(check bool) "inside window" true
+        (e.Crash_surface.e_window_start_ns <= at_ns
+        && at_ns < e.Crash_surface.e_window_end_ns);
+      Alcotest.(check bool) "monotonic" true (!previous <= at_ns);
+      previous := at_ns)
+    e.Crash_surface.e_candidates
+
+let enumeration_is_deterministic () =
+  let config = tiny Scenario.Rapilog in
+  let a = Crash_surface.enumerate config Crash_surface.Os_crash in
+  let b = Crash_surface.enumerate config Crash_surface.Os_crash in
+  Alcotest.(check bool) "identical enumerations" true (a = b)
+
+let rapilog_sweep_is_clean () =
+  let result = Crash_surface.sweep ~jobs:1 (tiny Scenario.Rapilog) in
+  Alcotest.(check bool)
+    (Printf.sprintf "points explored (%d)" result.Crash_surface.r_explored)
+    true
+    (result.Crash_surface.r_explored >= 3);
+  Alcotest.(check int) "no contract breaks" 0
+    result.Crash_surface.r_contract_breaks;
+  Alcotest.(check int) "no acked commit lost" 0 result.Crash_surface.r_lost_total
+
+let unprotected_sweep_has_teeth () =
+  (* The explorer must be able to see durability loss, or a clean
+     RapiLog sweep would prove nothing. *)
+  let config =
+    {
+      (tiny Scenario.Unsafe_wcache) with
+      Crash_surface.kinds = [ Crash_surface.Power_cut ];
+    }
+  in
+  let result = Crash_surface.sweep ~jobs:1 config in
+  Alcotest.(check bool)
+    (Printf.sprintf "losses seen (%d)" result.Crash_surface.r_lost_total)
+    true
+    (result.Crash_surface.r_lost_total > 0);
+  Alcotest.(check bool) "contract breaks recorded" true
+    (result.Crash_surface.r_contract_breaks > 0)
+
+let parallel_equals_serial () =
+  let config =
+    {
+      (tiny Scenario.Rapilog) with
+      Crash_surface.kinds = [ Crash_surface.Power_cut; Crash_surface.Os_crash ];
+    }
+  in
+  let serial = Crash_surface.sweep ~jobs:1 config in
+  let parallel = Crash_surface.sweep ~jobs:4 config in
+  Alcotest.(check bool) "verdicts bit-identical" true
+    (serial.Crash_surface.r_verdicts = parallel.Crash_surface.r_verdicts);
+  Alcotest.(check bool) "summaries identical" true (serial = parallel)
+
+let kind_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      match Crash_surface.kind_of_name (Crash_surface.kind_name kind) with
+      | Some k -> Alcotest.(check bool) "roundtrip" true (k = kind)
+      | None -> Alcotest.fail "kind name did not roundtrip")
+    Crash_surface.all_kinds;
+  Alcotest.(check bool) "unknown rejected" true
+    (Crash_surface.kind_of_name "meteor-strike" = None)
+
+let suites =
+  [
+    ( "harness.crash_surface",
+      [
+        case "enumeration finds boundaries in the window"
+          enumeration_finds_boundaries;
+        case "enumeration is deterministic" enumeration_is_deterministic;
+        case "rapilog sweep is clean" rapilog_sweep_is_clean;
+        case "unprotected sweep has teeth" unprotected_sweep_has_teeth;
+        case "parallel sweep equals serial" parallel_equals_serial;
+        case "kind names roundtrip" kind_names_roundtrip;
+      ] );
+  ]

@@ -672,6 +672,43 @@ let recovery_exactness_prop =
       in
       Rapilog.Durability.holds report)
 
+(* Recovery reads the devices' durable images and must not write them:
+   running it twice over the same media has to produce the identical
+   result, or a first (crashed or abandoned) recovery attempt would
+   change what a second one sees. *)
+let recovery_is_idempotent () =
+  let rig = make_rig ~seed:77L () in
+  in_guest rig (fun () ->
+      for i = 1 to 30 do
+        ignore
+          (Engine.exec rig.engine
+             [ Engine.Put { key = i mod 7; value = Printf.sprintf "v%d" i } ])
+      done);
+  (* Crash mid-run so recovery has real work: winners, losers, undo. *)
+  Sim.schedule_after rig.sim (Time.ms 5) (fun () ->
+      Hypervisor.Vmm.crash_guest rig.vmm);
+  Sim.run rig.sim;
+  let first = recover rig in
+  let second = recover rig in
+  Alcotest.(check bool) "replay stats identical" true
+    (Recovery.stats first = Recovery.stats second);
+  Alcotest.(check (list int)) "committed identical" first.Recovery.committed
+    second.Recovery.committed;
+  Alcotest.(check (list int)) "aborted identical" first.Recovery.aborted
+    second.Recovery.aborted;
+  Alcotest.(check (list int)) "losers identical" first.Recovery.losers
+    second.Recovery.losers;
+  Alcotest.(check int) "store sizes identical"
+    (Hashtbl.length first.Recovery.store)
+    (Hashtbl.length second.Recovery.store);
+  Hashtbl.iter
+    (fun key value ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "key %d identical" key)
+        (Some value)
+        (Hashtbl.find_opt second.Recovery.store key))
+    first.Recovery.store
+
 let suites =
   [
     ( "dbms.crc32",
@@ -755,6 +792,7 @@ let suites =
         case "checkpoint bounds redo work" checkpoint_bounds_redo_work;
         case "empty devices" recovery_empty_devices;
         recovery_exactness_prop;
+        case "recovery is idempotent" recovery_is_idempotent;
       ] );
   ]
 

@@ -143,6 +143,49 @@ let injector_crash_between () =
       Alcotest.(check bool) "in range" true Time.(earliest <= at && at < latest)
   | None -> Alcotest.fail "crash action did not run"
 
+(* The interval contract, pinned: [earliest, latest) is half-open, the
+   empty interval degenerates deterministically to [earliest], and a
+   reversed interval is a caller bug, not a silent clamp. *)
+
+let injector_interval_is_half_open () =
+  (* A 2ns-wide interval can only ever produce earliest or earliest+1;
+     latest itself must never be chosen, whatever the seed. *)
+  let earliest = Time.add Time.zero (Time.ms 10) in
+  let latest = Time.add earliest (Time.ns 2) in
+  for seed = 1 to 500 do
+    let sim = Sim.create ~seed:(Int64.of_int seed) () in
+    let chosen =
+      Power.Failure_injector.crash_between sim ~earliest ~latest (fun () -> ())
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d in [earliest, latest)" seed)
+      true
+      Time.(earliest <= chosen && chosen < latest)
+  done
+
+let injector_empty_interval_degenerates () =
+  let at = Time.add Time.zero (Time.ms 7) in
+  let sim = Sim.create ~seed:11L () in
+  let chosen = Power.Failure_injector.crash_between sim ~earliest:at ~latest:at (fun () -> ()) in
+  Alcotest.(check int) "earliest itself" (Time.to_ns at) (Time.to_ns chosen);
+  (* The degenerate case consumes no randomness: a subsequent draw must
+     match a fresh simulation with the same seed that never made the
+     degenerate pick. *)
+  let control = Sim.create ~seed:11L () in
+  Alcotest.(check int) "rng untouched"
+    (Time.span_to_ns (Rng.span (Sim.rng control) (Time.ms 1)))
+    (Time.span_to_ns (Rng.span (Sim.rng sim) (Time.ms 1)))
+
+let injector_reversed_interval_rejected () =
+  let sim = Sim.create ~seed:2L () in
+  let earliest = Time.add Time.zero (Time.ms 20) in
+  let latest = Time.add Time.zero (Time.ms 10) in
+  Alcotest.check_raises "reversed interval"
+    (Invalid_argument "Failure_injector: latest is before earliest")
+    (fun () ->
+      ignore
+        (Power.Failure_injector.crash_between sim ~earliest ~latest (fun () -> ())))
+
 let suites =
   [
     ( "power.psu",
@@ -168,5 +211,9 @@ let suites =
         case "deterministic by seed" injector_deterministic_by_seed;
         case "crash_at fires on time" injector_crash_at;
         case "crash_between fires at chosen instant" injector_crash_between;
+        case "interval is half-open" injector_interval_is_half_open;
+        case "empty interval degenerates to earliest"
+          injector_empty_interval_degenerates;
+        case "reversed interval rejected" injector_reversed_interval_rejected;
       ] );
   ]
