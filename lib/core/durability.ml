@@ -19,6 +19,30 @@ let compare_txids ~committed ~recovered =
     extra;
   }
 
+(* The same comparison for callers that maintain the acknowledged set
+   as a sorted array: one merge walk, no per-call set building. The
+   crash sweep calls this once per crash point. *)
+let compare_sorted ~committed ~n ~recovered =
+  let lost = ref [] and extra = ref [] and inter = ref 0 in
+  let i = ref 0 in
+  List.iter
+    (fun r ->
+      while !i < n && committed.(!i) < r do
+        lost := committed.(!i) :: !lost;
+        incr i
+      done;
+      if !i < n && committed.(!i) = r then begin
+        incr i;
+        incr inter
+      end
+      else extra := r :: !extra)
+    recovered;
+  while !i < n do
+    lost := committed.(!i) :: !lost;
+    incr i
+  done;
+  { committed = n; recovered = !inter; lost = List.rev !lost; extra = List.rev !extra }
+
 let holds report = report.lost = []
 
 type store_diff = { key : int; expected : string option; actual : string option }

@@ -18,6 +18,12 @@ type report = {
 
 val compare_txids : committed:int list -> recovered:int list -> report
 
+val compare_sorted : committed:int array -> n:int -> recovered:int list -> report
+(** [compare_txids] for an acknowledged set kept as the first [n]
+    elements of a strictly ascending array and a recovered list already
+    sorted ascending and duplicate-free ({!Dbms.Recovery} reports it
+    so): a single merge walk instead of two set constructions. *)
+
 val holds : report -> bool
 (** No acknowledged transaction was lost. *)
 

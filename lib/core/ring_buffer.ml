@@ -126,5 +126,11 @@ let pop_coalesced t ~max_bytes =
     Some { lba = base; data = Bytes.unsafe_to_string merged }
   end
 
+let iter t f =
+  for i = 0 to t.count - 1 do
+    let j = slot t i in
+    f { lba = t.lbas.(j); data = t.datas.(j) }
+  done
+
 let pushed_bytes t = t.pushed
 let popped_bytes t = t.popped

@@ -33,6 +33,11 @@ val pop_coalesced : t -> max_bytes:int -> entry option
     immediately after the accumulated range and the merged size stays
     within [max_bytes]. Later entries overwrite overlapping sectors. *)
 
+val iter : t -> (entry -> unit) -> unit
+(** Visit the queued entries oldest-first without consuming them. The
+    crash-surface reconstruction snapshots the buffer contents at a
+    boundary with this. *)
+
 val pushed_bytes : t -> int
 (** Total bytes ever accepted. *)
 

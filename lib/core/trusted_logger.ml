@@ -26,7 +26,10 @@ type t = {
   mutable drain_writes : int;
   mutable max_buffered : int;
   mutable stalls : int;
+  journal : Journal.t option;
 }
+
+let journal_device t = Storage.Block.journal_id t.device
 
 let drainer t () =
   while true do
@@ -37,6 +40,11 @@ let drainer t () =
         Resource.Condition.wait t.arrived
     | Some { Ring_buffer.lba; data } ->
         t.draining <- true;
+        (match t.journal with
+        | Some j ->
+            Journal.pop j t.sim ~device:(journal_device t) ~lba
+              ~bytes:(String.length data)
+        | None -> ());
         Storage.Block.write t.device ~lba data;
         t.drained_bytes <- t.drained_bytes + String.length data;
         t.drain_writes <- t.drain_writes + 1;
@@ -69,6 +77,7 @@ let create sim ~domain ?(trace = Trace.null) config ~device =
       drain_writes = 0;
       max_buffered = 0;
       stalls = 0;
+      journal = Journal.recording ();
     }
   in
   ignore (Hypervisor.Domain.spawn domain ~name:"rapilog-drain" (drainer t));
@@ -105,6 +114,9 @@ let accept_write t ~lba ~data =
       if not t.accepting then block_forever ()
     done;
     if not t.accepting then block_forever ();
+    (match t.journal with
+    | Some j -> Journal.push j t.sim ~device:(journal_device t) ~lba ~data
+    | None -> ());
     t.acked_bytes <- t.acked_bytes + String.length data;
     t.acked_writes <- t.acked_writes + 1;
     t.max_buffered <- max t.max_buffered (Ring_buffer.bytes_used t.ring);

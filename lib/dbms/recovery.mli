@@ -77,3 +77,77 @@ val scan_records :
     stops at the first invalid one, reading only slightly past the valid
     log even when the device's written extent is much larger (the
     single-disk layout). This is what {!run} uses. *)
+
+(** Incremental recovery over a monotonically growing base media image,
+    for sweeps that run recovery at many nearby crash points. A
+    {!Incremental.shared} value, built once per reference run from the
+    "future stream" (every byte the run ever pushes at its log, latest
+    version winning), holds the decoded record array and the
+    transaction/page position indexes every point's scan and analysis
+    reduce to. A cursor-local {!Incremental.t} adds byte watermarks
+    that certify each point's durable log is a verified prefix of the
+    stream, plus redo state repeated once over the evolving base data
+    volume and patched per point at page granularity. Each {!run}
+    produces a {!result} identical (counters included) to what the
+    sequential {!run} returns on the same media — the crash sweep's
+    differential oracle compares the two bit-for-bit. See the
+    implementation comment for the exact sharing discipline. *)
+module Incremental : sig
+  type shared
+  (** Immutable per-reference-run state; safe to share across domains. *)
+
+  val prepare :
+    wal_config:Wal.config ->
+    pool_config:Buffer_pool.config ->
+    log_sector_size:int ->
+    future:string ->
+    shared
+  (** [future] is the reference run's log stream image: every push's
+      payload blitted at its stream offset (offset 0 =
+      [log_start_lba]), later pushes overwriting earlier ones. *)
+
+  type t
+
+  val create : shared -> data_base:Storage.Block.t -> t
+  (** [data_base] must read through to the evolving base data volume:
+      the cache re-probes invalidated pages after every
+      {!note_data_write}. *)
+
+  val note_log_write : t -> lba:int -> data:string -> unit
+  (** A write became durable on the base log device: verify it against
+      the future stream and advance (or, on a stale tail sector,
+      retract) the base watermark. *)
+
+  val note_push : t -> lba:int -> data:string -> unit
+  (** The logger buffered a log write: verify it against the future
+      stream and advance the push watermark, below which per-point
+      replayed drain writes are trusted without comparison. *)
+
+  val note_data_write : t -> lba:int -> sectors:int -> unit
+  (** A write became durable at [lba] (data-volume address space) on
+      the base data volume: invalidate the cached pages whose slots it
+      intersects. *)
+
+  val run :
+    t ->
+    log_overlay:(int * string * int * bool) list ->
+    data_overlay:(int * int) list ->
+    log_device:Storage.Block.t ->
+    data_device:Storage.Block.t ->
+    result
+  (** Recovery over the point's media: the base image plus the point's
+      overlays. [log_overlay] lists the point's log-device writes as
+      [(lba, data, persisted_sectors, push_derived)] in application
+      order — exactly what [log_device] layers over the base;
+      [push_derived] marks writes whose bytes replay buffered pushes
+      (trusted below the push watermark; recorded device batches with
+      possibly-stale tail sectors must pass [false] and are compared
+      directly). [data_overlay] lists the point's data-volume writes as
+      [(lba, sectors)] ranges in the data volume's address space.
+      [log_device] and [data_device] are the point's frozen devices
+      (master-block reads, page loads, extents). *)
+
+  val rebuilds : t -> int
+  (** Times the shared redo state was rebuilt from scratch after a
+      master-block move (diagnostic; never on the sweep's workloads). *)
+end

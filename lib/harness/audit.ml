@@ -8,6 +8,8 @@ type t = {
 module Int_set = Set.Make (Int)
 
 let keys_written_by recovery txids =
+  if txids = [] then Int_set.empty
+  else
   let txid_set = Int_set.of_list txids in
   List.fold_left
     (fun keys (record, _lsn) ->
@@ -27,19 +29,19 @@ let without_keys table excluded =
     table;
   copy
 
-let check ~model ~acked ~recovery =
-  let durability =
-    Rapilog.Durability.compare_txids ~committed:acked
-      ~recovered:recovery.Dbms.Recovery.committed
-  in
-  (* Durable-but-unacknowledged commits (and, under a lost-ack race,
-     aborted-after-ack ones) legitimately diverge from the client-side
-     model on exactly the keys they wrote. *)
+(* Durable-but-unacknowledged commits (and, under a lost-ack race,
+   aborted-after-ack ones) legitimately diverge from the client-side
+   model on exactly the keys they wrote. *)
+let check_with ~model ~durability ~recovery =
   let excluded = keys_written_by recovery durability.Rapilog.Durability.extra in
   let diffs =
-    Rapilog.Durability.diff_stores
-      ~expected:(without_keys model excluded)
-      ~actual:(without_keys recovery.Dbms.Recovery.store excluded)
+    if Int_set.is_empty excluded then
+      Rapilog.Durability.diff_stores ~expected:model
+        ~actual:recovery.Dbms.Recovery.store
+    else
+      Rapilog.Durability.diff_stores
+        ~expected:(without_keys model excluded)
+        ~actual:(without_keys recovery.Dbms.Recovery.store excluded)
   in
   {
     durability;
@@ -47,6 +49,18 @@ let check ~model ~acked ~recovery =
     diff_count = List.length diffs;
     excluded_keys = Int_set.cardinal excluded;
   }
+
+let check ~model ~acked ~recovery =
+  check_with ~model ~recovery
+    ~durability:
+      (Rapilog.Durability.compare_txids ~committed:acked
+         ~recovered:recovery.Dbms.Recovery.committed)
+
+let check_sorted ~model ~acked ~n_acked ~recovery =
+  check_with ~model ~recovery
+    ~durability:
+      (Rapilog.Durability.compare_sorted ~committed:acked ~n:n_acked
+         ~recovered:recovery.Dbms.Recovery.committed)
 
 let pp fmt t =
   Format.fprintf fmt "%a state-exact=%b diffs=%d excluded=%d"

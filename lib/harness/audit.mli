@@ -24,4 +24,14 @@ val check :
   recovery:Dbms.Recovery.result ->
   t
 
+val check_sorted :
+  model:(int, string) Hashtbl.t ->
+  acked:int array ->
+  n_acked:int ->
+  recovery:Dbms.Recovery.result ->
+  t
+(** {!check} for an acknowledged set kept as the first [n_acked]
+    elements of a strictly ascending array — the journal sweep's cursor
+    representation; avoids per-point set building. *)
+
 val pp : Format.formatter -> t -> unit

@@ -20,6 +20,7 @@ type config = {
   kinds : kind list;
   tight_window : Time.span;
   tight_buffer_bytes : int;
+  media_digests : bool;
 }
 
 let default scenario =
@@ -31,6 +32,7 @@ let default scenario =
     kinds = all_kinds;
     tight_window = Time.ms 20;
     tight_buffer_bytes = 128 * 1024;
+    media_digests = false;
   }
 
 (* The tight-budget kind changes the machine under test: a smaller PSU
@@ -122,9 +124,33 @@ type verdict = {
   v_diff_count : int;
   v_invariant_violations : int;
   v_buffered_at_cut : int;
+  v_media_crc : int;
   v_stats : Dbms.Recovery.replay_stats;
   v_contract_ok : bool;
 }
+
+(* A deterministic digest of the durable media a recovery pass would
+   read, computed through the same {!Storage.Block} durable interface on
+   both the full-replay and the journal-reconstruction paths — so a
+   single integer comparison certifies the two produced bit-identical
+   post-crash images. *)
+let media_digest ~log ~data =
+  let fold_device acc device =
+    let extent = Storage.Block.durable_extent device in
+    let chunk = 256 in
+    let rec go acc lba =
+      if lba >= extent then acc
+      else begin
+        let sectors = min chunk (extent - lba) in
+        let data = Storage.Block.durable_read device ~lba ~sectors in
+        let crc = Int32.to_int (Dbms.Crc32.digest_string data) land 0xFFFFFFFF in
+        go (((acc * 16777619) + crc) land max_int) (lba + sectors)
+      end
+    in
+    let acc = ((acc * 16777619) + extent) land max_int in
+    if extent = 0 then acc else go acc 0
+  in
+  fold_device (fold_device 17 log) data
 
 let run_point config kind ~event_index ~at_ns =
   let built = Scenario.build (effective_scenario config kind) in
@@ -173,13 +199,19 @@ let run_point config kind ~event_index ~at_ns =
         | Some dead -> dead
         | None -> assert false
       in
-      (* Just before hold-up expiry the machine stops executing (the
-         guest halts); nothing is acknowledged at or after the instant
-         the devices lose power. Same discipline as
-         {!Experiment.run_failure}. *)
-      Sim.schedule_at sim
-        (Time.add dead (Time.ns (-1000)))
-        (fun () -> Hypervisor.Vmm.crash_guest built.Scenario.vmm);
+      (match built.Scenario.logger with
+      | Some _ ->
+          (* With the trusted logger deployed, the power-fail interrupt
+             halts the guest at the instant of the cut — the paper's
+             discipline: from the NMI on, only the trusted drain runs.
+             Nothing is acknowledged at or after the cut. *)
+          Hypervisor.Vmm.crash_guest built.Scenario.vmm
+      | None ->
+          (* Unprotected baselines get no power-fail warning: the machine
+             keeps executing until just before hold-up expiry. *)
+          Sim.schedule_at sim
+            (Time.add dead (Time.ns (-1000)))
+            (fun () -> Hypervisor.Vmm.crash_guest built.Scenario.vmm));
       Sim.schedule_at sim (Time.add dead (Time.ms 2)) stop_monitor);
   Sim.run sim;
   let recovery =
@@ -206,6 +238,11 @@ let run_point config kind ~event_index ~at_ns =
     v_diff_count = audit.Audit.diff_count;
     v_invariant_violations = invariant_violations;
     v_buffered_at_cut = buffered_at_cut;
+    v_media_crc =
+      (if config.media_digests then
+         media_digest ~log:built.Scenario.log_physical
+           ~data:built.Scenario.data_physical
+       else -1);
     v_stats = Dbms.Recovery.stats recovery;
     v_contract_ok =
       Rapilog.Durability.holds audit.Audit.durability
@@ -232,6 +269,32 @@ type result = {
   r_verdicts : verdict list;
 }
 
+let assemble config ~boundaries_by_kind verdicts =
+  let summary_of (kind, boundaries) =
+    let of_kind = List.filter (fun v -> v.v_kind = kind) verdicts in
+    {
+      k_kind = kind;
+      k_boundaries = boundaries;
+      k_explored = List.length of_kind;
+      k_contract_breaks =
+        List.length (List.filter (fun v -> not v.v_contract_ok) of_kind);
+      k_lost = List.fold_left (fun acc v -> acc + v.v_lost) 0 of_kind;
+    }
+  in
+  let kinds = List.map summary_of boundaries_by_kind in
+  {
+    r_mode = config.scenario.Scenario.mode;
+    r_stride = config.stride;
+    r_kinds = kinds;
+    r_total_boundaries =
+      List.fold_left (fun acc k -> acc + k.k_boundaries) 0 kinds;
+    r_explored = List.fold_left (fun acc k -> acc + k.k_explored) 0 kinds;
+    r_contract_breaks =
+      List.fold_left (fun acc k -> acc + k.k_contract_breaks) 0 kinds;
+    r_lost_total = List.fold_left (fun acc k -> acc + k.k_lost) 0 kinds;
+    r_verdicts = verdicts;
+  }
+
 let sweep ?jobs config =
   (* Enumeration is one serial replay per kind; the crash points are the
      fan-out. Each point is an independent deterministic simulation, so
@@ -251,27 +314,912 @@ let sweep ?jobs config =
         run_point config kind ~event_index ~at_ns)
       tasks
   in
-  let summary_of e =
-    let of_kind = List.filter (fun v -> v.v_kind = e.e_kind) verdicts in
+  assemble config
+    ~boundaries_by_kind:(List.map (fun e -> (e.e_kind, e.e_boundaries)) enums)
+    verdicts
+
+(* {2 Journal-based incremental reconstruction}
+
+   The full-replay sweep above re-executes the whole scenario once per
+   crash point: O(points × run length). The journal sweep executes the
+   scenario {e once} per kind with a {!Desim.Journal} recording every
+   durable-media mutation, buffer push/pop, write submission and commit
+   acknowledgement — then walks the crash points in increasing event
+   order, folding journal deltas into a single evolving media image, and
+   synthesizes each point's post-crash state from the deltas that were
+   still in flight at its boundary. Only recovery and the audit run per
+   point.
+
+   Soundness rests on two facts the code asserts wherever it can:
+
+   - {b determinism}: the recording run executes the identical event
+     sequence as any {!run_point} replay (recording appends to flat
+     arrays and schedules nothing), so a journal record stamped with
+     event index [i] describes exactly what the replay would have done
+     at that index;
+   - {b completeness}: every mutation that can reach durable media
+     before a crash point settles is journaled — device-level transfer
+     starts and completions, trusted-buffer admissions and drains,
+     volume-level write submissions (the instant a request survives a
+     guest crash), and client acknowledgements. Enumeration keeps
+     stepping past the window until every submission inside it has its
+     downstream records, so synthesis never reads off the journal's
+     end. *)
+
+let journal_supported (scenario : Scenario.config) =
+  scenario.Scenario.mode = Scenario.Rapilog
+  && (not scenario.Scenario.single_disk)
+  && match scenario.Scenario.device with
+     | Scenario.Disk _ -> true
+     | Scenario.Flash _ -> false
+
+(* Everything the reconstruction needs about one kind's reference run:
+   the journal, the boundary enumeration, the effective machine
+   parameters, the endpoint ids, and the FIFO pairings between related
+   record streams. All of it is immutable after this returns — chunk
+   workers on other domains read it freely. *)
+type prep = {
+  p_kind : kind;
+  p_enum : enumeration;
+  p_journal : Journal.t;
+  p_hdd : Storage.Hdd.config;
+  p_sector_size : int;
+  p_buffer_bytes : int;
+  p_drain_max : int;
+  p_window_ns : int;  (* PSU hold-up of the effective configuration *)
+  p_wal_config : Dbms.Wal.config;
+  p_pool_config : Dbms.Buffer_pool.config;
+  p_chunk_sectors : int;  (* 0 when the data volume is a single device *)
+  p_log_dev : int;
+  p_members : int array;  (* data-member device endpoints *)
+  p_log_port : int;
+  p_data_port : int;
+  p_violations_ns : int array;  (* monitor violation instants, ascending *)
+  (* FIFO pairings, by occurrence order. The drainer is the log device's
+     only client, so the k-th Pop, the k-th log Write_start and the k-th
+     log Write_complete describe one physical write; the WAL's force
+     mutex serializes log submissions, so the k-th log-port Submit pairs
+     with the k-th Push; each data-port Submit fans out into per-member
+     segments served FIFO, so per member the k-th Write_start/-complete
+     pair with the k-th expected segment. *)
+  p_log_pops : int array;  (* journal positions *)
+  p_log_starts : int array;
+  p_log_completes : int array;
+  p_log_submits : int array;
+  p_pushes : int array;
+  p_member_starts : int array array;
+  p_member_completes : int array array;
+  p_member_submit_pos : int array array;
+      (* position of the Submit that produced the k-th write of member m *)
+  p_shared : Dbms.Recovery.Incremental.shared;
+      (* future-stream record/index tables, built once per kind *)
+}
+
+let member_slot members endpoint =
+  let rec go i =
+    if i >= Array.length members then -1
+    else if members.(i) = endpoint then i
+    else go (i + 1)
+  in
+  go 0
+
+let segments_of prep ~lba ~sectors =
+  if prep.p_chunk_sectors = 0 then
+    [ { Storage.Stripe.member = 0; member_lba = lba; global_off = lba; sectors } ]
+  else
+    Storage.Stripe.plan
+      ~members:(Array.length prep.p_members)
+      ~chunk_sectors:prep.p_chunk_sectors ~lba ~sectors
+
+(* Build the pairing arrays with one pass over the journal, asserting
+   the FIFO disciplines they encode. *)
+let pair_journal prep_partial journal =
+  let p = prep_partial in
+  let log_pops = ref [] and log_starts = ref [] and log_completes = ref [] in
+  let log_submits = ref [] and pushes = ref [] in
+  let n_members = Array.length p.p_members in
+  let member_starts = Array.make n_members [] in
+  let member_completes = Array.make n_members [] in
+  let member_submit_pos = Array.make n_members [] in
+  (* Per-member queue of segments expected from data-port submissions:
+     (member_lba, sectors, submit position). *)
+  let expected : (int * int * int) Queue.t array =
+    Array.init n_members (fun _ -> Queue.create ())
+  in
+  let pending_log_submits = Queue.create () in
+  for pos = 0 to Journal.length journal - 1 do
+    let a = Journal.a journal pos in
+    match Journal.kind journal pos with
+    | Journal.Pop ->
+        assert (a = p.p_log_dev);
+        log_pops := pos :: !log_pops
+    | Journal.Push ->
+        assert (a = p.p_log_dev);
+        let lba, _sectors, _submit = Queue.pop pending_log_submits in
+        assert (lba = Journal.b journal pos);
+        pushes := pos :: !pushes
+    | Journal.Submit ->
+        if a = p.p_log_port then begin
+          Queue.push
+            (Journal.b journal pos, Journal.c journal pos, pos)
+            pending_log_submits;
+          log_submits := pos :: !log_submits
+        end
+        else if a = p.p_data_port then
+          List.iter
+            (fun seg ->
+              Queue.push
+                (seg.Storage.Stripe.member_lba, seg.Storage.Stripe.sectors, pos)
+                expected.(seg.Storage.Stripe.member))
+            (segments_of p ~lba:(Journal.b journal pos)
+               ~sectors:(Journal.c journal pos))
+        else assert false
+    | Journal.Write_start ->
+        if a = p.p_log_dev then log_starts := pos :: !log_starts
+        else begin
+          let m = member_slot p.p_members a in
+          assert (m >= 0);
+          let member_lba, sectors, submit = Queue.pop expected.(m) in
+          assert (member_lba = Journal.b journal pos);
+          assert (sectors = Journal.c journal pos);
+          member_starts.(m) <- pos :: member_starts.(m);
+          member_submit_pos.(m) <- submit :: member_submit_pos.(m)
+        end
+    | Journal.Write_complete ->
+        if a = p.p_log_dev then log_completes := pos :: !log_completes
+        else begin
+          let m = member_slot p.p_members a in
+          assert (m >= 0);
+          member_completes.(m) <- pos :: member_completes.(m)
+        end
+    | Journal.Ack -> ()
+  done;
+  let arr l = Array.of_list (List.rev l) in
+  let p =
     {
-      k_kind = e.e_kind;
-      k_boundaries = e.e_boundaries;
-      k_explored = List.length of_kind;
-      k_contract_breaks =
-        List.length (List.filter (fun v -> not v.v_contract_ok) of_kind);
-      k_lost = List.fold_left (fun acc v -> acc + v.v_lost) 0 of_kind;
+      p with
+      p_log_pops = arr !log_pops;
+      p_log_starts = arr !log_starts;
+      p_log_completes = arr !log_completes;
+      p_log_submits = arr !log_submits;
+      p_pushes = arr !pushes;
+      p_member_starts = Array.map arr member_starts;
+      p_member_completes = Array.map arr member_completes;
+      p_member_submit_pos = Array.map arr member_submit_pos;
     }
   in
-  let kinds = List.map summary_of enums in
+  (* Cross-check the log-device FIFO: pop k, start k and complete k name
+     the same write. *)
+  Array.iteri
+    (fun k pop ->
+      let check arr =
+        if k < Array.length arr then
+          assert (Journal.b journal arr.(k) = Journal.b journal pop)
+      in
+      check p.p_log_starts;
+      check p.p_log_completes)
+    p.p_log_pops;
+  p
+
+let grace_bound = Time.ms 500
+let settle_check_steps = 2048
+
+(* One reference run of [kind]'s effective configuration with journal
+   recording on. Returns the boundary enumeration (identical to
+   {!enumerate}'s — recording perturbs nothing) plus the paired journal.
+   After the window closes, the run keeps stepping until every
+   submission and drain issued inside it has its downstream records in
+   the journal, so per-point synthesis never needs records the run
+   didn't produce. *)
+let enumerate_journal config kind =
+  if config.stride < 1 then invalid_arg "Crash_surface: stride must be >= 1";
+  if not (journal_supported config.scenario) then
+    invalid_arg
+      "Crash_surface: journal sweep requires Rapilog mode, a dedicated log \
+       disk and rotational devices";
+  let effective = effective_scenario config kind in
+  let journal = Journal.create () in
+  Journal.start_recording journal;
+  Fun.protect ~finally:Journal.stop_recording @@ fun () ->
+  let built = Scenario.build effective in
+  let sim = built.Scenario.sim in
+  let track = Driver.make_tracking () in
+  let monitor = Option.map (Rapilog.Invariants.attach sim) built.Scenario.logger in
+  let window = ref None in
+  Driver.spawn_loader built track ~after_load:(fun () ->
+      let ws = Time.add (Sim.now sim) config.window_start in
+      window := Some (ws, Time.add ws config.window_length);
+      Driver.spawn_clients built track);
+  let boundaries = ref 0 in
+  let candidates = ref [] in
+  let cut_len = ref None in
+  while !cut_len = None && Sim.step sim do
+    match !window with
+    | None -> ()
+    | Some (ws, we) ->
+        let now = Sim.now sim in
+        if Time.(we <= now) then cut_len := Some (Journal.length journal)
+        else if Time.(ws <= now) then begin
+          if !boundaries mod config.stride = 0 then
+            candidates :=
+              (Sim.events_executed sim, Time.to_ns now) :: !candidates;
+          incr boundaries
+        end
+  done;
+  let cut_len =
+    match !cut_len with
+    | Some n -> n
+    | None -> failwith "Crash_surface.enumerate_journal: window never closed"
+  in
+  let ws, we =
+    match !window with Some (ws, we) -> (ws, we) | None -> assert false
+  in
+  let log_dev = Storage.Block.journal_id built.Scenario.log_physical in
+  let log_port = Storage.Block.journal_id built.Scenario.log_attached in
+  let data_port = Storage.Block.journal_id built.Scenario.data_attached in
+  let members = Array.map Storage.Block.journal_id built.Scenario.data_members in
+  assert (log_dev >= 0 && log_port >= 0 && data_port >= 0);
+  Array.iter (fun m -> assert (m >= 0)) members;
+  let chunk_sectors = built.Scenario.data_chunk_sectors in
+  (* Demand side, frozen at window close: what the records inside the
+     window still owe the journal. *)
+  let n_members = Array.length members in
+  let pops_due = ref 0 and log_submits_due = ref 0 in
+  let member_due = Array.make n_members 0 in
+  let plan_segments ~lba ~sectors =
+    if chunk_sectors = 0 then
+      [ { Storage.Stripe.member = 0; member_lba = lba; global_off = lba; sectors } ]
+    else
+      Storage.Stripe.plan ~members:n_members ~chunk_sectors ~lba ~sectors
+  in
+  for pos = 0 to cut_len - 1 do
+    match Journal.kind journal pos with
+    | Journal.Pop -> incr pops_due
+    | Journal.Submit ->
+        let a = Journal.a journal pos in
+        if a = log_port then incr log_submits_due
+        else if a = data_port then
+          List.iter
+            (fun seg ->
+              member_due.(seg.Storage.Stripe.member) <-
+                member_due.(seg.Storage.Stripe.member) + 1)
+            (plan_segments ~lba:(Journal.b journal pos)
+               ~sectors:(Journal.c journal pos))
+    | _ -> ()
+  done;
+  (* Supply side, maintained incrementally over the grace period. *)
+  let log_completes = ref 0 and pushes = ref 0 in
+  let member_completes = Array.make n_members 0 in
+  let scanned = ref 0 in
+  let settled () =
+    for pos = !scanned to Journal.length journal - 1 do
+      let a = Journal.a journal pos in
+      match Journal.kind journal pos with
+      | Journal.Write_complete ->
+          if a = log_dev then incr log_completes
+          else begin
+            let m = member_slot members a in
+            if m >= 0 then member_completes.(m) <- member_completes.(m) + 1
+          end
+      | Journal.Push -> incr pushes
+      | _ -> ()
+    done;
+    scanned := Journal.length journal;
+    !log_completes >= !pops_due
+    && !pushes >= !log_submits_due
+    && Array.for_all2 ( <= ) member_due member_completes
+  in
+  let deadline = Time.add we grace_bound in
+  while not (settled ()) do
+    if Time.(deadline < Sim.now sim) then
+      failwith "Crash_surface.enumerate_journal: run did not settle in grace";
+    let steps = ref 0 in
+    while !steps < settle_check_steps && Sim.step sim do
+      incr steps
+    done;
+    if !steps = 0 && not (settled ()) then
+      failwith "Crash_surface.enumerate_journal: simulation ended unsettled"
+  done;
+  let enum =
+    {
+      e_kind = kind;
+      e_window_start_ns = Time.to_ns ws;
+      e_window_end_ns = Time.to_ns we;
+      e_boundaries = !boundaries;
+      e_candidates = Array.of_list (List.rev !candidates);
+    }
+  in
+  let violations_ns =
+    match monitor with
+    | None -> [||]
+    | Some monitor ->
+        Array.of_list
+          (List.map
+             (fun v -> Time.to_ns v.Rapilog.Invariants.at)
+             (Rapilog.Invariants.violations monitor))
+  in
+  let hdd =
+    match effective.Scenario.device with
+    | Scenario.Disk hdd -> hdd
+    | Scenario.Flash _ -> assert false
+  in
+  (* The future stream: every log push's payload at its stream offset,
+     later pushes overwriting earlier ones (a force appending into a
+     partially-filled tail sector re-pushes that sector fuller). Every
+     point's durable log is a verified prefix of this image — the
+     incremental engine's whole scan/analysis phase reduces to binary
+     searches over its one-time decode. *)
+  let future =
+    let start = built.Scenario.wal_config.Dbms.Wal.log_start_lba in
+    let ss = hdd.Storage.Hdd.sector_size in
+    let fb = ref (Bytes.make 65536 '\000') and flen = ref 0 in
+    for pos = 0 to Journal.length journal - 1 do
+      match Journal.kind journal pos with
+      | Journal.Push when Journal.a journal pos = log_dev ->
+          let lba = Journal.b journal pos in
+          assert (lba >= start);
+          let data = Journal.payload journal pos in
+          let off = (lba - start) * ss in
+          let len = String.length data in
+          if off + len > Bytes.length !fb then begin
+            let cap = ref (Bytes.length !fb) in
+            while !cap < off + len do
+              cap := !cap * 2
+            done;
+            let fresh = Bytes.make !cap '\000' in
+            Bytes.blit !fb 0 fresh 0 !flen;
+            fb := fresh
+          end;
+          Bytes.blit_string data 0 !fb off len;
+          if off + len > !flen then flen := off + len
+      | _ -> ()
+    done;
+    Bytes.sub_string !fb 0 !flen
+  in
+  let shared =
+    Dbms.Recovery.Incremental.prepare ~wal_config:built.Scenario.wal_config
+      ~pool_config:built.Scenario.config.Scenario.pool
+      ~log_sector_size:hdd.Storage.Hdd.sector_size ~future
+  in
+  let prep_partial =
+    {
+      p_kind = kind;
+      p_enum = enum;
+      p_journal = journal;
+      p_hdd = hdd;
+      p_sector_size = hdd.Storage.Hdd.sector_size;
+      p_buffer_bytes =
+        effective.Scenario.logger.Rapilog.Trusted_logger.buffer_bytes;
+      p_drain_max =
+        effective.Scenario.logger.Rapilog.Trusted_logger.drain_max_bytes;
+      p_window_ns = Time.span_to_ns (Power.Psu.window effective.Scenario.psu);
+      p_wal_config = built.Scenario.wal_config;
+      p_pool_config = built.Scenario.config.Scenario.pool;
+      p_chunk_sectors = chunk_sectors;
+      p_log_dev = log_dev;
+      p_members = members;
+      p_log_port = log_port;
+      p_data_port = data_port;
+      p_violations_ns = violations_ns;
+      p_log_pops = [||];
+      p_log_starts = [||];
+      p_log_completes = [||];
+      p_log_submits = [||];
+      p_pushes = [||];
+      p_member_starts = [||];
+      p_member_completes = [||];
+      p_member_submit_pos = [||];
+      p_shared = shared;
+    }
+  in
+  pair_journal prep_partial journal
+
+(* The evolving image of one kind's reference run at a boundary: the
+   durable media as of the boundary, the trusted-buffer replica, the
+   client-side model, and the in-flight bookkeeping synthesis needs.
+   Strictly monotone — a cursor only ever advances. *)
+type cursor = {
+  mutable pos : int;  (* next journal position to fold in *)
+  log_base : Storage.Block.Media.t;
+  member_base : Storage.Block.Media.t array;
+  inc : Dbms.Recovery.Incremental.t;
+      (* incremental recovery cache over the base image; fed every base
+         durable write, consulted per point instead of a full pass *)
+  replica : Rapilog.Ring_buffer.t;
+  model : (int, string) Hashtbl.t;
+  (* Acknowledged txids as a sorted array: acks arrive near-ascending,
+     and the per-point audit wants a merge walk, not a set build. *)
+  mutable acked : int array;
+  mutable n_acked : int;
+  mutable pops_seen : int;
+  mutable log_completes_seen : int;
+  mutable pushes_seen : int;
+  mutable log_submits_seen : int;
+  mutable last_log_lba : int;  (* of the last completed log write; -1 if none *)
+  member_completes_seen : int array;
+  member_expected : int array;  (* segments owed by data submissions so far *)
+}
+
+let cursor_create prep =
+  let journal = prep.p_journal in
+  let media_of endpoint =
+    let ep = Journal.endpoint journal endpoint in
+    Storage.Block.Media.create ~sector_size:ep.Journal.ep_sector_size
+      ~capacity_sectors:ep.Journal.ep_capacity_sectors
+  in
+  let n_members = Array.length prep.p_members in
+  let log_base = media_of prep.p_log_dev in
+  let member_base = Array.map media_of prep.p_members in
+  (* A frozen view of the evolving base data volume for the incremental
+     cache's page probes: media are mutable, so reads reflect every
+     cursor advance. *)
+  let member_frozen =
+    Array.map (Storage.Block.of_media ~model:"journal-base") member_base
+  in
+  let data_base =
+    if prep.p_chunk_sectors = 0 then member_frozen.(0)
+    else
+      Storage.Stripe.create
+        (Sim.create ~seed:0L ())
+        ~chunk_sectors:prep.p_chunk_sectors member_frozen
+  in
   {
-    r_mode = config.scenario.Scenario.mode;
-    r_stride = config.stride;
-    r_kinds = kinds;
-    r_total_boundaries =
-      List.fold_left (fun acc k -> acc + k.k_boundaries) 0 kinds;
-    r_explored = List.fold_left (fun acc k -> acc + k.k_explored) 0 kinds;
-    r_contract_breaks =
-      List.fold_left (fun acc k -> acc + k.k_contract_breaks) 0 kinds;
-    r_lost_total = List.fold_left (fun acc k -> acc + k.k_lost) 0 kinds;
-    r_verdicts = verdicts;
+    pos = 0;
+    log_base;
+    member_base;
+    inc = Dbms.Recovery.Incremental.create prep.p_shared ~data_base;
+    replica =
+      Rapilog.Ring_buffer.create ~sector_size:prep.p_sector_size
+        ~capacity_bytes:prep.p_buffer_bytes;
+    model = Hashtbl.create 4096;
+    acked = Array.make 1024 0;
+    n_acked = 0;
+    pops_seen = 0;
+    log_completes_seen = 0;
+    pushes_seen = 0;
+    log_submits_seen = 0;
+    last_log_lba = -1;
+    member_completes_seen = Array.make n_members 0;
+    member_expected = Array.make n_members 0;
   }
+
+(* A member write's sector ranges in the data volume's (striped) address
+   space — the inverse of {!Storage.Stripe.plan}'s geometry, split at
+   chunk boundaries. *)
+let iter_global_ranges prep ~member ~lba ~sectors f =
+  if sectors > 0 then begin
+    if prep.p_chunk_sectors = 0 then f lba sectors
+    else begin
+      let members = Array.length prep.p_members in
+      let chunk = prep.p_chunk_sectors in
+      let l = ref lba and remaining = ref sectors in
+      while !remaining > 0 do
+        let within = !l mod chunk in
+        let here = min !remaining (chunk - within) in
+        f (((((!l / chunk) * members) + member) * chunk) + within) here;
+        l := !l + here;
+        remaining := !remaining - here
+      done
+    end
+  end
+
+let cursor_ack cur txid =
+  if cur.n_acked = Array.length cur.acked then begin
+    let fresh = Array.make (2 * cur.n_acked) 0 in
+    Array.blit cur.acked 0 fresh 0 cur.n_acked;
+    cur.acked <- fresh
+  end;
+  let i = ref cur.n_acked in
+  while !i > 0 && cur.acked.(!i - 1) > txid do
+    decr i
+  done;
+  Array.blit cur.acked !i cur.acked (!i + 1) (cur.n_acked - !i);
+  cur.acked.(!i) <- txid;
+  cur.n_acked <- cur.n_acked + 1
+
+(* Fold in every journal record up to and including event [boundary].
+   The replica re-executes the ring-buffer operations the logger
+   performed, asserting each matches the journaled outcome — a live
+   differential check of the reconstruction against the reference run. *)
+let cursor_advance prep cur ~boundary =
+  let j = prep.p_journal in
+  let len = Journal.length j in
+  while cur.pos < len && Journal.index j cur.pos <= boundary do
+    let pos = cur.pos in
+    let a = Journal.a j pos in
+    (match Journal.kind j pos with
+    | Journal.Write_start -> ()
+    | Journal.Write_complete ->
+        let lba = Journal.b j pos in
+        if a = prep.p_log_dev then begin
+          let data = Journal.payload j pos in
+          Storage.Block.Media.write cur.log_base ~lba ~data;
+          Dbms.Recovery.Incremental.note_log_write cur.inc ~lba ~data;
+          cur.log_completes_seen <- cur.log_completes_seen + 1;
+          cur.last_log_lba <- lba
+        end
+        else begin
+          let m = member_slot prep.p_members a in
+          let data = Journal.payload j pos in
+          Storage.Block.Media.write cur.member_base.(m) ~lba ~data;
+          iter_global_ranges prep ~member:m ~lba
+            ~sectors:(String.length data / prep.p_sector_size)
+            (fun glba gsectors ->
+              Dbms.Recovery.Incremental.note_data_write cur.inc ~lba:glba
+                ~sectors:gsectors);
+          cur.member_completes_seen.(m) <- cur.member_completes_seen.(m) + 1
+        end
+    | Journal.Push ->
+        let lba = Journal.b j pos in
+        let data = Journal.payload j pos in
+        let ok = Rapilog.Ring_buffer.try_push cur.replica ~lba ~data in
+        assert ok;
+        Dbms.Recovery.Incremental.note_push cur.inc ~lba ~data;
+        cur.pushes_seen <- cur.pushes_seen + 1
+    | Journal.Pop ->
+        (match
+           Rapilog.Ring_buffer.pop_coalesced cur.replica
+             ~max_bytes:prep.p_drain_max
+         with
+        | Some entry ->
+            assert (entry.Rapilog.Ring_buffer.lba = Journal.b j pos);
+            assert (String.length entry.Rapilog.Ring_buffer.data = Journal.c j pos)
+        | None -> assert false);
+        cur.pops_seen <- cur.pops_seen + 1
+    | Journal.Submit ->
+        if a = prep.p_log_port then
+          cur.log_submits_seen <- cur.log_submits_seen + 1
+        else
+          List.iter
+            (fun seg ->
+              cur.member_expected.(seg.Storage.Stripe.member) <-
+                cur.member_expected.(seg.Storage.Stripe.member) + 1)
+            (segments_of prep ~lba:(Journal.b j pos)
+               ~sectors:(Journal.c j pos))
+    | Journal.Ack ->
+        cursor_ack cur a;
+        List.iter
+          (fun (key, value) ->
+            match value with
+            | Some v -> Hashtbl.replace cur.model key v
+            | None -> Hashtbl.remove cur.model key)
+          (Driver.decode_ack_writes (Journal.payload j pos)));
+    cur.pos <- pos + 1
+  done
+
+let tear_draw prep ~endpoint ~sectors =
+  let ep = Journal.endpoint prep.p_journal endpoint in
+  match ep.Journal.ep_rng with
+  | Some rng -> Rng.int (Rng.copy rng) (sectors + 1)
+  | None -> assert false
+
+(* A per-point overlay that keeps the ordered write list alongside the
+   media image: the media feeds the frozen devices (master block, page
+   loads, digests) and the list feeds the incremental recovery engine,
+   guaranteed in sync because one call produces both. Entries are
+   [(lba, data, persisted_sectors, push_derived)]; a torn write
+   persists a prefix. [push_derived] marks writes whose bytes replay
+   buffered pushes — the engine trusts them below its push watermark;
+   recorded device batches (whose tail sector may be staler than a
+   later re-push) must pass [trusted:false] to be compared directly. *)
+type sink = {
+  sk_media : Storage.Block.Media.t;
+  sk_sector_size : int;
+  mutable sk_writes : (int * string * int * bool) list;  (* newest-first *)
+  mutable sk_count : int;
+}
+
+let sink_over base =
+  {
+    sk_media = Storage.Block.Media.overlay base;
+    sk_sector_size = Storage.Block.Media.sector_size base;
+    sk_writes = [];
+    sk_count = 0;
+  }
+
+let sink_write s ~trusted ~lba ~data =
+  Storage.Block.Media.write s.sk_media ~lba ~data;
+  s.sk_writes <-
+    (lba, data, String.length data / s.sk_sector_size, trusted) :: s.sk_writes;
+  s.sk_count <- s.sk_count + 1
+
+let sink_write_prefix s ~trusted ~lba ~data ~sectors =
+  Storage.Block.Media.write_prefix s.sk_media ~lba ~data ~sectors;
+  s.sk_writes <- (lba, data, sectors, trusted) :: s.sk_writes;
+  s.sk_count <- s.sk_count + 1
+
+(* OS crash at [boundary]: the guest dies, the trusted side survives
+   with power. The pending drain write completes, everything buffered
+   drains (coalescing affects only timing, not final media), the one
+   possibly-in-the-gap admission completes in the surviving backend, and
+   every data write already submitted to the backend reaches media in
+   full. *)
+let synth_os_crash prep cur ~log_sink ~member_sinks =
+  let j = prep.p_journal in
+  if cur.pops_seen > cur.log_completes_seen then begin
+    assert (cur.pops_seen = cur.log_completes_seen + 1);
+    let cp = prep.p_log_completes.(cur.log_completes_seen) in
+    (* A recorded device batch: its tail sector can be staler than a
+       later re-push, so it is not watermark-trusted. *)
+    sink_write log_sink ~trusted:false ~lba:(Journal.b j cp)
+      ~data:(Journal.payload j cp)
+  end;
+  Rapilog.Ring_buffer.iter cur.replica (fun entry ->
+      sink_write log_sink ~trusted:true ~lba:entry.Rapilog.Ring_buffer.lba
+        ~data:entry.Rapilog.Ring_buffer.data);
+  if cur.log_submits_seen > cur.pushes_seen then begin
+    assert (cur.log_submits_seen = cur.pushes_seen + 1);
+    let pp = prep.p_pushes.(cur.pushes_seen) in
+    (* The one post-boundary admission: beyond the push watermark. *)
+    sink_write log_sink ~trusted:false ~lba:(Journal.b j pp)
+      ~data:(Journal.payload j pp)
+  end;
+  Array.iteri
+    (fun m sink ->
+      for k = cur.member_completes_seen.(m) to cur.member_expected.(m) - 1 do
+        let cp = prep.p_member_completes.(m).(k) in
+        sink_write sink ~trusted:false ~lba:(Journal.b j cp)
+          ~data:(Journal.payload j cp)
+      done)
+    member_sinks
+
+(* The fate of one write racing the hold-up expiry at [dead]. The event
+   queue breaks time ties by insertion order, and the device-death event
+   is inserted at the injection boundary — so a write whose transfer was
+   already running at the boundary (its completion event predates the
+   death event) still persists when completing exactly at [dead],
+   whereas any transfer scheduled after the boundary loses that tie. *)
+type fate = Persists | Torn | Dropped
+
+let write_fate ~started_at_boundary ~s ~c ~dead =
+  if started_at_boundary then if c <= dead then Persists else Torn
+  else if c < dead then Persists
+  else if s < dead then Torn
+  else Dropped
+
+(* Power cut at [boundary]: admission closes at the cut and the guest
+   halts (the power-fail interrupt), so durable state evolves only
+   through the trusted drain and the data writes already submitted —
+   each racing the PSU window. Drain timing after the boundary is
+   re-derived with {!Storage.Hdd.write_timeline}, the same arithmetic
+   the live device executes. *)
+let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
+  let j = prep.p_journal in
+  let dead = b_time + prep.p_window_ns in
+  let resume = ref None in
+  (* The drain write already popped at the boundary, if any. *)
+  if cur.pops_seen > cur.log_completes_seen then begin
+    assert (cur.pops_seen = cur.log_completes_seen + 1);
+    let k = cur.log_completes_seen in
+    let sp = prep.p_log_starts.(k) and cp = prep.p_log_completes.(k) in
+    let s = Journal.time_ns j sp and c = Journal.time_ns j cp in
+    let lba = Journal.b j cp in
+    let data = Journal.payload j cp in
+    let sectors = Journal.c j cp in
+    match
+      write_fate ~started_at_boundary:(Journal.index j sp <= boundary) ~s ~c
+        ~dead
+    with
+    | Persists ->
+        (* A recorded device batch, like the os-crash pending write:
+           compared directly, not watermark-trusted. *)
+        sink_write log_sink ~trusted:false ~lba ~data;
+        resume :=
+          Some (c, Storage.Hdd.track_of_lba prep.p_hdd lba)
+    | Torn ->
+        let persisted = tear_draw prep ~endpoint:prep.p_log_dev ~sectors in
+        sink_write_prefix log_sink ~trusted:false ~lba ~data ~sectors:persisted
+    | Dropped -> ()
+  end
+  else begin
+    (* Drainer idle or between pops: the next pop fires at the boundary
+       instant with the head where the last completed write left it. *)
+    let head =
+      if cur.last_log_lba < 0 then 0
+      else Storage.Hdd.track_of_lba prep.p_hdd cur.last_log_lba
+    in
+    resume := Some (b_time, head)
+  end;
+  (match !resume with
+  | None -> ()  (* the pending write tore or dropped: the device is dead *)
+  | Some (start_ns, head) ->
+      (* Re-drain what remains of the buffer, batch by batch, each write
+         chained at the previous completion — exactly the drainer's loop,
+         with timing from the shared pure model. *)
+      let ring =
+        Rapilog.Ring_buffer.create ~sector_size:prep.p_sector_size
+          ~capacity_bytes:prep.p_buffer_bytes
+      in
+      Rapilog.Ring_buffer.iter cur.replica (fun entry ->
+          let ok =
+            Rapilog.Ring_buffer.try_push ring ~lba:entry.Rapilog.Ring_buffer.lba
+              ~data:entry.Rapilog.Ring_buffer.data
+          in
+          assert ok);
+      let cursor_ns = ref start_ns and head_track = ref head in
+      let running = ref true in
+      while !running do
+        match
+          Rapilog.Ring_buffer.pop_coalesced ring ~max_bytes:prep.p_drain_max
+        with
+        | None -> running := false
+        | Some { Rapilog.Ring_buffer.lba; data } ->
+            let sectors = String.length data / prep.p_sector_size in
+            let tl =
+              Storage.Hdd.write_timeline prep.p_hdd ~now_ns:!cursor_ns
+                ~head_track:!head_track ~lba ~sectors
+            in
+            if tl.Storage.Hdd.wt_complete_ns < dead then begin
+              sink_write log_sink ~trusted:true ~lba ~data;
+              cursor_ns := tl.Storage.Hdd.wt_complete_ns;
+              head_track := tl.Storage.Hdd.wt_track
+            end
+            else begin
+              if tl.Storage.Hdd.wt_start_ns < dead then begin
+                let persisted =
+                  tear_draw prep ~endpoint:prep.p_log_dev ~sectors
+                in
+                sink_write_prefix log_sink ~trusted:true ~lba ~data
+                  ~sectors:persisted
+              end;
+              running := false
+            end
+      done);
+  (* Data writes already submitted race the window on their journaled
+     schedule: a member serves FIFO, and nothing submitted after the
+     boundary exists in the crash world to run ahead of them. *)
+  Array.iteri
+    (fun m sink ->
+      let running = ref true in
+      let k = ref cur.member_completes_seen.(m) in
+      while !running && !k < cur.member_expected.(m) do
+        let sp = prep.p_member_starts.(m).(!k) in
+        let cp = prep.p_member_completes.(m).(!k) in
+        let s = Journal.time_ns j sp and c = Journal.time_ns j cp in
+        let lba = Journal.b j cp in
+        let data = Journal.payload j cp in
+        (match
+           write_fate
+             ~started_at_boundary:(Journal.index j sp <= boundary)
+             ~s ~c ~dead
+         with
+        | Persists -> sink_write sink ~trusted:false ~lba ~data
+        | Torn ->
+            let persisted =
+              tear_draw prep ~endpoint:prep.p_members.(m)
+                ~sectors:(Journal.c j cp)
+            in
+            sink_write_prefix sink ~trusted:false ~lba ~data ~sectors:persisted;
+            running := false
+        | Dropped -> running := false);
+        incr k
+      done)
+    member_sinks
+
+let violations_until prep b_time =
+  let count = ref 0 in
+  Array.iter
+    (fun at -> if at <= b_time then incr count)
+    prep.p_violations_ns;
+  !count
+
+let reconstruct_point config prep cur ~event_index ~at_ns =
+  cursor_advance prep cur ~boundary:event_index;
+  let log_sink = sink_over cur.log_base in
+  let member_sinks = Array.map sink_over cur.member_base in
+  (match prep.p_kind with
+  | Os_crash -> synth_os_crash prep cur ~log_sink ~member_sinks
+  | Power_cut | Power_cut_tight ->
+      synth_power_cut prep cur ~boundary:event_index ~b_time:at_ns ~log_sink
+        ~member_sinks);
+  let frozen_log = Storage.Block.of_media ~model:"journal-log" log_sink.sk_media in
+  let frozen_members =
+    Array.map
+      (fun sink -> Storage.Block.of_media ~model:"journal-member" sink.sk_media)
+      member_sinks
+  in
+  let frozen_data =
+    if prep.p_chunk_sectors = 0 then frozen_members.(0)
+    else
+      Storage.Stripe.create
+        (Sim.create ~seed:0L ())
+        ~chunk_sectors:prep.p_chunk_sectors frozen_members
+  in
+  let data_overlay = ref [] in
+  Array.iteri
+    (fun m sink ->
+      List.iter
+        (fun (lba, _data, persisted, _trusted) ->
+          iter_global_ranges prep ~member:m ~lba ~sectors:persisted
+            (fun glba gsectors ->
+              data_overlay := (glba, gsectors) :: !data_overlay))
+        sink.sk_writes)
+    member_sinks;
+  let recovery =
+    Dbms.Recovery.Incremental.run cur.inc
+      ~log_overlay:(List.rev log_sink.sk_writes) ~data_overlay:!data_overlay
+      ~log_device:frozen_log ~data_device:frozen_data
+  in
+  let audit =
+    Audit.check_sorted ~model:cur.model ~acked:cur.acked ~n_acked:cur.n_acked
+      ~recovery
+  in
+  let invariant_violations = violations_until prep at_ns in
+  {
+    v_kind = prep.p_kind;
+    v_event_index = event_index;
+    v_at_ns = at_ns;
+    v_acked = cur.n_acked;
+    v_lost = List.length audit.Audit.durability.Rapilog.Durability.lost;
+    v_extra = List.length audit.Audit.durability.Rapilog.Durability.extra;
+    v_state_exact = audit.Audit.state_exact;
+    v_diff_count = audit.Audit.diff_count;
+    v_invariant_violations = invariant_violations;
+    v_buffered_at_cut = Rapilog.Ring_buffer.bytes_used cur.replica;
+    v_media_crc =
+      (if config.media_digests then media_digest ~log:frozen_log ~data:frozen_data
+       else -1);
+    v_stats = Dbms.Recovery.stats recovery;
+    v_contract_ok =
+      Rapilog.Durability.holds audit.Audit.durability
+      && audit.Audit.state_exact
+      && invariant_violations = 0;
+  }
+
+(* Contiguous candidate ranges, at most [max_chunks] of them. The chunk
+   count is a function of the point count alone — never of the worker
+   count — so the work partition (and therefore every cursor's replay
+   prefix) is identical at any parallelism, which is what makes the
+   parallel sweep bit-identical to the serial one by construction. *)
+let max_chunks = 16
+
+let chunk_ranges n =
+  let chunks = min n max_chunks in
+  List.init chunks (fun i -> (n * i / chunks, n * (i + 1) / chunks))
+
+let sweep_journal ?jobs config =
+  let preps = List.map (fun kind -> enumerate_journal config kind) config.kinds in
+  (* Within each kind the chunks are handed out in descending
+     event-index order: the latest chunks replay the longest journal
+     prefix, so starting them first keeps the stragglers off the
+     critical path. Results are re-emitted in canonical ascending
+     order below. *)
+  let tasks =
+    List.concat_map
+      (fun prep ->
+        let n = Array.length prep.p_enum.e_candidates in
+        List.rev_map (fun (lo, hi) -> (prep, lo, hi)) (chunk_ranges n))
+      preps
+  in
+  let chunk_results =
+    Parallel.map ?jobs
+      (fun (prep, lo, hi) ->
+        let cur = cursor_create prep in
+        let out = ref [] in
+        for i = lo to hi - 1 do
+          let event_index, at_ns = prep.p_enum.e_candidates.(i) in
+          out := reconstruct_point config prep cur ~event_index ~at_ns :: !out
+        done;
+        (prep.p_kind, lo, List.rev !out))
+      tasks
+  in
+  let kind_order kind =
+    let rec go i = function
+      | [] -> assert false
+      | k :: _ when k = kind -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 config.kinds
+  in
+  let verdicts =
+    chunk_results
+    |> List.stable_sort (fun (ka, la, _) (kb, lb, _) ->
+           match compare (kind_order ka) (kind_order kb) with
+           | 0 -> compare la lb
+           | c -> c)
+    |> List.concat_map (fun (_, _, vs) -> vs)
+  in
+  assemble config
+    ~boundaries_by_kind:
+      (List.map (fun p -> (p.p_kind, p.p_enum.e_boundaries)) preps)
+    verdicts

@@ -19,9 +19,49 @@ let make_tracking () =
     latencies = Stats.Sample.create ();
   }
 
+(* Wire form of a transaction's writes inside a journal [Ack] record:
+   per write an LE int64 key, an LE int64 value length (-1 = delete),
+   then the value bytes. {!decode_ack_writes} inverts it. *)
+let encode_ack_writes writes =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (key, value) ->
+      Buffer.add_int64_le buf (Int64.of_int key);
+      match value with
+      | Some v ->
+          Buffer.add_int64_le buf (Int64.of_int (String.length v));
+          Buffer.add_string buf v
+      | None -> Buffer.add_int64_le buf (-1L))
+    writes;
+  Buffer.contents buf
+
+let decode_ack_writes encoded =
+  let pos = ref 0 in
+  let int64 () =
+    let v = Int64.to_int (String.get_int64_le encoded !pos) in
+    pos := !pos + 8;
+    v
+  in
+  let writes = ref [] in
+  while !pos < String.length encoded do
+    let key = int64 () in
+    let len = int64 () in
+    if len < 0 then writes := (key, None) :: !writes
+    else begin
+      writes := (key, Some (String.sub encoded !pos len)) :: !writes;
+      pos := !pos + len
+    end
+  done;
+  List.rev !writes
+
 let record_ack track sim (result : Dbms.Engine.txn_result) =
   if result.Dbms.Engine.writes <> [] then begin
     track.acked <- result.Dbms.Engine.txid :: track.acked;
+    (match Desim.Journal.recording () with
+    | Some j ->
+        Desim.Journal.ack j sim ~txid:result.Dbms.Engine.txid
+          ~writes:(encode_ack_writes result.Dbms.Engine.writes)
+    | None -> ());
     List.iter
       (fun (key, value) ->
         match value with

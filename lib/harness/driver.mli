@@ -24,7 +24,17 @@ val make_tracking : unit -> tracking
 
 val record_ack : tracking -> Desim.Sim.t -> Dbms.Engine.txn_result -> unit
 (** Fold one acknowledged transaction into the client-side record; reads
-    and aborted transactions leave the model untouched. *)
+    and aborted transactions leave the model untouched. When a
+    {!Desim.Journal} is recording, the acknowledgement (txid plus
+    encoded writes) is journaled at the same instant. *)
+
+val encode_ack_writes : (int * string option) list -> string
+(** The wire form of a transaction's writes inside a journal [Ack]
+    record. *)
+
+val decode_ack_writes : string -> (int * string option) list
+(** Inverse of {!encode_ack_writes}; the crash-surface reconstruction
+    replays the client-side model from these. *)
 
 val spawn_loader : Scenario.built -> tracking -> after_load:(unit -> unit) -> unit
 (** Populate the schema through ordinary transactions in a guest

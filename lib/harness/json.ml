@@ -4,6 +4,7 @@ type t =
   | Str of string
   | Num of float
   | Bool of bool
+  | Null
 
 let rec write buf = function
   | Obj fields ->
@@ -29,6 +30,7 @@ let rec write buf = function
         Buffer.add_string buf (Printf.sprintf "%.0f" f)
       else Buffer.add_string buf (Printf.sprintf "%.6g" f)
   | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Null -> Buffer.add_string buf "null"
 
 let to_string j =
   let buf = Buffer.create 1024 in
@@ -142,7 +144,7 @@ let of_string text =
     | '"' -> Str (parse_string ())
     | 't' -> parse_literal "true" (Bool true)
     | 'f' -> parse_literal "false" (Bool false)
-    | 'n' -> parse_literal "null" (Bool false)
+    | 'n' -> parse_literal "null" Null
     | _ -> Num (parse_number ())
   in
   let v = parse_value () in
@@ -152,7 +154,7 @@ let of_string text =
 
 let member key = function
   | Obj fields -> List.assoc_opt key fields
-  | Arr _ | Str _ | Num _ | Bool _ -> None
+  | Arr _ | Str _ | Num _ | Bool _ | Null -> None
 
 let to_num = function Num f -> Some f | _ -> None
 let to_bool = function Bool b -> Some b | _ -> None

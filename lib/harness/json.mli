@@ -4,7 +4,9 @@
     [crash_surface.exe]) serialise their reports with this, and their
     [--check] modes re-parse the emitted text to assert well-formedness.
     It supports exactly the JSON the reports need: objects, arrays,
-    strings, numbers and booleans ([null] parses as [Bool false]). *)
+    strings, numbers, booleans and [null] (used by bench reports to
+    mark measurements that were skipped as meaningless, e.g. a
+    parallel-vs-serial speedup on a single-core machine). *)
 
 type t =
   | Obj of (string * t) list
@@ -12,6 +14,7 @@ type t =
   | Str of string
   | Num of float
   | Bool of bool
+  | Null
 
 val to_string : t -> string
 (** Serialise, followed by a trailing newline. *)

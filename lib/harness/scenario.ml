@@ -94,6 +94,9 @@ type built = {
   log_physical : Storage.Block.t;
   log_attached : Storage.Block.t;
   data_physical : Storage.Block.t;
+  data_attached : Storage.Block.t;
+  data_members : Storage.Block.t array;
+  data_chunk_sectors : int;
   logger : Rapilog.Trusted_logger.t option;
   generator : generator;
 }
@@ -145,13 +148,17 @@ let build config =
   let power = Power.Power_domain.create sim config.psu in
   assert (config.data_spindles >= 1);
   let log_physical = make_device sim config.device in
-  let data_physical =
-    if config.single_disk then log_physical
-    else if config.data_spindles = 1 then make_device sim config.device
+  let data_physical, data_members, data_chunk_sectors =
+    if config.single_disk then (log_physical, [| log_physical |], 0)
+    else if config.data_spindles = 1 then
+      let device = make_device sim config.device in
+      (device, [| device |], 0)
     else
       (* The data volume of a real testbed: several spindles striped. *)
-      Storage.Stripe.create sim ~chunk_sectors:64
-        (Array.init config.data_spindles (fun _ -> make_device sim config.device))
+      let members =
+        Array.init config.data_spindles (fun _ -> make_device sim config.device)
+      in
+      (Storage.Stripe.create sim ~chunk_sectors:64 members, members, 64)
   in
   let config =
     if config.single_disk then
@@ -234,6 +241,9 @@ let build config =
     log_physical;
     log_attached;
     data_physical;
+    data_attached;
+    data_members;
+    data_chunk_sectors;
     logger;
     generator = make_generator sim config;
   }

@@ -92,6 +92,12 @@ type built = {
   log_physical : Storage.Block.t;  (** raw log device: recovery reads this *)
   log_attached : Storage.Block.t;  (** what the WAL writes to *)
   data_physical : Storage.Block.t;
+  data_attached : Storage.Block.t;  (** what the buffer pool writes to *)
+  data_members : Storage.Block.t array;
+      (** the physical devices under [data_physical]: the stripe members
+          when the data volume is striped, else the single device *)
+  data_chunk_sectors : int;
+      (** stripe chunk size; 0 when the data volume is not striped *)
   logger : Rapilog.Trusted_logger.t option;  (** in [Rapilog] mode *)
   generator : generator;
 }

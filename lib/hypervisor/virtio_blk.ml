@@ -51,9 +51,22 @@ let create sim ~ipc ~backend_domain ?(queue_depth = 8) backend =
          ~name:(Printf.sprintf "virtio-be-%d" i)
          (worker ipc backend queue))
   done;
-  let submit make_request =
+  let journal = Desim.Journal.recording () in
+  let journal_id =
+    match journal with
+    | Some j ->
+        Desim.Journal.register_port j
+          ~model:("virtio:" ^ backend.be_info.Storage.Block.model)
+    | None -> -1
+  in
+  (* [on_send] fires at the instant the request crosses into the backend
+     queue — the point from which it survives a guest crash, which is
+     why the journal stamps write submissions exactly here. *)
+  let submit ?on_send make_request =
     Ipc.pay_submit ipc;
-    Process.suspend (fun resume -> Channel.send queue (make_request resume))
+    Process.suspend (fun resume ->
+        (match on_send with Some f -> f () | None -> ());
+        Channel.send queue (make_request resume))
   in
   let stats = Storage.Disk_stats.create () in
   let ops =
@@ -68,9 +81,17 @@ let create sim ~ipc ~backend_domain ?(queue_depth = 8) backend =
       op_write =
         (fun ~lba ~data ~fua ->
           let started = Sim.now sim in
-          submit (fun resume -> Write { lba; data; fua; resume });
-          Storage.Disk_stats.record_write stats
-            ~sectors:(String.length data / backend.be_info.Storage.Block.sector_size)
+          let sectors =
+            String.length data / backend.be_info.Storage.Block.sector_size
+          in
+          let on_send =
+            match journal with
+            | Some j ->
+                Some (fun () -> Desim.Journal.submit j sim ~port:journal_id ~lba ~sectors)
+            | None -> None
+          in
+          submit ?on_send (fun resume -> Write { lba; data; fua; resume });
+          Storage.Disk_stats.record_write stats ~sectors
             ~service:(Time.diff (Sim.now sim) started));
       op_flush =
         (fun () ->
@@ -85,6 +106,6 @@ let create sim ~ipc ~backend_domain ?(queue_depth = 8) backend =
       op_durable_extent = backend.be_durable_extent;
     }
   in
-  Storage.Block.make
+  Storage.Block.make ~journal_id
     ~info:{ backend.be_info with Storage.Block.model = "virtio:" ^ backend.be_info.Storage.Block.model }
-    ~stats ~ops
+    ~stats ~ops ()

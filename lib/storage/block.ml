@@ -9,11 +9,14 @@ type ops = {
   op_durable_extent : unit -> int;
 }
 
-type t = { info : info; stats : Disk_stats.t; ops : ops }
+type t = { info : info; stats : Disk_stats.t; ops : ops; journal_id : int }
 
-let make ~info ~stats ~ops = { info; stats; ops }
+let make ?(journal_id = -1) ~info ~stats ~ops () =
+  { info; stats; ops; journal_id }
+
 let info t = t.info
 let stats t = t.stats
+let journal_id t = t.journal_id
 
 let check_range t ~lba ~sectors =
   assert (lba >= 0 && sectors > 0);
@@ -47,19 +50,42 @@ module Media = struct
     capacity_sectors : int;
     sectors : (int, string) Hashtbl.t;
     mutable extent : int;
+    base : t option;
+        (* an overlay reads through to [base] where it has no sector of
+           its own; see {!overlay} *)
   }
 
   let create ~sector_size ~capacity_sectors =
     assert (sector_size > 0 && capacity_sectors > 0);
-    { sector_size; capacity_sectors; sectors = Hashtbl.create 4096; extent = 0 }
+    {
+      sector_size;
+      capacity_sectors;
+      sectors = Hashtbl.create 4096;
+      extent = 0;
+      base = None;
+    }
+
+  let overlay base =
+    {
+      sector_size = base.sector_size;
+      capacity_sectors = base.capacity_sectors;
+      sectors = Hashtbl.create 64;
+      extent = base.extent;
+      base = Some base;
+    }
 
   let sector_size t = t.sector_size
   let capacity_sectors t = t.capacity_sectors
 
+  let rec find t lba =
+    match Hashtbl.find_opt t.sectors lba with
+    | Some _ as hit -> hit
+    | None -> ( match t.base with Some base -> find base lba | None -> None)
+
   let read t ~lba ~sectors =
     let buf = Bytes.make (sectors * t.sector_size) '\000' in
     for i = 0 to sectors - 1 do
-      match Hashtbl.find_opt t.sectors (lba + i) with
+      match find t (lba + i) with
       | Some s -> Bytes.blit_string s 0 buf (i * t.sector_size) t.sector_size
       | None -> ()
     done;
@@ -84,6 +110,36 @@ module Media = struct
     let persisted = Desim.Rng.int rng (total + 1) in
     if persisted > 0 then write_sectors t ~lba ~data ~count:persisted
 
+  let write_prefix t ~lba ~data ~sectors =
+    assert (String.length data mod t.sector_size = 0);
+    assert (sectors >= 0 && sectors * t.sector_size <= String.length data);
+    if sectors > 0 then write_sectors t ~lba ~data ~count:sectors
+
   let extent t = t.extent
   let check_range = check_range
 end
+
+(* A frozen device over a media image: only the durable (untimed) side
+   exists. The crash-surface reconstruction hands these to {!Dbms}
+   recovery, which by design touches nothing but [durable_read] and
+   [durable_extent] of a post-crash device. *)
+let of_media ?(model = "frozen") media =
+  let frozen op = fun _ -> failwith ("Block.of_media: " ^ op ^ " on frozen device") in
+  make
+    ~info:
+      {
+        model;
+        sector_size = Media.sector_size media;
+        capacity_sectors = Media.capacity_sectors media;
+      }
+    ~stats:(Disk_stats.create ())
+    ~ops:
+      {
+        op_read = (fun ~lba ~sectors -> Media.read media ~lba ~sectors);
+        op_write = (fun ~lba:_ ~data:_ ~fua:_ -> frozen "write" ());
+        op_flush = (fun () -> frozen "flush" ());
+        op_power_cut = (fun () -> ());
+        op_durable_read = (fun ~lba ~sectors -> Media.read media ~lba ~sectors);
+        op_durable_extent = (fun () -> Media.extent media);
+      }
+    ()

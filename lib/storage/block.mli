@@ -25,11 +25,19 @@ type ops = {
 
 type t
 
-val make : info:info -> stats:Disk_stats.t -> ops:ops -> t
-(** Device constructors in {!Hdd}, {!Ssd} and {!Write_cache} use this. *)
+val make :
+  ?journal_id:int -> info:info -> stats:Disk_stats.t -> ops:ops -> unit -> t
+(** Device constructors in {!Hdd}, {!Ssd} and {!Write_cache} use this.
+    [journal_id] is the endpoint id the device registered with an active
+    {!Desim.Journal} at creation ([-1], the default, when none was
+    recording). *)
 
 val info : t -> info
 val stats : t -> Disk_stats.t
+
+val journal_id : t -> int
+(** The {!Desim.Journal} endpoint id this device or frontend registered
+    at creation, or [-1] if created without recording. *)
 
 val read : t -> lba:int -> sectors:int -> string
 (** Blocking read of [sectors] sectors; requires the range to be within
@@ -75,9 +83,25 @@ module Media : sig
   (** Persist a uniformly random prefix of the sectors, modelling a write
       interrupted by power loss. *)
 
+  val write_prefix : t -> lba:int -> data:string -> sectors:int -> unit
+  (** Persist exactly the first [sectors] sectors of [data] — the
+      deterministic form of {!write_torn} used when replaying a journaled
+      tear with a known draw. *)
+
   val extent : t -> int
   (** One past the highest sector ever written. *)
+
+  val overlay : t -> t
+  (** A copy-on-write view: reads fall through to the underlying media
+      where the overlay has no sector of its own, writes stay in the
+      overlay. The crash-surface sweep layers per-crash-point deltas over
+      one evolving base image with this. *)
 
   val check_range : device -> lba:int -> sectors:int -> unit
   (** Asserts the range lies within the device. *)
 end
+
+val of_media : ?model:string -> Media.t -> t
+(** A frozen device over a media image: durable reads work, timed
+    operations raise. Recovery after a reconstructed crash runs against
+    these. *)

@@ -34,47 +34,78 @@ type state = {
   mutable head_track : int;
   mutable in_flight : (int * string) option;  (* lba, data *)
   mutable powered : bool;
+  journal : Journal.t option;
+  journal_id : int;
 }
 
 let period_ns config = Time.span_to_ns (rotation_period config)
 
 let sector_time_ns config = period_ns config / config.sectors_per_track
 
-let seek_span state distance =
+(* The timing helpers below are pure in the drive geometry, the clock
+   and the head position. The live request path uses them through
+   {!position}/{!transfer_span}; the crash sweep's journal
+   reconstruction uses the same functions through {!write_timeline} to
+   re-derive, without re-running the simulation, exactly when a drained
+   log write would start transferring and complete — so the two paths
+   cannot drift apart. *)
+
+let seek_span config distance =
   if distance = 0 then Time.zero_span
   else
-    let frac = sqrt (float_of_int distance /. float_of_int state.config.tracks) in
-    Time.add_span state.config.seek_settle
-      (Time.scale_span state.config.seek_full_stroke frac)
+    let frac = sqrt (float_of_int distance /. float_of_int config.tracks) in
+    Time.add_span config.seek_settle (Time.scale_span config.seek_full_stroke frac)
 
 (* Time until the start of [target_sector]'s angular position passes under
-   the head, given the platter position implied by the current clock. *)
-let rotational_wait state target_sector =
-  let period = period_ns state.config in
+   the head, given the platter position implied by the clock [now_ns]. *)
+let rotational_wait_ns config ~now_ns target_sector =
+  let period = period_ns config in
   let target_angle_ns =
-    target_sector mod state.config.sectors_per_track * sector_time_ns state.config
+    target_sector mod config.sectors_per_track * sector_time_ns config
   in
-  let now_angle_ns = Time.to_ns (Sim.now state.sim) mod period in
-  Time.ns ((target_angle_ns - now_angle_ns + period) mod period)
+  let now_angle_ns = now_ns mod period in
+  (target_angle_ns - now_angle_ns + period) mod period
 
-(* Seek, then wait for the target sector. The controller overhead is
-   pipelined with the rotational wait (never under it): a request that
-   lands exactly where the head is pays only the overhead — this is the
-   drive's track buffer absorbing command latency, and it is what lets
-   back-to-back sequential writes run at close to the media rate. *)
+(* The controller overhead is pipelined with the rotational wait (never
+   under it): a request that lands exactly where the head is pays only
+   the overhead — this is the drive's track buffer absorbing command
+   latency, and it is what lets back-to-back sequential writes run at
+   close to the media rate. *)
+let position_wait_ns config ~now_ns ~head_track lba =
+  let track = lba / config.sectors_per_track in
+  let seek_ns = Time.span_to_ns (seek_span config (abs (track - head_track))) in
+  let rot = rotational_wait_ns config ~now_ns:(now_ns + seek_ns) lba in
+  let overhead = Time.span_to_ns config.command_overhead in
+  (track, seek_ns, if rot >= overhead then rot else overhead)
+
+type timeline = { wt_start_ns : int; wt_complete_ns : int; wt_track : int }
+
+let track_of_lba config lba = lba / config.sectors_per_track
+
+let write_timeline config ~now_ns ~head_track ~lba ~sectors =
+  let track, seek_ns, wait_ns = position_wait_ns config ~now_ns ~head_track lba in
+  let start_ns = now_ns + seek_ns + wait_ns in
+  {
+    wt_start_ns = start_ns;
+    wt_complete_ns = start_ns + (sectors * sector_time_ns config);
+    wt_track = track;
+  }
+
+(* Seek, then wait for the target sector. [position_wait_ns] already
+   evaluates the rotational phase at the post-seek instant, so both
+   sleeps are known up front. *)
 let position state lba =
-  let track = lba / state.config.sectors_per_track in
-  let seek = seek_span state (abs (track - state.head_track)) in
-  Process.sleep seek;
-  state.head_track <- track;
-  let rot = rotational_wait state lba in
-  let wait =
-    if Time.compare_span rot state.config.command_overhead >= 0 then rot
-    else state.config.command_overhead
+  let track, seek_ns, wait_ns =
+    position_wait_ns state.config
+      ~now_ns:(Time.to_ns (Sim.now state.sim))
+      ~head_track:state.head_track lba
   in
-  Process.sleep wait
+  Process.sleep (Time.ns seek_ns);
+  state.head_track <- track;
+  Process.sleep (Time.ns wait_ns)
 
-let transfer_span state sectors = Time.ns (sectors * sector_time_ns state.config)
+let transfer_span state sectors =
+  Time.ns (sectors * sector_time_ns state.config)
 
 let service_read state ~lba ~sectors =
   let started = Sim.now state.sim in
@@ -94,9 +125,19 @@ let service_write state ~lba ~data =
   @@ fun () ->
   position state lba;
   state.in_flight <- Some (lba, data);
+  (match state.journal with
+  | Some j -> Journal.write_start j state.sim ~device:state.journal_id ~lba ~sectors
+  | None -> ());
   Process.sleep (transfer_span state sectors);
   state.in_flight <- None;
-  if state.powered then Block.Media.write state.media ~lba ~data;
+  if state.powered then begin
+    Block.Media.write state.media ~lba ~data;
+    match state.journal with
+    | Some j ->
+        Journal.write_complete j state.sim ~device:state.journal_id ~lba ~sectors
+          ~data
+    | None -> ()
+  end;
   Time.diff (Sim.now state.sim) started
 
 let power_cut state =
@@ -113,16 +154,27 @@ let create sim ?(model = "hdd-7200") config =
     Block.Media.create ~sector_size:config.sector_size
       ~capacity_sectors:(config.tracks * config.sectors_per_track)
   in
+  let rng = Rng.split (Sim.rng sim) in
+  let journal = Journal.recording () in
+  let journal_id =
+    match journal with
+    | Some j ->
+        Journal.register_device j ~model ~sector_size:config.sector_size
+          ~capacity_sectors:(config.tracks * config.sectors_per_track) ~rng
+    | None -> -1
+  in
   let state =
     {
       sim;
       config;
       media;
-      rng = Rng.split (Sim.rng sim);
+      rng;
       actuator = Resource.Semaphore.create sim 1;
       head_track = 0;
       in_flight = None;
       powered = true;
+      journal;
+      journal_id;
     }
   in
   let stats = Disk_stats.create () in
@@ -150,11 +202,11 @@ let create sim ?(model = "hdd-7200") config =
       op_durable_extent = (fun () -> Block.Media.extent media);
     }
   in
-  Block.make
+  Block.make ~journal_id
     ~info:
       {
         Block.model;
         sector_size = config.sector_size;
         capacity_sectors = config.tracks * config.sectors_per_track;
       }
-    ~stats ~ops
+    ~stats ~ops ()

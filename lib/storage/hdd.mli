@@ -40,4 +40,26 @@ val rotation_period : config -> Desim.Time.span
 
 val create : Desim.Sim.t -> ?model:string -> config -> Block.t
 (** The device derives its torn-write randomness from the simulation's
-    root generator. *)
+    root generator. When a {!Desim.Journal} is recording at creation,
+    the device registers itself and journals every write's transfer
+    start and media completion. *)
+
+(** {2 Pure timing} — shared between the live request path and the
+    crash-surface journal reconstruction, which re-derives post-cut
+    drain timing without re-running the simulation. All functions are
+    pure in the geometry, the clock and the head position. *)
+
+type timeline = {
+  wt_start_ns : int;  (** transfer start: a power cut from here tears *)
+  wt_complete_ns : int;  (** media write instant *)
+  wt_track : int;  (** head position afterwards *)
+}
+
+val write_timeline :
+  config -> now_ns:int -> head_track:int -> lba:int -> sectors:int -> timeline
+(** Timing of a write submitted at [now_ns] to an idle drive with the
+    head at [head_track]: seek, rotational wait (pipelined with command
+    overhead), then transfer. Exactly the arithmetic the live
+    {!create}d device performs. *)
+
+val track_of_lba : config -> int -> int

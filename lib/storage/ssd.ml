@@ -28,6 +28,8 @@ type state = {
   lanes : Resource.Semaphore.t;
   mutable in_flight : (int * string) option;
   mutable powered : bool;
+  journal : Journal.t option;
+  journal_id : int;
 }
 
 let pages_of state sectors = (sectors + state.config.page_sectors - 1) / state.config.page_sectors
@@ -56,14 +58,25 @@ let create sim ?(model = "ssd") config =
     Block.Media.create ~sector_size:config.sector_size
       ~capacity_sectors:config.capacity_sectors
   in
+  let rng = Rng.split (Sim.rng sim) in
+  let journal = Journal.recording () in
+  let journal_id =
+    match journal with
+    | Some j ->
+        Journal.register_device j ~model ~sector_size:config.sector_size
+          ~capacity_sectors:config.capacity_sectors ~rng
+    | None -> -1
+  in
   let state =
     {
       config;
       media;
-      rng = Rng.split (Sim.rng sim);
+      rng;
       lanes = Resource.Semaphore.create sim config.channels;
       in_flight = None;
       powered = true;
+      journal;
+      journal_id;
     }
   in
   let stats = Disk_stats.create () in
@@ -82,9 +95,20 @@ let create sim ?(model = "ssd") config =
     let sectors = String.length data / config.sector_size in
     service state ~per_page:config.program_latency ~sectors (fun span ->
         state.in_flight <- Some (lba, data);
+        (match state.journal with
+        | Some j ->
+            Journal.write_start j sim ~device:state.journal_id ~lba ~sectors
+        | None -> ());
         Process.sleep span;
         state.in_flight <- None;
-        if state.powered then Block.Media.write media ~lba ~data);
+        if state.powered then begin
+          Block.Media.write media ~lba ~data;
+          match state.journal with
+          | Some j ->
+              Journal.write_complete j sim ~device:state.journal_id ~lba ~sectors
+                ~data
+          | None -> ()
+        end);
     Disk_stats.record_write stats ~sectors ~service:(Time.diff (Sim.now sim) started)
   in
   let ops =
@@ -100,11 +124,11 @@ let create sim ?(model = "ssd") config =
       op_durable_extent = (fun () -> Block.Media.extent media);
     }
   in
-  Block.make
+  Block.make ~journal_id:state.journal_id
     ~info:
       {
         Block.model;
         sector_size = config.sector_size;
         capacity_sectors = config.capacity_sectors;
       }
-    ~stats ~ops
+    ~stats ~ops ()

@@ -10,19 +10,21 @@ type t = {
 type segment = { member : int; member_lba : int; global_off : int; sectors : int }
 
 (* Split a global sector range into per-member segments at chunk
-   boundaries. *)
-let segments t ~lba ~sectors =
-  let n = Array.length t.members in
+   boundaries. Pure in the geometry: the crash-surface journal
+   reconstruction uses the same plan to map journaled volume-level
+   submissions onto the member writes the run produced. *)
+let plan ~members ~chunk_sectors ~lba ~sectors =
+  assert (members > 0 && chunk_sectors > 0);
   let rec split lba remaining acc =
     if remaining = 0 then List.rev acc
     else begin
-      let stripe = lba / t.chunk_sectors in
-      let within = lba mod t.chunk_sectors in
-      let here = min remaining (t.chunk_sectors - within) in
+      let stripe = lba / chunk_sectors in
+      let within = lba mod chunk_sectors in
+      let here = min remaining (chunk_sectors - within) in
       let segment =
         {
-          member = stripe mod n;
-          member_lba = ((stripe / n) * t.chunk_sectors) + within;
+          member = stripe mod members;
+          member_lba = ((stripe / members) * chunk_sectors) + within;
           global_off = lba;
           sectors = here;
         }
@@ -31,6 +33,10 @@ let segments t ~lba ~sectors =
     end
   in
   split lba sectors []
+
+let segments t ~lba ~sectors =
+  plan ~members:(Array.length t.members) ~chunk_sectors:t.chunk_sectors ~lba
+    ~sectors
 
 (* Issue one operation per segment concurrently; blocks until all
    complete. *)
@@ -154,4 +160,4 @@ let create sim ?(model = "stripe") ~chunk_sectors members =
         sector_size;
         capacity_sectors = capacity;
       }
-    ~stats ~ops
+    ~stats ~ops ()

@@ -17,3 +17,11 @@ val create :
     spanning several chunks are issued to the members concurrently and
     complete when the slowest segment does. [power_cut] propagates to
     every member. *)
+
+type segment = { member : int; member_lba : int; global_off : int; sectors : int }
+
+val plan : members:int -> chunk_sectors:int -> lba:int -> sectors:int -> segment list
+(** The per-member segments a volume-level request splits into, in issue
+    order. Pure in the geometry — the crash-surface journal
+    reconstruction uses this to attribute journaled member writes to the
+    volume submissions that caused them. *)

@@ -180,4 +180,4 @@ let wrap sim config device =
   let info = Block.info device in
   Block.make
     ~info:{ info with Block.model = info.Block.model ^ "+wcache" }
-    ~stats ~ops
+    ~stats ~ops ()

@@ -35,7 +35,7 @@ let lossy_device sim ~period =
   in
   Storage.Block.make ~info:(Storage.Block.info real)
     ~stats:(Storage.Disk_stats.create ())
-    ~ops
+    ~ops ()
 
 (* Run a small committed workload against a hand-built engine whose log
    device is [log_dev]; return (acked txids, recovery result). *)

@@ -682,6 +682,94 @@ let sample_empty_nan () =
   let s = Stats.Sample.create () in
   Alcotest.(check bool) "nan" true (Float.is_nan (Stats.Sample.percentile s 50.))
 
+(* Welford's streaming moments against the direct two-pass formulas. *)
+let summary_matches_direct_prop =
+  prop "summary mean/stddev/min/max match direct computation"
+    QCheck2.Gen.(list_size (int_range 1 300) (float_range (-1e6) 1e6))
+    (fun values ->
+      let s = Stats.Summary.create () in
+      List.iter (Stats.Summary.add s) values;
+      let n = List.length values in
+      let mean = List.fold_left ( +. ) 0. values /. float_of_int n in
+      let var =
+        if n < 2 then 0.
+        else
+          List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. values
+          /. float_of_int (n - 1)
+      in
+      let scale = Float.max 1. (Float.abs mean) in
+      near ~tolerance:(1e-9 *. scale) mean (Stats.Summary.mean s)
+      && near ~tolerance:(1e-6 *. Float.max 1. var) var (Stats.Summary.variance s)
+      && near (sqrt var) ~tolerance:(1e-6 *. Float.max 1. (sqrt var))
+           (Stats.Summary.stddev s)
+      && Stats.Summary.min s = List.fold_left Float.min infinity values
+      && Stats.Summary.max s = List.fold_left Float.max neg_infinity values
+      && Stats.Summary.count s = n)
+
+(* The exact-percentile contract, against an independent sort + linear
+   interpolation oracle. *)
+let percentile_oracle values p =
+  let arr = Array.of_list values in
+  Array.sort Float.compare arr;
+  let n = Array.length arr in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  let frac = rank -. float_of_int lo in
+  (arr.(lo) *. (1. -. frac)) +. (arr.(hi) *. frac)
+
+let sample_percentile_oracle_prop =
+  prop "sample percentiles match a sort-based oracle"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 400) (float_range (-1e3) 1e3))
+        (float_range 0. 100.))
+    (fun (values, p) ->
+      let s = Stats.Sample.create () in
+      List.iter (Stats.Sample.add s) values;
+      let expected = percentile_oracle values p in
+      near ~tolerance:(1e-9 *. Float.max 1. (Float.abs expected)) expected
+        (Stats.Sample.percentile s p))
+
+(* The collector starts with 256 slots; exercise sizes that straddle the
+   growth boundary so a resize bug (dropped slot, stale tail) shows up. *)
+let sample_growth_boundary_prop =
+  prop "sample survives the 256-slot growth boundary"
+    QCheck2.Gen.(int_range 254 515)
+    (fun n ->
+      let s = Stats.Sample.create () in
+      for i = n downto 1 do
+        Stats.Sample.add s (float_of_int i)
+      done;
+      let arr = Stats.Sample.to_array s in
+      Array.length arr = n
+      && arr.(0) = 1.
+      && arr.(n - 1) = float_of_int n
+      && Stats.Sample.median s = percentile_oracle (Array.to_list arr) 50.)
+
+(* Percentile queries sort in place and flip a [sorted] flag; adds after
+   a query must re-invalidate it or later queries read a stale order. *)
+let sample_add_after_query_prop =
+  prop "adds after a percentile query are not lost to the sort cache"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 50) (float_range 0. 100.))
+        (list_size (int_range 1 50) (float_range 0. 100.)))
+    (fun (first, second) ->
+      let s = Stats.Sample.create () in
+      List.iter (Stats.Sample.add s) first;
+      let _ = Stats.Sample.percentile s 50. in
+      List.iter (Stats.Sample.add s) second;
+      let all = first @ second in
+      Stats.Sample.count s = List.length all
+      && near
+           (percentile_oracle all 75.)
+           ~tolerance:1e-9
+           (Stats.Sample.percentile s 75.)
+      && near
+           (List.fold_left ( +. ) 0. all /. float_of_int (List.length all))
+           ~tolerance:1e-9 (Stats.Sample.mean s))
+
 let histogram_quantiles () =
   let h = Stats.Histogram.create () in
   for _ = 1 to 90 do
@@ -842,6 +930,10 @@ let suites =
         case "sample interpolation" sample_interpolation;
         case "sample growth and sorting" sample_growth_and_sort;
         case "sample empty gives nan" sample_empty_nan;
+        summary_matches_direct_prop;
+        sample_percentile_oracle_prop;
+        sample_growth_boundary_prop;
+        sample_add_after_query_prop;
         case "histogram quantiles" histogram_quantiles;
         histogram_quantile_monotone_prop;
         case "histogram buckets sum to count" histogram_buckets_sum;
