@@ -1,0 +1,49 @@
+(* metrics-breakdown: where the milliseconds go. Runs the update
+   microbenchmark with the metrics registry installed and prints the
+   per-stage commit-path latency histograms — client-visible total,
+   engine exec/force, WAL force write, virtio service, trusted-logger
+   admission/copy/ring-wait/drain, physical device write — for the two
+   poles of the design space (sync on disk vs RapiLog) at low and high
+   concurrency. Stage names and the matching JSON schema are documented
+   in docs/OBSERVABILITY.md. *)
+
+open Harness
+open Bench_support
+
+let cells = [ (Scenario.Native_sync, 1); (Scenario.Native_sync, 32);
+              (Scenario.Rapilog, 1); (Scenario.Rapilog, 32) ]
+
+let breakdown =
+  {
+    id = "metrics-breakdown";
+    title = "Per-stage commit-latency breakdown, sync-disk vs rapilog";
+    run =
+      (fun ~quick ->
+        Report.section
+          "Per-stage commit-latency breakdown (us), update microbenchmark";
+        let config =
+          {
+            (base_config ~quick) with
+            Scenario.workload = Scenario.Micro Workload.Microbench.default_config;
+          }
+        in
+        print_config_line config;
+        List.iter
+          (fun (mode, clients) ->
+            let config = { config with Scenario.mode; clients } in
+            Report.subsection
+              (Printf.sprintf "%s, %d client%s" (Scenario.mode_name mode)
+                 clients (if clients = 1 then "" else "s"));
+            let result, registry = Experiment.run_steady_metrics config in
+            Report.kvf "throughput" "%.0f txn/s" result.Experiment.throughput;
+            Report.kvf "client latency p50/p99" "%s / %s us"
+              (Report.float_cell result.Experiment.latency_p50_us)
+              (Report.float_cell result.Experiment.latency_p99_us);
+            Metrics_report.print registry)
+          cells;
+        Report.note
+          "stage latencies are simulated time; commit.total ~ commit.exec + \
+           commit.force per transaction");
+  }
+
+let experiments = [ breakdown ]

@@ -16,10 +16,10 @@ let experiments =
   @ Bench_residual_energy.experiments @ Bench_single_disk.experiments
   @ Bench_ycsb.experiments @ Bench_consolidation.experiments
   @ Bench_restart.experiments @ Bench_commit_delay.experiments
-  @ [ Bench_micro.experiment ]
+  @ Bench_metrics.experiments @ [ Bench_micro.experiment ]
 
 let usage () =
-  print_endline "usage: main.exe [--quick] [--list] [--only ID]...";
+  print_endline "usage: main.exe [--quick] [--list] [--metrics] [--only ID]...";
   exit 2
 
 let () =
@@ -36,6 +36,10 @@ let () =
         parse rest
     | "--only" :: id :: rest ->
         only := id :: !only;
+        parse rest
+    | "--metrics" :: rest ->
+        (* Shorthand for the per-stage latency breakdown. *)
+        only := "metrics-breakdown" :: !only;
         parse rest
     | arg :: _ ->
         Printf.eprintf "unknown argument: %s\n" arg;

@@ -7,12 +7,17 @@
      acceptance bar is zero);
    - the experiment sweep: wall-clock for a fixed scenario grid at
      jobs=1 and jobs=N, asserting the parallel results are
-     bit-identical to serial.
+     bit-identical to serial;
+   - the observability layer: the same scenario with and without the
+     metrics registry installed, asserting the steady results are
+     bit-identical (instrumentation only reads the clock) and emitting
+     the per-stage commit-latency histograms as the "metrics" section.
 
-   Writes a JSON report (default BENCH_PR1.json). With --check it also
-   self-validates: the JSON must parse, parallel must equal serial, and
-   the step path must not allocate — so `dune runtest` keeps this
-   harness honest.
+   Writes a JSON report (default BENCH_PR4.json). With --check it also
+   self-validates: the JSON must parse, parallel must equal serial,
+   metrics-on must equal metrics-off, every instrumented run must carry
+   populated stage histograms, and the step path must not allocate — so
+   `dune runtest` keeps this harness honest.
 
    Usage: perf.exe [--quick] [--check] [--jobs N] [--output PATH] *)
 
@@ -123,6 +128,36 @@ let bench_sweep ~quick ~jobs ~cores =
   let identical = serial = parallel in
   (List.length grid, serial, serial_s, parallel_timing, identical)
 
+(* ---- metrics-on vs metrics-off ------------------------------------- *)
+
+(* The two poles of the design space at low and high concurrency: the
+   per-stage breakdowns EXPERIMENTS.md quotes, and the gate that
+   instrumentation does not perturb the simulation. *)
+let metrics_cells =
+  [
+    (Scenario.Native_sync, 1);
+    (Scenario.Native_sync, 32);
+    (Scenario.Rapilog, 1);
+    (Scenario.Rapilog, 32);
+  ]
+
+let bench_metrics ~quick =
+  let config =
+    {
+      Scenario.default with
+      Scenario.warmup = Time.ms 100;
+      duration = (if quick then Time.ms 300 else Time.ms 800);
+      seed = 4242L;
+    }
+  in
+  List.map
+    (fun (mode, clients) ->
+      let config = { config with Scenario.mode; clients } in
+      let plain = Experiment.run_steady config in
+      let instrumented, registry = Experiment.run_steady_metrics config in
+      (Scenario.mode_name mode, clients, plain = instrumented, registry))
+    metrics_cells
+
 (* ---- main ----------------------------------------------------------- *)
 
 let usage () =
@@ -133,7 +168,7 @@ let () =
   let quick = ref false in
   let check = ref false in
   let jobs = ref (Parallel.default_jobs ()) in
-  let output = ref "BENCH_PR1.json" in
+  let output = ref "BENCH_PR4.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest
@@ -159,6 +194,12 @@ let () =
   let scenarios, serial_results, serial_s, parallel_timing, identical =
     bench_sweep ~quick ~jobs ~cores
   in
+  Printf.printf "perf: per-stage metrics breakdown (%d cells)...\n%!"
+    (List.length metrics_cells);
+  let metrics_rows = bench_metrics ~quick in
+  let metrics_identical =
+    List.for_all (fun (_, _, same, _) -> same) metrics_rows
+  in
   let speedup_json, speedup_note =
     match parallel_timing with
     | Some parallel_s ->
@@ -179,7 +220,7 @@ let () =
   let report =
     Obj
       [
-        ("pr", Num 1.);
+        ("pr", Num 4.);
         ("harness", Str "perf.exe");
         ("quick", Bool quick);
         ("cores", Num (float_of_int cores));
@@ -209,6 +250,23 @@ let () =
                 ("bit_identical", Bool identical);
                 ("results", Arr (List.map steady_fingerprint serial_results));
               ]) );
+        ( "metrics",
+          Obj
+            [
+              ("bit_identical_to_uninstrumented", Bool metrics_identical);
+              ( "runs",
+                Arr
+                  (List.map
+                     (fun (mode, clients, same, registry) ->
+                       Obj
+                         [
+                           ("mode", Str mode);
+                           ("clients", Num (float_of_int clients));
+                           ("identical_to_uninstrumented", Bool same);
+                           ("registry", Metrics_report.json_of registry);
+                         ])
+                     metrics_rows) );
+            ] );
       ]
   in
   let text = Json.to_string report in
@@ -221,6 +279,9 @@ let () =
   Printf.printf
     "perf: sweep %d scenarios: serial %.2fs, %s, bit-identical: %b\n"
     scenarios serial_s speedup_note identical;
+  Printf.printf
+    "perf: metrics %d cells, bit-identical to uninstrumented: %b\n"
+    (List.length metrics_rows) metrics_identical;
   Printf.printf "perf: wrote %s\n%!" !output;
 
   if !check then begin
@@ -232,6 +293,28 @@ let () =
     | Obj _ -> ()
     | _ -> fail "report is not a JSON object");
     if not identical then fail "parallel sweep results differ from serial";
+    if not metrics_identical then
+      fail "metrics-on steady results differ from metrics-off";
+    (* Every instrumented cell must populate the commit-path stages: the
+       client-visible total plus at least one stage below it. *)
+    List.iter
+      (fun (mode, clients, _, registry) ->
+        let hist_count name =
+          match Desim.Metrics.find registry name with
+          | Some (Desim.Metrics.Histogram h) -> Desim.Metrics.Histogram.count h
+          | Some _ | None -> 0
+        in
+        let require name =
+          if hist_count name = 0 then
+            fail
+              (Printf.sprintf "metrics %s/%d: stage %S has no observations"
+                 mode clients name)
+        in
+        require "commit.total";
+        require "commit.force";
+        require "wal.force_write";
+        if mode = "rapilog" then require "logger.admission")
+      metrics_rows;
     if step_words > 0.5 then
       fail
         (Printf.sprintf "Sim.step allocates %.3f minor words/event (want 0)"

@@ -17,6 +17,8 @@ type report = {
 }
 
 val compare_txids : committed:int list -> recovered:int list -> report
+(** Set comparison of acknowledged against recovered transaction ids;
+    neither list need be sorted. *)
 
 val compare_sorted : committed:int array -> n:int -> recovered:int list -> report
 (** [compare_txids] for an acknowledged set kept as the first [n]
@@ -40,3 +42,4 @@ val logger_conservation : Trusted_logger.t -> bool
     overlapping sector rewrites). *)
 
 val pp_report : Format.formatter -> report -> unit
+(** One-line summary, e.g. ["committed=12 recovered=12 lost=0 extra=1"]. *)

@@ -38,4 +38,8 @@ val violations : t -> violation list
 (** Oldest first; empty means every check passed so far. *)
 
 val ok : t -> bool
+(** No violations so far. *)
+
 val checks_performed : t -> int
+(** Number of polling rounds completed — evidence the monitor actually
+    ran alongside the experiment. *)

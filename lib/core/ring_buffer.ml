@@ -10,11 +10,15 @@ type t = {
   capacity_bytes : int;
   mutable lbas : int array;
   mutable datas : string array;
+  mutable stamps : int array;  (* caller-supplied push stamps (ns) *)
   mutable head : int;     (* index of the oldest entry *)
   mutable count : int;
   mutable bytes : int;
   mutable pushed : int;
   mutable popped : int;
+  mutable max_bytes : int;
+  mutable push_count : int;
+  mutable pop_count : int;
 }
 
 let initial_slots = 64
@@ -26,11 +30,15 @@ let create ~sector_size ~capacity_bytes =
     capacity_bytes;
     lbas = Array.make initial_slots 0;
     datas = Array.make initial_slots "";
+    stamps = Array.make initial_slots 0;
     head = 0;
     count = 0;
     bytes = 0;
     pushed = 0;
     popped = 0;
+    max_bytes = 0;
+    push_count = 0;
+    pop_count = 0;
   }
 
 let capacity_bytes t = t.capacity_bytes
@@ -45,16 +53,19 @@ let grow t =
   let cap = Array.length t.lbas in
   let lbas = Array.make (2 * cap) 0 in
   let datas = Array.make (2 * cap) "" in
+  let stamps = Array.make (2 * cap) 0 in
   for i = 0 to t.count - 1 do
     let j = slot t i in
     lbas.(i) <- t.lbas.(j);
-    datas.(i) <- t.datas.(j)
+    datas.(i) <- t.datas.(j);
+    stamps.(i) <- t.stamps.(j)
   done;
   t.lbas <- lbas;
   t.datas <- datas;
+  t.stamps <- stamps;
   t.head <- 0
 
-let try_push t ~lba ~data =
+let try_push ?(stamp = 0) t ~lba ~data =
   let len = String.length data in
   assert (len > 0 && len mod t.sector_size = 0);
   if not (fits t len) then false
@@ -63,9 +74,12 @@ let try_push t ~lba ~data =
     let j = slot t t.count in
     t.lbas.(j) <- lba;
     t.datas.(j) <- data;
+    t.stamps.(j) <- stamp;
     t.count <- t.count + 1;
     t.bytes <- t.bytes + len;
     t.pushed <- t.pushed + len;
+    t.push_count <- t.push_count + 1;
+    if t.bytes > t.max_bytes then t.max_bytes <- t.bytes;
     true
   end
 
@@ -78,7 +92,10 @@ let drop_head t =
   t.head <- (j + 1) land (Array.length t.lbas - 1);
   t.count <- t.count - 1;
   t.bytes <- t.bytes - len;
-  t.popped <- t.popped + len
+  t.popped <- t.popped + len;
+  t.pop_count <- t.pop_count + 1
+
+let head_stamp t = if t.count = 0 then 0 else t.stamps.(t.head)
 
 let pop t =
   if t.count = 0 then None
@@ -134,3 +151,6 @@ let iter t f =
 
 let pushed_bytes t = t.pushed
 let popped_bytes t = t.popped
+let max_bytes_used t = t.max_bytes
+let pushes t = t.push_count
+let pops t = t.pop_count

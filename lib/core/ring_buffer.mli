@@ -12,8 +12,12 @@ type entry = { lba : int; data : string }
 type t
 
 val create : sector_size:int -> capacity_bytes:int -> t
+(** An empty buffer; [capacity_bytes] bounds {!bytes_used}, and entries
+    must be whole sectors of [sector_size]. *)
+
 val capacity_bytes : t -> int
 val bytes_used : t -> int
+
 val length : t -> int
 (** Queued entries. *)
 
@@ -22,9 +26,16 @@ val is_empty : t -> bool
 val fits : t -> int -> bool
 (** [fits t n] — would an [n]-byte entry be accepted now? *)
 
-val try_push : t -> lba:int -> data:string -> bool
+val try_push : ?stamp:int -> t -> lba:int -> data:string -> bool
 (** False when the entry does not fit; the caller applies
-    backpressure. *)
+    backpressure. [stamp] (default 0) is an opaque caller-supplied
+    mark stored alongside the entry — the logger passes the push
+    instant in nanoseconds so the drain can report how long data sat
+    buffered ({!head_stamp}). *)
+
+val head_stamp : t -> int
+(** The stamp of the oldest entry; [0] when empty. Read it before
+    {!pop}/{!pop_coalesced} to age the batch about to drain. *)
 
 val pop : t -> entry option
 
@@ -42,3 +53,14 @@ val pushed_bytes : t -> int
 (** Total bytes ever accepted. *)
 
 val popped_bytes : t -> int
+(** Total bytes ever drained. *)
+
+val max_bytes_used : t -> int
+(** High-water mark of {!bytes_used} over the buffer's lifetime. *)
+
+val pushes : t -> int
+(** Entries ever accepted; with {!pops} this gives the drain's
+    coalescing factor at the entry granularity. *)
+
+val pops : t -> int
+(** Batches ever popped (coalesced batches count once). *)

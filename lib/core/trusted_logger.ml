@@ -9,6 +9,18 @@ type config = {
 let default_config =
   { buffer_bytes = 8 * 1024 * 1024; copy_bandwidth = 1e9; drain_max_bytes = 512 * 1024 }
 
+(* Commit-path stage handles, resolved once against the ambient registry
+   at {!create} time (the {!Desim.Metrics} discipline: [None] when
+   metrics are off, so the hot path pays one branch and no allocation). *)
+type logger_metrics = {
+  m_admission : Metrics.Histogram.t;  (* accept_write entry -> ack *)
+  m_copy : Metrics.Histogram.t;       (* guest -> trusted buffer copy *)
+  m_ring_wait : Metrics.Histogram.t;  (* push -> drain pop residency *)
+  m_drain_write : Metrics.Histogram.t;  (* physical write of one batch *)
+  m_buffered : Metrics.Gauge.t;       (* ring occupancy, bytes *)
+  m_stalls : Metrics.Counter.t;
+}
+
 type t = {
   sim : Sim.t;
   config : config;
@@ -27,12 +39,14 @@ type t = {
   mutable max_buffered : int;
   mutable stalls : int;
   journal : Journal.t option;
+  metrics : logger_metrics option;
 }
 
 let journal_device t = Storage.Block.journal_id t.device
 
 let drainer t () =
   while true do
+    let head_stamp = Ring_buffer.head_stamp t.ring in
     match Ring_buffer.pop_coalesced t.ring ~max_bytes:t.config.drain_max_bytes with
     | None ->
         t.draining <- false;
@@ -45,7 +59,20 @@ let drainer t () =
             Journal.pop j t.sim ~device:(journal_device t) ~lba
               ~bytes:(String.length data)
         | None -> ());
+        (match t.metrics with
+        | Some m ->
+            (* Age of the batch head: push instant -> this pop. *)
+            Metrics.Span.finish m.m_ring_wait t.sim head_stamp;
+            Metrics.Gauge.set m.m_buffered
+              (float_of_int (Ring_buffer.bytes_used t.ring))
+        | None -> ());
+        let write_started =
+          match t.metrics with Some _ -> Metrics.Span.start t.sim | None -> 0
+        in
         Storage.Block.write t.device ~lba data;
+        (match t.metrics with
+        | Some m -> Metrics.Span.finish m.m_drain_write t.sim write_started
+        | None -> ());
         t.drained_bytes <- t.drained_bytes + String.length data;
         t.drain_writes <- t.drain_writes + 1;
         Trace.emit t.trace t.sim ~tag:"drain" "wrote %d bytes at lba %d"
@@ -78,6 +105,18 @@ let create sim ~domain ?(trace = Trace.null) config ~device =
       max_buffered = 0;
       stalls = 0;
       journal = Journal.recording ();
+      metrics =
+        Option.map
+          (fun reg ->
+            {
+              m_admission = Metrics.histogram reg "logger.admission";
+              m_copy = Metrics.histogram reg "logger.copy";
+              m_ring_wait = Metrics.histogram reg "logger.ring_wait";
+              m_drain_write = Metrics.histogram reg "logger.drain_write";
+              m_buffered = Metrics.gauge reg "logger.buffered_bytes";
+              m_stalls = Metrics.counter reg "logger.backpressure_stalls";
+            })
+          (Metrics.recording ());
     }
   in
   ignore (Hypervisor.Domain.spawn domain ~name:"rapilog-drain" (drainer t));
@@ -104,10 +143,20 @@ let accept_write t ~lba ~data =
        to lose power anyway; its process parks here. *)
     block_forever ()
   else begin
+    let entered =
+      match t.metrics with Some _ -> Metrics.Span.start t.sim | None -> 0
+    in
     Process.sleep (copy_span t (String.length data));
+    (match t.metrics with
+    | Some m -> Metrics.Span.finish m.m_copy t.sim entered
+    | None -> ());
     if not t.accepting then block_forever ();
-    while not (Ring_buffer.try_push t.ring ~lba ~data) do
+    let stamp = Time.to_ns (Sim.now t.sim) in
+    while not (Ring_buffer.try_push t.ring ~stamp ~lba ~data) do
       t.stalls <- t.stalls + 1;
+      (match t.metrics with
+      | Some m -> Metrics.Counter.incr m.m_stalls
+      | None -> ());
       Trace.emit t.trace t.sim ~tag:"backpressure" "buffer full (%d bytes)"
         (Ring_buffer.bytes_used t.ring);
       Resource.Condition.wait t.space_freed;
@@ -120,6 +169,12 @@ let accept_write t ~lba ~data =
     t.acked_bytes <- t.acked_bytes + String.length data;
     t.acked_writes <- t.acked_writes + 1;
     t.max_buffered <- max t.max_buffered (Ring_buffer.bytes_used t.ring);
+    (match t.metrics with
+    | Some m ->
+        Metrics.Span.finish m.m_admission t.sim entered;
+        Metrics.Gauge.set m.m_buffered
+          (float_of_int (Ring_buffer.bytes_used t.ring))
+    | None -> ());
     Resource.Condition.signal t.arrived
   end
 

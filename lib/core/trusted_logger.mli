@@ -47,7 +47,9 @@ val create :
     power-fail events. *)
 
 val config : t -> config
+
 val device : t -> Storage.Block.t
+(** The physical disk the drain writes to. *)
 
 val backend : t -> Hypervisor.Virtio_blk.backend
 (** The virtual-log-disk backend the guest's virtio frontend connects
@@ -67,18 +69,28 @@ val quiesce : t -> unit
     died). Must run in a process. *)
 
 val accepting : t -> bool
+(** [false] once {!notify_power_fail} ran. *)
+
 val buffered_bytes : t -> int
+(** Current buffer occupancy. *)
+
 val max_buffered_bytes : t -> int
 (** High-water mark, for the hold-up budget check. *)
 
 val acked_bytes : t -> int
+(** Bytes ever acknowledged to the guest, with {!acked_writes} the
+    write count; {!drained_bytes} is the total the drain has retired to
+    the device. *)
+
 val drained_bytes : t -> int
 val acked_writes : t -> int
+
 val drain_writes : t -> int
 (** Physical writes issued: [acked_writes / drain_writes] is the
     coalescing factor. *)
 
 val backpressure_stalls : t -> int
+(** Times a writer found the buffer full and had to wait. *)
 
 val worst_case_flush : t -> drain_bandwidth:float -> Desim.Time.span
 (** Time to drain the high-water mark at the given bandwidth — compare

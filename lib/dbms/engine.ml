@@ -12,6 +12,18 @@ type txn_result = {
   latency : Time.span;
 }
 
+(* Commit-path stage handles ({!Desim.Metrics} discipline: resolved once
+   at create, [None] when metrics are off). [commit.exec] covers client
+   submit to commit-record append; [commit.force] the wait for log
+   durability (or the ack point, for async commit); [commit.total] the
+   whole client-visible latency of a write transaction. *)
+type engine_metrics = {
+  m_exec : Metrics.Histogram.t;
+  m_force : Metrics.Histogram.t;
+  m_total : Metrics.Histogram.t;
+  m_commits : Metrics.Counter.t;
+}
+
 type t = {
   vmm : Hypervisor.Vmm.t;
   profile : Engine_profile.t;
@@ -23,6 +35,7 @@ type t = {
   commit_serialiser : Resource.Mutex.t;  (* used when group commit is off *)
   mutable committed_txids : int list;  (* descending *)
   latencies : Stats.Sample.t;
+  metrics : engine_metrics option;
 }
 
 let create ~vmm ~profile ?(async_commit = false) ?first_txid ~wal ~pool () =
@@ -38,6 +51,16 @@ let create ~vmm ~profile ?(async_commit = false) ?first_txid ~wal ~pool () =
     commit_serialiser = Resource.Mutex.create sim;
     committed_txids = [];
     latencies = Stats.Sample.create ();
+    metrics =
+      Option.map
+        (fun reg ->
+          {
+            m_exec = Metrics.histogram reg "commit.exec";
+            m_force = Metrics.histogram reg "commit.force";
+            m_total = Metrics.histogram reg "commit.total";
+            m_commits = Metrics.counter reg "engine.write_commits";
+          })
+        (Metrics.recording ());
   }
 
 let spawn_wal_writer t domain ~interval =
@@ -123,7 +146,9 @@ let force_commit t lsn =
   Wal.force t.wal lsn
 
 let exec t ops =
-  let started = Sim.now (Hypervisor.Vmm.sim t.vmm) in
+  let sim = Hypervisor.Vmm.sim t.vmm in
+  let started = Sim.now sim in
+  let started_ns = Time.to_ns started in
   cpu t t.profile.Engine_profile.txn_base_cpu;
   let txn = Txn.Manager.begin_txn t.txns in
   ignore (Wal.append t.wal (Log_record.Begin { txid = Txn.txid txn }));
@@ -135,6 +160,13 @@ let exec t ops =
   end
   else begin
     let commit_lsn = Wal.append t.wal (Log_record.Commit { txid = Txn.txid txn }) in
+    let force_started =
+      match t.metrics with
+      | Some m ->
+          Metrics.Span.finish m.m_exec sim started_ns;
+          Metrics.Span.start sim
+      | None -> 0
+    in
     if t.async_commit then ()  (* ack without forcing: the unsafe classic *)
     else if t.profile.Engine_profile.group_commit then force_commit t commit_lsn
     else
@@ -142,10 +174,18 @@ let exec t ops =
          write, serialised. *)
       Resource.Mutex.with_lock t.commit_serialiser (fun () ->
           Wal.force_exclusive t.wal);
+    (match t.metrics with
+    | Some m ->
+        Metrics.Span.finish m.m_force sim force_started;
+        Metrics.Counter.incr m.m_commits
+    | None -> ());
     Txn.Manager.finish t.txns txn Txn.Committed;
     release txn t
   end;
-  let latency = Time.diff (Sim.now (Hypervisor.Vmm.sim t.vmm)) started in
+  let latency = Time.diff (Sim.now sim) started in
+  (match t.metrics with
+  | Some m when writes <> [] -> Metrics.Histogram.observe_span m.m_total latency
+  | Some _ | None -> ());
   t.committed_txids <- Txn.txid txn :: t.committed_txids;
   Stats.Sample.add_span t.latencies latency;
   { txid = Txn.txid txn; writes; reads; latency }

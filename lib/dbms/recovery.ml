@@ -247,6 +247,25 @@ let redo_undo_store ~pool_config ~records ~losers ~redo_start ~pages =
     pages;
   (!redo_applied, !undo_applied, store)
 
+(* Recovery is pure in the media images (no simulation handle), so the
+   stage counters resolve against the ambient registry per run rather
+   than at a create point. *)
+let note_metrics result =
+  (match Desim.Metrics.recording () with
+  | Some reg ->
+      Desim.Metrics.Counter.incr (Desim.Metrics.counter reg "recovery.runs");
+      Desim.Metrics.Counter.add
+        (Desim.Metrics.counter reg "recovery.durable_records")
+        result.durable_records;
+      Desim.Metrics.Counter.add
+        (Desim.Metrics.counter reg "recovery.redo_applied")
+        result.redo_applied;
+      Desim.Metrics.Counter.add
+        (Desim.Metrics.counter reg "recovery.undo_applied")
+        result.undo_applied
+  | None -> ());
+  result
+
 let run ~log_device ~data_device ~wal_config ~pool_config =
   let records = scan_records ~log_device ~wal_config in
   let committed, aborted, losers = analyse records in
@@ -259,6 +278,7 @@ let run ~log_device ~data_device ~wal_config ~pool_config =
   let redo_applied, undo_applied, store =
     redo_undo_store ~pool_config ~records ~losers ~redo_start ~pages
   in
+  note_metrics
   {
     store;
     records;
@@ -997,18 +1017,19 @@ module Incremental = struct
       (fun _id page ->
         Hashtbl.iter (fun key value -> Hashtbl.replace store key value) page.Page.values)
       pages;
-    {
-      store;
-      records;
-      parities;
-      committed;
-      aborted;
-      losers;
-      durable_records;
-      durable_end;
-      redo_start;
-      redo_applied = !point_redo;
-      undo_applied = !undo_applied;
-      pages_loaded = Hashtbl.length pages;
-    }
+    note_metrics
+      {
+        store;
+        records;
+        parities;
+        committed;
+        aborted;
+        losers;
+        durable_records;
+        durable_end;
+        redo_start;
+        redo_applied = !point_redo;
+        undo_applied = !undo_applied;
+        pages_loaded = Hashtbl.length pages;
+      }
 end

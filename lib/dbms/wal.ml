@@ -4,6 +4,13 @@ type config = { master_lba : int; log_start_lba : int; flush_after_write : bool 
 
 let default_config = { master_lba = 0; log_start_lba = 8; flush_after_write = false }
 
+type wal_metrics = {
+  wm_sim : Sim.t;
+  wm_force_write : Metrics.Histogram.t;  (* physical write of one force *)
+  wm_appends : Metrics.Counter.t;
+  wm_append_bytes : Metrics.Counter.t;
+}
+
 type t = {
   config : config;
   device : Storage.Block.t;
@@ -15,6 +22,7 @@ type t = {
   mutable forces : int;
   mutable truncated_bytes : int;
   force_bytes : Stats.Sample.t;
+  metrics : wal_metrics option;
 }
 
 let create sim config ~device =
@@ -29,6 +37,16 @@ let create sim config ~device =
     forces = 0;
     truncated_bytes = 0;
     force_bytes = Stats.Sample.create ();
+    metrics =
+      Option.map
+        (fun reg ->
+          {
+            wm_sim = sim;
+            wm_force_write = Metrics.histogram reg "wal.force_write";
+            wm_appends = Metrics.counter reg "wal.appends";
+            wm_append_bytes = Metrics.counter reg "wal.append_bytes";
+          })
+        (Metrics.recording ());
   }
 
 let create_resumed sim config ~device ~flushed ~tail =
@@ -42,7 +60,13 @@ let create_resumed sim config ~device ~flushed ~tail =
   t
 
 let append t record =
+  let before = Buffer.length t.stream in
   Log_record.encode_into record t.stream;
+  (match t.metrics with
+  | Some m ->
+      Metrics.Counter.incr m.wm_appends;
+      Metrics.Counter.add m.wm_append_bytes (Buffer.length t.stream - before)
+  | None -> ());
   Lsn.of_int (t.base + Buffer.length t.stream)
 
 let end_lsn t = Lsn.of_int (t.base + Buffer.length t.stream)
@@ -70,8 +94,16 @@ let do_force t =
   let from_b = if from_b >= to_b then max t.base (to_b - ss) else from_b in
   if to_b > from_b then begin
     let data = sector_slice t ~from_b ~to_b in
+    let write_started =
+      match t.metrics with
+      | Some m -> Metrics.Span.start m.wm_sim
+      | None -> 0
+    in
     Storage.Block.write t.device ~lba:(t.config.log_start_lba + (from_b / ss)) data;
-    if t.config.flush_after_write then Storage.Block.flush t.device
+    if t.config.flush_after_write then Storage.Block.flush t.device;
+    match t.metrics with
+    | Some m -> Metrics.Span.finish m.wm_force_write m.wm_sim write_started
+    | None -> ()
   end;
   t.forces <- t.forces + 1;
   Stats.Sample.add t.force_bytes (float_of_int (to_b - from_b));

@@ -6,8 +6,16 @@
 type 'a t
 
 val create : Sim.t -> 'a t
+(** An empty channel. *)
+
 val send : 'a t -> 'a -> unit
+(** Enqueue a message, waking the longest-waiting receiver if any.
+    Never blocks. *)
+
 val recv : 'a t -> 'a
+(** Dequeue the oldest message, blocking the calling process while the
+    channel is empty. *)
+
 val recv_opt : 'a t -> 'a option
 (** Non-blocking receive, callable from any context. *)
 

@@ -11,12 +11,14 @@ type 'a t = {
   mutable payloads : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  mutable max_size : int;         (* high-water mark, for observability *)
 }
 
 (* Payload arrays cannot be pre-filled before the first element exists,
    so a queue starts at capacity zero and allocates on the first [add]. *)
 let create () =
-  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0 }
+  { times = [||]; seqs = [||]; payloads = [||]; size = 0; next_seq = 0;
+    max_size = 0 }
 
 let lt q i tj sj = q.times.(i) < tj || (q.times.(i) = tj && q.seqs.(i) < sj)
 
@@ -69,9 +71,12 @@ let add q ~time payload =
   let seq = q.next_seq in
   q.next_seq <- seq + 1;
   q.size <- q.size + 1;
+  if q.size > q.max_size then q.max_size <- q.size;
   sift_up q (q.size - 1) (Time.to_ns time) seq payload
 
 let length q = q.size
+let max_length q = q.max_size
+let scheduled q = q.next_seq
 let is_empty q = q.size = 0
 
 let min_time q =

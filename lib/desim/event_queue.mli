@@ -13,13 +13,24 @@
 type 'a t
 
 val create : unit -> 'a t
+(** An empty queue with a small preallocated heap. *)
 
 val add : 'a t -> time:Time.t -> 'a -> unit
 (** Insert an event payload to fire at [time]. Allocation-free except
     when the heap has to grow. *)
 
 val is_empty : 'a t -> bool
+
 val length : 'a t -> int
+(** Events currently queued. *)
+
+val max_length : 'a t -> int
+(** High-water mark of {!length} over the queue's lifetime — the
+    simultaneity the run actually exercised; free to maintain (one
+    compare per insert) and surfaced by the metrics report. *)
+
+val scheduled : 'a t -> int
+(** Total events ever inserted (the next sequence number). *)
 
 val min_time : 'a t -> Time.t
 (** Time of the earliest event. The queue must be non-empty (checked by

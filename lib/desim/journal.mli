@@ -37,6 +37,8 @@ val create : unit -> t
     journal sweep and cleared before any worker domain is spawned. *)
 
 val recording : unit -> t option
+(** The ambient journal, if one is installed. *)
+
 val start_recording : t -> unit
 val stop_recording : unit -> unit
 
@@ -44,8 +46,13 @@ val stop_recording : unit -> unit
 
 val register_device :
   t -> model:string -> sector_size:int -> capacity_sectors:int -> rng:Rng.t -> int
+(** Register a physical device; returns its endpoint id for the append
+    calls below. *)
 
 val register_port : t -> model:string -> int
+(** Register a software port (a virtio frontend); returns its endpoint
+    id. *)
+
 val endpoint : t -> int -> endpoint
 
 (** {2 Appends} — stamped with [Sim.events_executed] / [Sim.now]. *)
@@ -75,9 +82,15 @@ val ack : t -> Sim.t -> txid:int -> writes:string -> unit
 (** {2 Read side} *)
 
 val length : t -> int
+(** Number of journalled records. *)
+
 val kind : t -> int -> kind
+
 val index : t -> int -> int
+(** The [Sim.events_executed] stamp of record [i]. *)
+
 val time_ns : t -> int -> int
+(** The clock stamp of record [i], in nanoseconds. *)
 
 val a : t -> int -> int
 (** Endpoint id, or txid for [Ack]. *)

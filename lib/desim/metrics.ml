@@ -1,0 +1,256 @@
+(* The observability registry: named counters, gauges and log-linear
+   latency histograms, plus the span helpers the commit-path
+   instrumentation uses.
+
+   Storage discipline matches {!Event_queue} and {!Journal}: a
+   histogram is one flat int array of bucket counts plus a 3-slot float
+   array (sum/min/max — a float array so the scalar updates stay
+   unboxed), a counter is a single mutable int, and a gauge is a 2-slot
+   float array (value/high-water). Observing on the hot path therefore
+   allocates nothing on the minor heap.
+
+   Enablement follows the {!Journal} ambient-slot pattern: components
+   consult {!recording} at creation time and keep resolved metric
+   handles if a registry is active. With no registry installed the
+   per-component handle is [None] and the instrumented code paths cost
+   one branch — the perf smoke gate holds the hot path at zero minor
+   words per event either way, and instrumentation never reads the rng
+   or schedules events, so enabling metrics cannot perturb a run. *)
+
+(* ---- log-linear histogram ------------------------------------------- *)
+
+(* HDR-style bucketing over integer nanoseconds: values below [sub] get
+   exact 1 ns buckets; every octave [2^e, 2^(e+1)) above is split into
+   [sub] equal linear sub-buckets, giving a relative bucket width of
+   1/sub (6.25%) over the whole range. 63-bit ints cap the exponent at
+   61, so the table covers 1 ns to ~2^62 ns (~146 years) in 944 flat
+   slots. The public unit is microseconds (the repo's latency unit);
+   conversion happens at the observe/query boundary. *)
+
+let sub_bits = 4
+let sub = 1 lsl sub_bits
+let max_exp = 61
+let num_buckets = sub + ((max_exp - sub_bits + 1) * sub)
+
+let bucket_index_ns n =
+  if n < sub then if n < 0 then 0 else n
+  else begin
+    let e = ref sub_bits in
+    while n lsr (!e + 1) > 0 do
+      incr e
+    done;
+    let e = !e in
+    sub + ((e - sub_bits) * sub) + ((n lsr (e - sub_bits)) land (sub - 1))
+  end
+
+(* Bucket bounds in nanoseconds, as floats (the top bucket's upper bound
+   is 2^62, one past max_int). *)
+let bucket_lower_ns i =
+  if i < 0 || i >= num_buckets then invalid_arg "Metrics: bucket index";
+  if i < sub then float_of_int i
+  else begin
+    let oct = (i - sub) / sub and s = (i - sub) mod sub in
+    let e = oct + sub_bits in
+    float_of_int (1 lsl e) +. (float_of_int s *. float_of_int (1 lsl (e - sub_bits)))
+  end
+
+let bucket_width_ns i =
+  if i < 0 || i >= num_buckets then invalid_arg "Metrics: bucket index";
+  if i < sub then 1. else float_of_int (1 lsl ((i - sub) / sub))
+
+let bucket_upper_ns i = bucket_lower_ns i +. bucket_width_ns i
+
+let ns_per_us = 1000.
+
+let bucket_lower_us i = bucket_lower_ns i /. ns_per_us
+let bucket_upper_us i = bucket_upper_ns i /. ns_per_us
+let bucket_index_us v =
+  bucket_index_ns (if v <= 0. then 0 else int_of_float (v *. ns_per_us))
+
+module Histogram = struct
+  type t = {
+    buckets : int array;
+    mutable count : int;
+    acc : float array;  (* [| sum_us; min_us; max_us |] *)
+  }
+
+  let create () = { buckets = Array.make num_buckets 0; count = 0; acc = Array.make 3 0. }
+
+  let observe h v =
+    let n = if v <= 0. then 0 else int_of_float (v *. ns_per_us) in
+    let i = bucket_index_ns n in
+    h.buckets.(i) <- h.buckets.(i) + 1;
+    h.count <- h.count + 1;
+    h.acc.(0) <- h.acc.(0) +. v;
+    if h.count = 1 then begin
+      h.acc.(1) <- v;
+      h.acc.(2) <- v
+    end
+    else begin
+      if v < h.acc.(1) then h.acc.(1) <- v;
+      if v > h.acc.(2) then h.acc.(2) <- v
+    end
+
+  let observe_span h span = observe h (Time.span_to_float_us span)
+
+  let count h = h.count
+  let sum h = h.acc.(0)
+  let min h = if h.count = 0 then nan else h.acc.(1)
+  let max h = if h.count = 0 then nan else h.acc.(2)
+  let mean h = if h.count = 0 then nan else h.acc.(0) /. float_of_int h.count
+
+  let quantile h q =
+    if h.count = 0 then nan
+    else begin
+      let q = if q < 0. then 0. else if q > 1. then 1. else q in
+      let target = Float.max 1. (q *. float_of_int h.count) in
+      let rec find i cum =
+        let here = h.buckets.(i) in
+        let cum' = cum + here in
+        if here > 0 && float_of_int cum' >= target then
+          let into = (target -. float_of_int cum) /. float_of_int here in
+          (bucket_lower_ns i +. (into *. bucket_width_ns i)) /. ns_per_us
+        else find (i + 1) cum'
+      in
+      find 0 0
+    end
+
+  let merge_into ~into src =
+    for i = 0 to num_buckets - 1 do
+      into.buckets.(i) <- into.buckets.(i) + src.buckets.(i)
+    done;
+    if src.count > 0 then begin
+      if into.count = 0 then begin
+        into.acc.(1) <- src.acc.(1);
+        into.acc.(2) <- src.acc.(2)
+      end
+      else begin
+        if src.acc.(1) < into.acc.(1) then into.acc.(1) <- src.acc.(1);
+        if src.acc.(2) > into.acc.(2) then into.acc.(2) <- src.acc.(2)
+      end;
+      into.count <- into.count + src.count;
+      into.acc.(0) <- into.acc.(0) +. src.acc.(0)
+    end
+
+  let nonempty_buckets h =
+    let rec collect i acc =
+      if i < 0 then acc
+      else if h.buckets.(i) = 0 then collect (i - 1) acc
+      else collect (i - 1) ((bucket_lower_us i, bucket_upper_us i, h.buckets.(i)) :: acc)
+    in
+    collect (num_buckets - 1) []
+end
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let create () = { n = 0 }
+  let incr c = c.n <- c.n + 1
+  let add c d = c.n <- c.n + d
+  let get c = c.n
+end
+
+module Gauge = struct
+  type t = { v : float array }  (* [| value; high-water |] *)
+
+  let create () = { v = Array.make 2 0. }
+
+  let set g x =
+    g.v.(0) <- x;
+    if x > g.v.(1) then g.v.(1) <- x
+
+  let add g dx = set g (g.v.(0) +. dx)
+  let get g = g.v.(0)
+  let high_water g = g.v.(1)
+end
+
+(* ---- the registry ---------------------------------------------------- *)
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let resolve t name make match_existing =
+  match Hashtbl.find_opt t.tbl name with
+  | Some existing -> (
+      match match_existing existing with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S already registered as a %s" name
+               (kind_name existing)))
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl name
+        (match m with
+        | `C c -> Counter c
+        | `G g -> Gauge g
+        | `H h -> Histogram h);
+      m
+
+let counter t name =
+  match
+    resolve t name
+      (fun () -> `C (Counter.create ()))
+      (function Counter c -> Some (`C c) | _ -> None)
+  with
+  | `C c -> c
+  | _ -> assert false
+
+let gauge t name =
+  match
+    resolve t name
+      (fun () -> `G (Gauge.create ()))
+      (function Gauge g -> Some (`G g) | _ -> None)
+  with
+  | `G g -> g
+  | _ -> assert false
+
+let histogram t name =
+  match
+    resolve t name
+      (fun () -> `H (Histogram.create ()))
+      (function Histogram h -> Some (`H h) | _ -> None)
+  with
+  | `H h -> h
+  | _ -> assert false
+
+let names t =
+  List.sort String.compare (Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl [])
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let fold t f acc =
+  List.fold_left (fun acc name -> f acc name (Hashtbl.find t.tbl name)) acc (names t)
+
+(* ---- ambient enablement ---------------------------------------------- *)
+
+let current : t option ref = ref None
+
+let recording () = !current
+let start_recording t = current := Some t
+let stop_recording () = current := None
+
+let with_recording t f =
+  start_recording t;
+  Fun.protect ~finally:stop_recording f
+
+(* ---- spans ----------------------------------------------------------- *)
+
+module Span = struct
+  let start sim = Time.to_ns (Sim.now sim)
+
+  let finish h sim started_ns =
+    Histogram.observe h
+      (float_of_int (Time.to_ns (Sim.now sim) - started_ns) /. ns_per_us)
+end

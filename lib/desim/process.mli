@@ -24,7 +24,9 @@ val spawn : Sim.t -> ?name:string -> (unit -> unit) -> handle
     re-raised out of the simulation run loop. *)
 
 val name : handle -> string
+
 val is_alive : handle -> bool
+(** [false] once the body returned, raised, or was cancelled. *)
 
 val cancel : handle -> unit
 (** Marks the process dead. It will receive {!Cancelled} at its next

@@ -19,15 +19,25 @@ module Semaphore : sig
       from any context. *)
 
   val available : t -> int
+  (** Permits currently free. *)
+
   val waiting : t -> int
+  (** Processes currently blocked in {!acquire}. *)
 end
 
 module Mutex : sig
+  (** Binary semaphore with FIFO hand-off. *)
+
   type t
 
   val create : Sim.t -> t
+
   val lock : t -> unit
+  (** Take the lock, blocking the calling process while it is held. *)
+
   val unlock : t -> unit
+  (** Release the lock, handing it to the longest-waiting process if
+      any. *)
 
   val with_lock : t -> (unit -> 'a) -> 'a
   (** Runs the function holding the lock; releases it on any exit,
@@ -52,6 +62,7 @@ module Latch : sig
       immediately if it already is. *)
 
   val pending : t -> int
+  (** The remaining count. *)
 end
 
 module Condition : sig
@@ -60,11 +71,18 @@ module Condition : sig
   type t
 
   val create : Sim.t -> t
+
   val wait : t -> unit
+  (** Block the calling process until the next {!signal} or
+      {!broadcast}. There is no separate predicate: callers re-check
+      their condition in a loop, as with any condition variable. *)
+
   val broadcast : t -> unit
+  (** Wake every current waiter. Callable from any context. *)
 
   val signal : t -> unit
   (** Wake exactly one waiter (FIFO), if any. *)
 
   val waiting : t -> int
+  (** Processes currently blocked in {!wait}. *)
 end

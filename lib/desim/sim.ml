@@ -61,3 +61,5 @@ let run ?until t =
       if Time.(t.clock < limit) then t.clock <- limit
 
 let pending t = Event_queue.length t.queue
+let max_pending t = Event_queue.max_length t.queue
+let events_scheduled t = Event_queue.scheduled t.queue

@@ -19,6 +19,8 @@ val rng : t -> Rng.t
     construction time rather than share it at runtime. *)
 
 val seed : t -> int64
+(** The seed the world was created with; reported so a run can always be
+    reproduced. *)
 
 val schedule_at : t -> Time.t -> (unit -> unit) -> unit
 (** [schedule_at t time f] runs [f] when the clock reaches [time]. [time]
@@ -55,3 +57,11 @@ val run_to_event : t -> int -> bool
 
 val pending : t -> int
 (** Number of queued events, for tests and debugging. *)
+
+val max_pending : t -> int
+(** High-water mark of {!pending} over the run — how many events were
+    ever simultaneously outstanding. Maintained unconditionally (one
+    compare per insert); the metrics report surfaces it. *)
+
+val events_scheduled : t -> int
+(** Total events ever scheduled, executed or still pending. *)

@@ -6,8 +6,12 @@ module Summary : sig
   type t
 
   val create : unit -> t
+
   val add : t -> float -> unit
+  (** Fold one observation into the running moments. *)
+
   val count : t -> int
+
   val mean : t -> float
   (** 0. when empty. *)
 
@@ -16,7 +20,7 @@ module Summary : sig
 
   val stddev : t -> float
   val min : t -> float
-  (** [nan] when empty. *)
+  (** [nan] when empty, like {!max}. *)
 
   val max : t -> float
 end
@@ -27,9 +31,15 @@ module Sample : sig
   type t
 
   val create : unit -> t
+
   val add : t -> float -> unit
+  (** Append one observation (kept verbatim for exact order
+      statistics). *)
+
   val count : t -> int
+
   val mean : t -> float
+  (** [nan] when empty. *)
 
   val percentile : t -> float -> float
   (** [percentile t p] for [p] in [\[0, 100\]], by linear interpolation
@@ -65,6 +75,8 @@ module Histogram : sig
 end
 
 module Counter : sig
+  (** A plain mutable event count. *)
+
   type t
 
   val create : unit -> t

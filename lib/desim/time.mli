@@ -15,6 +15,9 @@ val zero : t
 (** Start of the simulation. *)
 
 val ns : int -> span
+(** Span constructors from an integer count of the named unit; {!us},
+    {!ms} and {!sec} scale accordingly. *)
+
 val us : int -> span
 val ms : int -> span
 val sec : int -> span
@@ -25,17 +28,28 @@ val span_of_float_sec : float -> span
 val span_of_float_us : float -> span
 
 val add : t -> span -> t
+(** Advance an instant by a duration. *)
+
 val diff : t -> t -> span
 (** [diff a b] is [a - b]. *)
 
 val add_span : span -> span -> span
+(** Exact integer span arithmetic; {!sub_span}, {!mul_span} and
+    {!div_span} follow suit ([div_span] truncates). *)
+
 val sub_span : span -> span -> span
 val mul_span : span -> int -> span
 val div_span : span -> int -> span
+
 val scale_span : span -> float -> span
+(** Multiply by a float factor, rounding to the nearest nanosecond. *)
+
 val zero_span : span
 
 val compare : t -> t -> int
+(** Total orders matching the nanosecond counts, with the operator and
+    {!min}/{!max} conveniences below. *)
+
 val compare_span : span -> span -> int
 val equal : t -> t -> bool
 val ( <= ) : t -> t -> bool
@@ -44,12 +58,17 @@ val min : t -> t -> t
 val max : t -> t -> t
 
 val to_float_sec : t -> float
+(** Float conversions of instants and spans to the named unit, for
+    statistics and report formatting. *)
+
 val to_float_us : t -> float
 val to_float_ms : t -> float
 val span_to_float_sec : span -> float
 val span_to_float_us : span -> float
 val span_to_float_ms : span -> float
+
 val span_to_ns : span -> int
+(** The exact nanosecond count. *)
 
 val of_ns : int -> t
 (** [of_ns n] is the instant [n] nanoseconds after {!zero}; used by tests. *)

@@ -91,6 +91,11 @@ let run_steady config =
     total_committed = Dbms.Engine.committed_count built.Scenario.engine;
   }
 
+let run_steady_metrics config =
+  let registry = Metrics.create () in
+  let result = Metrics.with_recording registry (fun () -> run_steady config) in
+  (result, registry)
+
 let run_failure config ~kind ~after =
   let built = Scenario.build config in
   let sim = built.Scenario.sim in

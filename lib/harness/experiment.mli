@@ -36,6 +36,16 @@ and logger_stats = {
 
 val run_steady : Scenario.config -> steady_result
 
+val run_steady_metrics :
+  Scenario.config -> steady_result * Desim.Metrics.t
+(** {!run_steady} with a fresh {!Desim.Metrics} registry installed
+    around the whole run (world construction included, so every
+    component resolves its stage handles). The steady result is
+    bit-identical to an uninstrumented {!run_steady} of the same config
+    — instrumentation only reads the clock. Serial only: like the
+    journal, the ambient registry must not be live across a
+    {!Parallel} fan-out, so this entry point is not batched. *)
+
 type failure_kind = Power_cut | Os_crash
 
 val failure_name : failure_kind -> string

@@ -1,0 +1,97 @@
+open Desim
+
+(* nan never belongs in a machine-readable report. *)
+let num_or_null v = if Float.is_nan v then Json.Null else Json.Num v
+
+let json_of_histogram h =
+  let q p = num_or_null (Metrics.Histogram.quantile h p) in
+  Json.Obj
+    [
+      ("kind", Json.Str "histogram");
+      ("count", Json.Num (float_of_int (Metrics.Histogram.count h)));
+      ("sum_us", Json.Num (Metrics.Histogram.sum h));
+      ("min_us", num_or_null (Metrics.Histogram.min h));
+      ("max_us", num_or_null (Metrics.Histogram.max h));
+      ("mean_us", num_or_null (Metrics.Histogram.mean h));
+      ("p50_us", q 0.5);
+      ("p95_us", q 0.95);
+      ("p99_us", q 0.99);
+      ( "buckets",
+        Json.Arr
+          (List.map
+             (fun (lower, upper, count) ->
+               Json.Obj
+                 [
+                   ("lower_us", Json.Num lower);
+                   ("upper_us", Json.Num upper);
+                   ("count", Json.Num (float_of_int count));
+                 ])
+             (Metrics.Histogram.nonempty_buckets h)) );
+    ]
+
+let json_of_metric = function
+  | Metrics.Counter c ->
+      Json.Obj
+        [
+          ("kind", Json.Str "counter");
+          ("value", Json.Num (float_of_int (Metrics.Counter.get c)));
+        ]
+  | Metrics.Gauge g ->
+      Json.Obj
+        [
+          ("kind", Json.Str "gauge");
+          ("value", Json.Num (Metrics.Gauge.get g));
+          ("high_water", Json.Num (Metrics.Gauge.high_water g));
+        ]
+  | Metrics.Histogram h -> json_of_histogram h
+
+let json_of reg =
+  Json.Obj
+    (List.rev
+       (Metrics.fold reg
+          (fun acc name metric -> (name, json_of_metric metric) :: acc)
+          []))
+
+let print reg =
+  let histograms, scalars =
+    Metrics.fold reg
+      (fun (hs, ss) name metric ->
+        match metric with
+        | Metrics.Histogram h -> ((name, h) :: hs, ss)
+        | Metrics.Counter _ | Metrics.Gauge _ -> (hs, (name, metric) :: ss))
+      ([], [])
+  in
+  let histograms = List.rev histograms and scalars = List.rev scalars in
+  if histograms <> [] then begin
+    Report.subsection "stage latencies (us)";
+    Report.table
+      ~columns:[ "stage"; "count"; "mean"; "p50"; "p95"; "p99"; "max" ]
+      ~rows:
+        (List.map
+           (fun (name, h) ->
+             name
+             :: string_of_int (Metrics.Histogram.count h)
+             :: List.map Report.float_cell
+                  [
+                    Metrics.Histogram.mean h;
+                    Metrics.Histogram.quantile h 0.5;
+                    Metrics.Histogram.quantile h 0.95;
+                    Metrics.Histogram.quantile h 0.99;
+                    Metrics.Histogram.max h;
+                  ])
+           histograms)
+  end;
+  if scalars <> [] then begin
+    Report.subsection "counters and gauges";
+    List.iter
+      (fun (name, metric) ->
+        match metric with
+        | Metrics.Counter c ->
+            Report.kvf name "%d" (Metrics.Counter.get c)
+        | Metrics.Gauge g ->
+            Report.kvf name "%s (high water %s)"
+              (Report.float_cell (Metrics.Gauge.get g))
+              (Report.float_cell (Metrics.Gauge.high_water g))
+        | Metrics.Histogram _ -> ())
+      scalars
+  end

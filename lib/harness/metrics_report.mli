@@ -1,0 +1,20 @@
+(** Render a {!Desim.Metrics} registry — machine-readable JSON for the
+    bench reports and a human-readable per-stage latency table.
+
+    The JSON schema is documented in [docs/OBSERVABILITY.md]: one object
+    keyed by metric name, each value tagged with its kind. Histograms
+    carry [count], [sum_us], [min_us]/[max_us]/[mean_us],
+    [p50_us]/[p95_us]/[p99_us] and the non-empty [buckets]; counters a
+    single [value]; gauges [value] and [high_water]. *)
+
+val json_of : Desim.Metrics.t -> Json.t
+(** The full registry as a JSON object in {!Desim.Metrics.names} order.
+    Empty-histogram statistics ([nan]) serialise as [null]. *)
+
+val json_of_histogram : Desim.Metrics.Histogram.t -> Json.t
+(** One histogram, same shape as its entry in {!json_of}. *)
+
+val print : Desim.Metrics.t -> unit
+(** Human-readable rendering through {!Report}: a latency table (count,
+    mean, p50/p95/p99, max — all µs) over every histogram, then the
+    counters and gauges as key/value lines. *)

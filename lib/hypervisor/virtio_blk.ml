@@ -69,6 +69,16 @@ let create sim ~ipc ~backend_domain ?(queue_depth = 8) backend =
         Channel.send queue (make_request resume))
   in
   let stats = Storage.Disk_stats.create () in
+  (* Frontend-observed write service (queue + IPC + backend), one stage
+     histogram per attached device so the log path and the data path
+     stay distinguishable in the breakdown. *)
+  let m_write =
+    Option.map
+      (fun reg ->
+        Desim.Metrics.histogram reg
+          ("virtio.write:" ^ backend.be_info.Storage.Block.model))
+      (Desim.Metrics.recording ())
+  in
   let ops =
     {
       Storage.Block.op_read =
@@ -91,8 +101,11 @@ let create sim ~ipc ~backend_domain ?(queue_depth = 8) backend =
             | None -> None
           in
           submit ?on_send (fun resume -> Write { lba; data; fua; resume });
-          Storage.Disk_stats.record_write stats ~sectors
-            ~service:(Time.diff (Sim.now sim) started));
+          let service = Time.diff (Sim.now sim) started in
+          (match m_write with
+          | Some h -> Desim.Metrics.Histogram.observe_span h service
+          | None -> ());
+          Storage.Disk_stats.record_write stats ~sectors ~service);
       op_flush =
         (fun () ->
           let started = Sim.now sim in

@@ -11,6 +11,8 @@ type t = {
   cores : Resource.Semaphore.t;
   guest : Domain.t;
   mutable driver_domains : Domain.t list;
+  m_core_wait : Metrics.Histogram.t option;
+      (* time runnable work waited for a core — CPU contention *)
 }
 
 let create sim config =
@@ -21,6 +23,10 @@ let create sim config =
     cores = Resource.Semaphore.create sim config.cores;
     guest = Domain.create sim ~name:"guest" ~kind:Domain.Guest;
     driver_domains = [];
+    m_core_wait =
+      Option.map
+        (fun reg -> Metrics.histogram reg "vmm.core_wait")
+        (Metrics.recording ());
   }
 
 let sim t = t.sim
@@ -33,7 +39,13 @@ let trusted_domain t ~name =
   domain
 
 let on_core t span =
+  let wait_started =
+    match t.m_core_wait with Some _ -> Metrics.Span.start t.sim | None -> 0
+  in
   Resource.Semaphore.acquire t.cores;
+  (match t.m_core_wait with
+  | Some h -> Metrics.Span.finish h t.sim wait_started
+  | None -> ());
   Fun.protect ~finally:(fun () -> Resource.Semaphore.release t.cores)
   @@ fun () -> Process.sleep span
 

@@ -178,6 +178,13 @@ let create sim ?(model = "hdd-7200") config =
     }
   in
   let stats = Disk_stats.create () in
+  (* Physical write service (seek + rotation + transfer), per device
+     model — the bottom of every commit-path breakdown. *)
+  let m_write =
+    Option.map
+      (fun reg -> Metrics.histogram reg ("device.write:" ^ model))
+      (Metrics.recording ())
+  in
   let ops =
     {
       Block.op_read =
@@ -191,6 +198,9 @@ let create sim ?(model = "hdd-7200") config =
              a cache is added by wrapping with {!Write_cache}. *)
           let service = service_write state ~lba ~data in
           let sectors = String.length data / config.sector_size in
+          (match m_write with
+          | Some h -> Metrics.Histogram.observe_span h service
+          | None -> ());
           Disk_stats.record_write stats ~sectors ~service);
       op_flush =
         (fun () ->

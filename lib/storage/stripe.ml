@@ -126,6 +126,13 @@ let create sim ?(model = "stripe") ~chunk_sectors members =
   in
   let t = { sim; members; chunk_sectors; sector_size } in
   let stats = Disk_stats.create () in
+  (* Volume-level write service: the slowest member segment of the
+     fan-out, as the caller sees it. *)
+  let m_write =
+    Option.map
+      (fun reg -> Metrics.histogram reg ("stripe.write:" ^ model))
+      (Metrics.recording ())
+  in
   let ops =
     {
       Block.op_read =
@@ -139,9 +146,13 @@ let create sim ?(model = "stripe") ~chunk_sectors members =
         (fun ~lba ~data ~fua ->
           let started = Sim.now sim in
           stripe_write t ~lba ~data ~fua;
+          let service = Time.diff (Sim.now sim) started in
+          (match m_write with
+          | Some h -> Metrics.Histogram.observe_span h service
+          | None -> ());
           Disk_stats.record_write stats
             ~sectors:(String.length data / sector_size)
-            ~service:(Time.diff (Sim.now sim) started));
+            ~service);
       op_flush =
         (fun () ->
           let started = Sim.now sim in

@@ -1,0 +1,213 @@
+(* The metrics registry and its log-linear histogram.
+
+   The histogram backs every per-stage latency figure the reports
+   quote, so its guarantees get property coverage: the bucket table
+   must tile the range (monotone boundaries, no gaps), indexing must be
+   monotone in the value, merging two histograms must be
+   indistinguishable from observing the concatenated stream, and the
+   interpolated quantile must stay within one bucket width (6.25%
+   relative) of the exact order statistic. The integration case at the
+   bottom checks the ambient-enablement contract end to end: a steady
+   run with the registry installed returns a bit-identical result and
+   populated commit-path stages. *)
+
+open Desim
+open Testu
+open QCheck2
+
+(* ---- bucket layout --------------------------------------------------- *)
+
+let boundaries_tile () =
+  for i = 0 to Metrics.num_buckets - 1 do
+    let lower = Metrics.bucket_lower_us i and upper = Metrics.bucket_upper_us i in
+    if not (lower < upper) then
+      Alcotest.failf "bucket %d: lower %g >= upper %g" i lower upper;
+    if i + 1 < Metrics.num_buckets then begin
+      let next = Metrics.bucket_lower_us (i + 1) in
+      if upper <> next then
+        Alcotest.failf "bucket %d: upper %g <> next lower %g" i upper next;
+      let width = upper -. lower and next_width = Metrics.bucket_upper_us (i + 1) -. next in
+      (* widths are exact powers of two in ns but rounded by the /1000
+         µs conversion: compare up to that rounding *)
+      if next_width < width *. (1. -. 1e-9) then
+        Alcotest.failf "bucket %d: width shrinks %g -> %g" i width next_width
+    end
+  done
+
+(* Nanosecond-exact microsecond values, mixing the fine 1 ns region with
+   the log-linear tail. *)
+let us_gen =
+  Gen.map
+    (fun n -> float_of_int n /. 1000.)
+    (Gen.oneof
+       [
+         Gen.int_range 0 64;  (* the exact-bucket region *)
+         Gen.int_range 0 2_000_000;  (* up to 2 ms *)
+         Gen.int_range 0 2_000_000_000_000;  (* up to ~33 min *)
+       ])
+
+let index_monotone =
+  prop "bucket index is monotone in the value" ~count:500
+    (Gen.pair us_gen us_gen)
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      Metrics.bucket_index_us lo <= Metrics.bucket_index_us hi)
+
+let index_contains =
+  (* One bucket width of slack absorbs the float/int boundary rounding
+     of the µs↔ns conversion. *)
+  prop "indexed bucket contains the value (within one width)" ~count:500 us_gen
+    (fun v ->
+      let i = Metrics.bucket_index_us v in
+      let lower = Metrics.bucket_lower_us i and upper = Metrics.bucket_upper_us i in
+      let width = upper -. lower in
+      lower -. width <= v && v <= upper +. width)
+
+(* ---- merge ≡ concatenation ------------------------------------------ *)
+
+let observe_all values =
+  let h = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.observe h) values;
+  h
+
+let rel_close a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+let merge_is_concat =
+  prop "merge_into == observing the concatenated stream" ~count:200
+    (Gen.pair (Gen.list_size (Gen.int_range 0 50) us_gen)
+       (Gen.list_size (Gen.int_range 0 50) us_gen))
+    (fun (xs, ys) ->
+      let merged = observe_all xs in
+      Metrics.Histogram.merge_into ~into:merged (observe_all ys);
+      let oracle = observe_all (xs @ ys) in
+      Metrics.Histogram.count merged = Metrics.Histogram.count oracle
+      && Metrics.Histogram.nonempty_buckets merged
+         = Metrics.Histogram.nonempty_buckets oracle
+      (* min/max propagate the same floats; only the sum's addition
+         order differs between the two sides. *)
+      && (Metrics.Histogram.count merged = 0
+         || Metrics.Histogram.min merged = Metrics.Histogram.min oracle
+            && Metrics.Histogram.max merged = Metrics.Histogram.max oracle)
+      && rel_close (Metrics.Histogram.sum merged) (Metrics.Histogram.sum oracle))
+
+(* ---- quantile vs sort oracle ---------------------------------------- *)
+
+let quantile_vs_oracle =
+  prop "quantile within one bucket width of the order statistic" ~count:200
+    (Gen.pair
+       (Gen.list_size (Gen.int_range 1 200) us_gen)
+       (Gen.int_range 0 100))
+    (fun (values, pct) ->
+      let q = float_of_int pct /. 100. in
+      let h = observe_all values in
+      let sorted = List.sort Float.compare values in
+      let n = List.length values in
+      let rank =
+        Stdlib.max 0
+          (int_of_float (Float.ceil (Float.max 1. (q *. float_of_int n))) - 1)
+      in
+      let exact = List.nth sorted (Stdlib.min rank (n - 1)) in
+      let estimate = Metrics.Histogram.quantile h q in
+      (* 6.25% relative bucket width, doubled for interpolation and
+         boundary rounding; 0.002 µs absolute floor covers the 1 ns
+         region. *)
+      Float.abs (estimate -. exact) <= Float.max 0.002 (exact /. 8.))
+
+(* ---- registry -------------------------------------------------------- *)
+
+let registry_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "a.count" in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 2;
+  (* find-or-create: the same handle comes back *)
+  Metrics.Counter.incr (Metrics.counter reg "a.count");
+  Alcotest.(check int) "counter accumulates" 4 (Metrics.Counter.get c);
+  let g = Metrics.gauge reg "b.level" in
+  Metrics.Gauge.set g 5.;
+  Metrics.Gauge.set g 2.;
+  Alcotest.(check (float 0.)) "gauge value" 2. (Metrics.Gauge.get g);
+  Alcotest.(check (float 0.)) "gauge high water" 5. (Metrics.Gauge.high_water g);
+  let h = Metrics.histogram reg "c.lat" in
+  Metrics.Histogram.observe h 10.;
+  Alcotest.(check int) "histogram count" 1
+    (Metrics.Histogram.count (Metrics.histogram reg "c.lat"));
+  Alcotest.(check (list string))
+    "names sorted" [ "a.count"; "b.level"; "c.lat" ] (Metrics.names reg);
+  (match Metrics.find reg "a.count" with
+  | Some (Metrics.Counter _) -> ()
+  | _ -> Alcotest.fail "find returns the counter");
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metrics: \"a.count\" already registered as a counter")
+    (fun () -> ignore (Metrics.histogram reg "a.count"))
+
+let ambient_recording () =
+  Alcotest.(check bool) "off by default" true (Metrics.recording () = None);
+  let reg = Metrics.create () in
+  Metrics.with_recording reg (fun () ->
+      Alcotest.(check bool) "installed" true (Metrics.recording () = Some reg));
+  Alcotest.(check bool) "uninstalled after" true (Metrics.recording () = None);
+  (* uninstalls on raise too *)
+  (try Metrics.with_recording reg (fun () -> failwith "boom") with _ -> ());
+  Alcotest.(check bool) "uninstalled after raise" true (Metrics.recording () = None)
+
+let span_measures_sleep () =
+  run_in_sim (fun sim ->
+      let h = Metrics.Histogram.create () in
+      let started = Metrics.Span.start sim in
+      Process.sleep (Time.us 250);
+      Metrics.Span.finish h sim started;
+      Alcotest.(check int) "one observation" 1 (Metrics.Histogram.count h);
+      check_near "span mean" ~tolerance:0.02 250. (Metrics.Histogram.mean h))
+
+(* ---- instrumented steady run ---------------------------------------- *)
+
+let instrumented_run_identical () =
+  let config =
+    {
+      Harness.Scenario.default with
+      Harness.Scenario.mode = Harness.Scenario.Rapilog;
+      clients = 2;
+      warmup = Time.ms 50;
+      duration = Time.ms 200;
+      seed = 99L;
+    }
+  in
+  let plain = Harness.Experiment.run_steady config in
+  let instrumented, reg = Harness.Experiment.run_steady_metrics config in
+  Alcotest.(check bool) "registry cleared after run" true
+    (Metrics.recording () = None);
+  Alcotest.(check bool) "steady result bit-identical" true (plain = instrumented);
+  let hist_count name =
+    match Metrics.find reg name with
+    | Some (Metrics.Histogram h) -> Metrics.Histogram.count h
+    | Some _ | None -> 0
+  in
+  List.iter
+    (fun stage ->
+      if hist_count stage = 0 then Alcotest.failf "stage %s is empty" stage)
+    [ "commit.total"; "commit.exec"; "commit.force"; "wal.force_write";
+      "logger.admission"; "logger.drain_write" ];
+  Alcotest.(check int) "commit.total counts every write commit"
+    (match Metrics.find reg "engine.write_commits" with
+    | Some (Metrics.Counter c) -> Metrics.Counter.get c
+    | _ -> -1)
+    (hist_count "commit.total")
+
+let suites =
+  [
+    ( "metrics",
+      [
+        case "bucket boundaries tile the range" boundaries_tile;
+        index_monotone;
+        index_contains;
+        merge_is_concat;
+        quantile_vs_oracle;
+        case "registry find-or-create and kinds" registry_basics;
+        case "ambient recording install/uninstall" ambient_recording;
+        case "span measures a simulated sleep" span_measures_sleep;
+        case "instrumented steady run is bit-identical" instrumented_run_identical;
+      ] );
+  ]
