@@ -1,0 +1,74 @@
+(* fig12-replication: the cost of the replicated durability domain.
+   Throughput and commit latency of the three ack policies as the
+   network round-trip grows, on the rotational disk and on flash. The
+   replica-ack policy pays exactly one RTT per commit; local and
+   async-replica pay nothing — the device barely matters because the
+   RapiLog commit path acks from the trusted buffer either way. The
+   machine-readable version of this experiment (with the machine-loss
+   sweep it buys) is replication.exe → BENCH_PR5.json. *)
+
+open Harness
+open Bench_support
+
+let rtts_us ~quick = if quick then [ 50; 1000 ] else [ 0; 50; 200; 1000; 4000 ]
+
+let cell ~quick ~device ~policy ~rtt_us =
+  let one_way =
+    {
+      Net.Link.default with
+      Net.Link.latency = Net.Link.Constant (Desim.Time.ns (rtt_us * 1000 / 2));
+    }
+  in
+  steady
+    {
+      (base_config ~quick) with
+      Scenario.mode = Scenario.Rapilog_replicated;
+      device;
+      clients = 8;
+      net = { Net.Replication.policy; data_link = one_way; ack_link = one_way };
+    }
+
+let fig12 =
+  {
+    id = "fig12-replication";
+    title = "Fig 12: ack policies vs network RTT (RapiLog-R)";
+    run =
+      (fun ~quick ->
+        Report.section
+          "Fig 12: replicated logger — throughput/latency vs link RTT (8 \
+           clients, TPC-C-lite)";
+        List.iter
+          (fun (device_label, device) ->
+            Report.kv "device" device_label;
+            Report.table
+              ~columns:
+                [ "rtt us"; "policy"; "txn/s"; "p50 us"; "p99 us"; "vs local" ]
+              ~rows:
+                (List.concat_map
+                   (fun rtt_us ->
+                     let baseline =
+                       cell ~quick ~device ~policy:Net.Replication.Local ~rtt_us
+                     in
+                     List.map
+                       (fun policy ->
+                         let r = cell ~quick ~device ~policy ~rtt_us in
+                         [
+                           string_of_int rtt_us;
+                           Net.Replication.policy_name policy;
+                           Report.float_cell r.Experiment.throughput;
+                           Printf.sprintf "%.0f" r.Experiment.latency_p50_us;
+                           Printf.sprintf "%.0f" r.Experiment.latency_p99_us;
+                           Printf.sprintf "%.2fx"
+                             (r.Experiment.throughput
+                             /. baseline.Experiment.throughput);
+                         ])
+                       Net.Replication.all_policies)
+                   (rtts_us ~quick));
+            print_newline ())
+          [
+            ("hdd-7200rpm", Scenario.Disk Storage.Hdd.default_7200rpm);
+            ("ssd", Scenario.Flash Storage.Ssd.default);
+          ]);
+  }
+
+let experiments = [ fig12 ]

@@ -16,7 +16,8 @@ let experiments =
   @ Bench_residual_energy.experiments @ Bench_single_disk.experiments
   @ Bench_ycsb.experiments @ Bench_consolidation.experiments
   @ Bench_restart.experiments @ Bench_commit_delay.experiments
-  @ Bench_metrics.experiments @ [ Bench_micro.experiment ]
+  @ Bench_metrics.experiments @ Bench_replication.experiments
+  @ [ Bench_micro.experiment ]
 
 let usage () =
   print_endline "usage: main.exe [--quick] [--list] [--metrics] [--only ID]...";

@@ -74,6 +74,45 @@ let bench_sim_step ~events =
   let measured = float_of_int (events - 8) in
   (measured /. elapsed, words /. measured, elapsed)
 
+(* The Link hot path: a preallocated self-rescheduling sender, constant
+   latency (no rng), zero drop probability (no rng), int payloads in the
+   flat ring, the preallocated pump delivering each message. The
+   minor-words delta per message is the link's own allocation. *)
+let bench_net_link ~events =
+  let sim = Sim.create ~seed:9L () in
+  let delivered = ref 0 in
+  let config =
+    {
+      Net.Link.latency = Net.Link.Constant (Time.ns 100);
+      bandwidth = 0.;
+      drop_probability = 0.;
+    }
+  in
+  let link =
+    Net.Link.create sim config ~dummy:0 ~deliver:(fun _ -> incr delivered)
+  in
+  let remaining = ref events in
+  let rec tick () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Net.Link.send link 1;
+      Sim.schedule_after sim (Time.ns 100) tick
+    end
+  in
+  Sim.schedule_now sim tick;
+  (* run the first events to warm the ring past any growth, then measure *)
+  for _ = 1 to 64 do
+    ignore (Sim.step sim)
+  done;
+  Gc.minor ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Sim.run sim;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  let measured = float_of_int (events - 33) in
+  (measured /. elapsed, words /. measured, elapsed)
+
 (* ---- sweep wall-clock at jobs=1 vs jobs=N -------------------------- *)
 
 let sweep_grid ~quick =
@@ -87,7 +126,8 @@ let sweep_grid ~quick =
   in
   let clients = if quick then [ 1; 4 ] else [ 1; 4; 16 ] in
   let modes =
-    if quick then [ Scenario.Native_sync; Scenario.Rapilog ]
+    if quick then
+      [ Scenario.Native_sync; Scenario.Rapilog; Scenario.Rapilog_replicated ]
     else Scenario.all_modes
   in
   List.concat_map
@@ -139,6 +179,8 @@ let metrics_cells =
     (Scenario.Native_sync, 32);
     (Scenario.Rapilog, 1);
     (Scenario.Rapilog, 32);
+    (Scenario.Rapilog_replicated, 1);
+    (Scenario.Rapilog_replicated, 32);
   ]
 
 let bench_metrics ~quick =
@@ -189,6 +231,8 @@ let () =
   let eq_rate, eq_words, _ = bench_event_queue ~events:micro_events in
   Printf.printf "perf: sim-step microbench (%d events)...\n%!" micro_events;
   let step_rate, step_words, _ = bench_sim_step ~events:micro_events in
+  Printf.printf "perf: net-link microbench (%d messages)...\n%!" micro_events;
+  let link_rate, link_words, _ = bench_net_link ~events:micro_events in
   Printf.printf "perf: scenario sweep at jobs=1 then jobs=%d...\n%!" jobs;
   let cores = Domain.recommended_domain_count () in
   let scenarios, serial_results, serial_s, parallel_timing, identical =
@@ -239,6 +283,13 @@ let () =
               ("events_per_sec", Num step_rate);
               ("minor_words_per_event", Num step_words);
             ] );
+        ( "net_link",
+          Obj
+            [
+              ("messages", Num (float_of_int micro_events));
+              ("messages_per_sec", Num link_rate);
+              ("minor_words_per_message", Num link_words);
+            ] );
         ( "sweep",
           Obj
             ([
@@ -276,6 +327,8 @@ let () =
   Printf.printf
     "perf: queue %.2fM ev/s (%.3f words/ev) | step %.2fM ev/s (%.3f words/ev)\n"
     (eq_rate /. 1e6) eq_words (step_rate /. 1e6) step_words;
+  Printf.printf "perf: link %.2fM msg/s (%.3f words/msg)\n" (link_rate /. 1e6)
+    link_words;
   Printf.printf
     "perf: sweep %d scenarios: serial %.2fs, %s, bit-identical: %b\n"
     scenarios serial_s speedup_note identical;
@@ -313,7 +366,12 @@ let () =
         require "commit.total";
         require "commit.force";
         require "wal.force_write";
-        if mode = "rapilog" then require "logger.admission")
+        if mode = "rapilog" then require "logger.admission";
+        if mode = "rapilog-replicated" then begin
+          require "logger.admission";
+          require "logger.replicate";
+          require "net.link_delay"
+        end)
       metrics_rows;
     if step_words > 0.5 then
       fail
@@ -323,6 +381,10 @@ let () =
       fail
         (Printf.sprintf "event queue allocates %.3f minor words/event (want 0)"
            eq_words);
+    if link_words > 0.5 then
+      fail
+        (Printf.sprintf "net link allocates %.3f minor words/message (want 0)"
+           link_words);
     (* The 2x bar only applies where the hardware can provide it. *)
     (match parallel_timing with
     | Some parallel_s when cores >= 4 && jobs >= 4 ->

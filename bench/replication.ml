@@ -1,0 +1,364 @@
+(* RapiLog-R: machine-readable evidence for the replicated trusted
+   logger (PR 5).
+
+   Two claims, with teeth:
+
+   - tab7-machine-loss: sweep the machine-loss crash kind — the whole
+     primary vanishing with no residual-energy window — over every
+     strided event boundary of the crash window. Local RapiLog is
+     expected to lose buffered acknowledged commits (that loss bounds
+     its durability domain and is the teeth that prove the sweep can see
+     machine loss at all); replica-ack RapiLog must show zero contract
+     breaks and zero lost commits at every explored boundary.
+   - fig12-replication: steady-state throughput and commit latency of
+     the three ack policies (local, replica-ack, async-replica) as the
+     network RTT grows, on both the 7200 rpm disk and the SSD.
+
+   Replicated runs must stay deterministic: the machine-loss sweep is
+   bit-identical across {!Harness.Parallel} jobs, and a steady run with
+   {!Desim.Metrics} recording on is bit-identical to one with it off.
+
+   Writes a JSON report (default BENCH_PR5.json). With --check it
+   self-validates so `dune runtest` keeps the harness honest.
+
+   Usage: replication.exe [--quick] [--check] [--jobs N] [--output PATH] *)
+
+open Desim
+open Harness
+open Harness.Json
+
+let base_scenario ~quick =
+  {
+    Scenario.default with
+    Scenario.workload =
+      Scenario.Micro
+        {
+          Workload.Microbench.default_config with
+          Workload.Microbench.keys = 256;
+          value_bytes = 64;
+        };
+    clients = 4;
+    seed = 20_2613L;
+    warmup = Time.ms 1;
+    duration = (if quick then Time.ms 10 else Time.ms 50);
+  }
+
+(* One-way links shaped from a round-trip time: half the RTT each way,
+   default 10 GbE serialisation, no drops (replica-ack has no
+   retransmit; a lossy link is an [Async_replica]-only configuration). *)
+let net_of_rtt_us rtt_us policy =
+  let one_way = { Net.Link.default with Net.Link.latency = Net.Link.Constant (Time.ns (rtt_us * 1000 / 2)) } in
+  { Net.Replication.policy; data_link = one_way; ack_link = one_way }
+
+let replicated_scenario ~quick ~policy ~rtt_us =
+  {
+    (base_scenario ~quick) with
+    Scenario.mode = Scenario.Rapilog_replicated;
+    net = net_of_rtt_us rtt_us policy;
+  }
+
+let surface_config ~quick scenario =
+  {
+    (Crash_surface.default scenario) with
+    Crash_surface.kinds = [ Crash_surface.Machine_loss ];
+    window_start = Time.ms 2;
+    window_length = (if quick then Time.ms 4 else Time.ms 20);
+  }
+
+let autostride config ~target =
+  let total =
+    List.fold_left
+      (fun acc kind ->
+        acc + (Crash_surface.enumerate config kind).Crash_surface.e_boundaries)
+      0 config.Crash_surface.kinds
+  in
+  (total, max 1 (total / target))
+
+let sweep_json (r : Crash_surface.result) =
+  Obj
+    [
+      ("mode", Str (Scenario.mode_name r.Crash_surface.r_mode));
+      ("stride", Num (float_of_int r.Crash_surface.r_stride));
+      ("total_boundaries", Num (float_of_int r.Crash_surface.r_total_boundaries));
+      ("explored", Num (float_of_int r.Crash_surface.r_explored));
+      ("contract_breaks", Num (float_of_int r.Crash_surface.r_contract_breaks));
+      ("lost_total", Num (float_of_int r.Crash_surface.r_lost_total));
+      ( "lossy_points",
+        Num
+          (float_of_int
+             (List.length
+                (List.filter
+                   (fun v -> v.Crash_surface.v_lost > 0)
+                   r.Crash_surface.r_verdicts))) );
+    ]
+
+let usage () =
+  print_endline "usage: replication.exe [--quick] [--check] [--jobs N] [--output PATH]";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let check = ref false in
+  let jobs = ref (Parallel.default_jobs ()) in
+  let output = ref "BENCH_PR5.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--check" :: rest -> check := true; parse rest
+    | "--jobs" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> usage ());
+        parse rest
+    | "--output" :: path :: rest -> output := path; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick and jobs = !jobs in
+  let failures = ref [] in
+  let fail msg = failures := msg :: !failures in
+
+  (* -- tab7: machine loss, local vs replicated ------------------------- *)
+  (* Local RapiLog: the journal sweep covers the surface cheaply (every
+     boundary when not quick — the statement is about the whole
+     surface, not a sample). *)
+  let local_scenario =
+    { (base_scenario ~quick) with Scenario.mode = Scenario.Rapilog }
+  in
+  let local_config = surface_config ~quick local_scenario in
+  let local_boundaries, local_stride =
+    if quick then autostride local_config ~target:60 else (0, 1)
+  in
+  let local_config = { local_config with Crash_surface.stride = local_stride } in
+  let t0 = Unix.gettimeofday () in
+  let local = Crash_surface.sweep_journal ~jobs local_config in
+  let local_s = Unix.gettimeofday () -. t0 in
+  ignore local_boundaries;
+  Printf.printf
+    "replication: machine-loss local rapilog: %d/%d boundaries, %d contract \
+     breaks, %d acked commits lost (%.2fs)\n%!"
+    local.Crash_surface.r_explored local.Crash_surface.r_total_boundaries
+    local.Crash_surface.r_contract_breaks local.Crash_surface.r_lost_total
+    local_s;
+
+  (* Replicated, replica-ack: every explored boundary must uphold the
+     contract. Full replay per point — the sweep actually runs the
+     network, the replica and the merged recovery. *)
+  let repl_scenario =
+    replicated_scenario ~quick ~policy:Net.Replication.Replica_ack ~rtt_us:50
+  in
+  let repl_config = surface_config ~quick repl_scenario in
+  let repl_boundaries, repl_stride =
+    autostride repl_config ~target:(if quick then 24 else 400)
+  in
+  let repl_config = { repl_config with Crash_surface.stride = repl_stride } in
+  Printf.printf
+    "replication: replicated surface has %d boundaries, stride %d...\n%!"
+    repl_boundaries repl_stride;
+  let t1 = Unix.gettimeofday () in
+  let replicated = Crash_surface.sweep ~jobs:1 repl_config in
+  let replicated_s = Unix.gettimeofday () -. t1 in
+  let replicated_parallel = Crash_surface.sweep ~jobs:4 repl_config in
+  let sweep_identical = replicated = replicated_parallel in
+  Printf.printf
+    "replication: machine-loss replica-ack: %d points, %d contract breaks, %d \
+     lost (%.2fs); parallel bit-identical: %b\n%!"
+    replicated.Crash_surface.r_explored
+    replicated.Crash_surface.r_contract_breaks
+    replicated.Crash_surface.r_lost_total replicated_s sweep_identical;
+
+  (* -- fig12: throughput/latency vs RTT, three policies, two devices --- *)
+  let rtts_us = if quick then [ 50; 1000 ] else [ 0; 50; 200; 1000; 4000 ] in
+  let devices =
+    [
+      ("hdd", Scenario.Disk Storage.Hdd.default_7200rpm);
+      ("ssd", Scenario.Flash Storage.Ssd.default);
+    ]
+  in
+  let policies = Net.Replication.all_policies in
+  let cells =
+    List.concat_map
+      (fun (_, device) ->
+        List.concat_map
+          (fun rtt_us ->
+            List.map
+              (fun policy ->
+                { (replicated_scenario ~quick ~policy ~rtt_us) with Scenario.device })
+              policies)
+          rtts_us)
+      devices
+  in
+  let t2 = Unix.gettimeofday () in
+  let results = Experiment.run_steady_batch ~jobs cells in
+  let fig12_s = Unix.gettimeofday () -. t2 in
+  let tagged =
+    List.map2
+      (fun config r -> (config, r))
+      cells results
+  in
+  let cell_json ((config : Scenario.config), (r : Experiment.steady_result)) =
+    Obj
+      [
+        ("device", Str (Scenario.device_name config.Scenario.device));
+        ( "rtt_us",
+          Num
+            (float_of_int
+               (match config.Scenario.net.Net.Replication.data_link.Net.Link.latency with
+               | Net.Link.Constant one_way -> 2 * Time.span_to_ns one_way / 1000
+               | _ -> -1)) );
+        ( "policy",
+          Str (Net.Replication.policy_name config.Scenario.net.Net.Replication.policy) );
+        ("throughput_txn_s", Num r.Experiment.throughput);
+        ("p50_us", Num r.Experiment.latency_p50_us);
+        ("p99_us", Num r.Experiment.latency_p99_us);
+        ("committed", Num (float_of_int r.Experiment.committed_in_window));
+      ]
+  in
+  Printf.printf "replication: fig12 grid: %d cells (%.2fs)\n%!"
+    (List.length cells) fig12_s;
+
+  (* -- determinism: metrics recording must not perturb a replicated run *)
+  let det_config =
+    replicated_scenario ~quick ~policy:Net.Replication.Replica_ack ~rtt_us:50
+  in
+  let plain = Experiment.run_steady det_config in
+  let with_metrics, registry = Experiment.run_steady_metrics det_config in
+  let metrics_identical = plain = with_metrics in
+  let metric_names = Metrics.names registry in
+  let required_metrics =
+    [ "logger.replicate"; "logger.replica_ack_wait"; "net.link_delay"; "replica.drain" ]
+  in
+  let missing_metrics =
+    List.filter (fun n -> not (List.mem n metric_names)) required_metrics
+  in
+  Printf.printf
+    "replication: determinism: metrics-on bit-identical: %b; spans recorded: %s\n%!"
+    metrics_identical
+    (String.concat ", " (List.filter (fun n -> List.mem n metric_names) required_metrics));
+
+  let report =
+    Obj
+      [
+        ("pr", Num 5.);
+        ("harness", Str "replication.exe");
+        ("quick", Bool quick);
+        ("jobs", Num (float_of_int jobs));
+        ( "tab7_machine_loss",
+          Obj
+            [
+              ("local", sweep_json local);
+              ("local_seconds", Num local_s);
+              ("replicated", sweep_json replicated);
+              ("replicated_seconds", Num replicated_s);
+              ("replicated_parallel_bit_identical", Bool sweep_identical);
+            ] );
+        ( "fig12_replication",
+          Obj
+            [
+              ("rtts_us", Arr (List.map (fun r -> Num (float_of_int r)) rtts_us));
+              ("policies", Arr (List.map (fun p -> Str (Net.Replication.policy_name p)) policies));
+              ("devices", Arr (List.map (fun (n, _) -> Str n) devices));
+              ("seconds", Num fig12_s);
+              ("cells", Arr (List.map cell_json tagged));
+            ] );
+        ( "determinism",
+          Obj
+            [
+              ("metrics_bit_identical", Bool metrics_identical);
+              ("sweep_parallel_bit_identical", Bool sweep_identical);
+              ( "metrics_missing",
+                Arr (List.map (fun n -> Str n) missing_metrics) );
+            ] );
+      ]
+  in
+  let text = Json.to_string report in
+  let oc = open_out !output in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "replication: wrote %s\n%!" !output;
+
+  if !check then begin
+    (match Json.of_string text with
+    | exception Json.Parse_error msg ->
+        fail (Printf.sprintf "report is not valid JSON: %s" msg)
+    | Obj _ -> ()
+    | _ -> fail "report is not a JSON object");
+    if replicated.Crash_surface.r_contract_breaks <> 0 then
+      fail
+        (Printf.sprintf
+           "replica-ack machine-loss sweep found %d contract breaks (want 0)"
+           replicated.Crash_surface.r_contract_breaks);
+    if replicated.Crash_surface.r_lost_total <> 0 then
+      fail "replica-ack machine-loss sweep lost acked commits (want 0)";
+    if replicated.Crash_surface.r_explored < (if quick then 8 else 100) then
+      fail
+        (Printf.sprintf "replicated sweep explored only %d points"
+           replicated.Crash_surface.r_explored);
+    if local.Crash_surface.r_lost_total < 1 then
+      fail
+        "local rapilog lost nothing to machine loss (teeth are missing: the \
+         sweep cannot see the failure it claims to cover)";
+    if local.Crash_surface.r_explored < (if quick then 20 else 500) then
+      fail
+        (Printf.sprintf "local sweep explored only %d points"
+           local.Crash_surface.r_explored);
+    if not sweep_identical then
+      fail "replicated sweep differs between jobs=1 and jobs=4";
+    if not metrics_identical then
+      fail "metrics recording perturbed the replicated steady run";
+    if missing_metrics <> [] then
+      fail
+        (Printf.sprintf "replication spans missing from the registry: %s"
+           (String.concat ", " missing_metrics));
+    List.iter
+      (fun (config, (r : Experiment.steady_result)) ->
+        if r.Experiment.committed_in_window <= 0 then
+          fail
+            (Printf.sprintf "fig12 cell committed nothing (%s, %s)"
+               (Scenario.device_name config.Scenario.device)
+               (Net.Replication.policy_name
+                  config.Scenario.net.Net.Replication.policy)))
+      tagged;
+    (* Physics: at the largest RTT, a replica-ack commit pays the round
+       trip; the local policy does not. *)
+    let p50_of device_name policy rtt_us =
+      let rec find = function
+        | [] -> nan
+        | ((config : Scenario.config), (r : Experiment.steady_result)) :: rest ->
+            let rtt =
+              match config.Scenario.net.Net.Replication.data_link.Net.Link.latency with
+              | Net.Link.Constant one_way -> 2 * Time.span_to_ns one_way / 1000
+              | _ -> -1
+            in
+            if
+              Scenario.device_name config.Scenario.device = device_name
+              && config.Scenario.net.Net.Replication.policy = policy
+              && rtt = rtt_us
+            then r.Experiment.latency_p50_us
+            else find rest
+      in
+      find tagged
+    in
+    let top_rtt = List.fold_left max 0 rtts_us in
+    let ssd_name = Scenario.device_name (Scenario.Flash Storage.Ssd.default) in
+    let local_p50 = p50_of ssd_name Net.Replication.Local top_rtt in
+    let ack_p50 = p50_of ssd_name Net.Replication.Replica_ack top_rtt in
+    if not (ack_p50 > local_p50) then
+      fail
+        (Printf.sprintf
+           "replica-ack p50 (%.0f us) should exceed local p50 (%.0f us) at \
+            %d us RTT"
+           ack_p50 local_p50 top_rtt);
+    match !failures with
+    | [] -> print_endline "replication: check OK"
+    | msgs ->
+        List.iter
+          (fun m -> Printf.eprintf "replication: CHECK FAILED: %s\n" m)
+          msgs;
+        exit 1
+  end
+  else
+    match !failures with
+    | [] -> ()
+    | msgs ->
+        List.iter (fun m -> Printf.eprintf "replication: WARNING: %s\n" m) msgs

@@ -219,6 +219,8 @@ let modes_cmd =
                Scenario.mode_name mode;
                (match Scenario.mode_is_durable mode with
                | `Always -> "survives OS crashes and power cuts"
+               | `Machine_loss_too ->
+                   "survives OS crashes, power cuts and primary machine loss"
                | `Os_crash_only -> "survives OS crashes; loses on power cuts"
                | `Never -> "can lose recent commits on any crash");
              ])

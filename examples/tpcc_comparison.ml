@@ -47,6 +47,7 @@ let () =
              string_of_int r.Experiment.physical_log_writes;
              (match Scenario.mode_is_durable mode with
              | `Always -> "yes"
+             | `Machine_loss_too -> "yes + machine loss"
              | `Os_crash_only -> "power-unsafe"
              | `Never -> "no");
            ])

@@ -4,6 +4,7 @@ type violation = { at : Time.t; invariant : string; detail : string }
 
 type snapshot = {
   acked_bytes : int;
+  admitted_bytes : int;
   drained_bytes : int;
   accepting : bool;
 }
@@ -20,6 +21,7 @@ type t = {
 let snapshot logger =
   {
     acked_bytes = Trusted_logger.acked_bytes logger;
+    admitted_bytes = Trusted_logger.admitted_bytes logger;
     drained_bytes = Trusted_logger.drained_bytes logger;
     accepting = Trusted_logger.accepting logger;
   }
@@ -42,12 +44,18 @@ let check t =
   if now.drained_bytes < prev.drained_bytes then
     report t "monotonic-drain"
       (Printf.sprintf "drained went %d -> %d" prev.drained_bytes now.drained_bytes);
-  (* Conservation: the drain only writes accepted data, and coalescing
-     overlapping sector rewrites can only shrink the byte total. *)
-  if now.drained_bytes > now.acked_bytes then
+  (* Conservation: the drain only writes admitted data, and coalescing
+     overlapping sector rewrites can only shrink the byte total. The
+     bound is admitted, not acked: with replication the drain races
+     ahead of writers still waiting on the remote ack. *)
+  if now.drained_bytes > now.admitted_bytes then
     report t "conservation"
-      (Printf.sprintf "drained %d exceeds acked %d" now.drained_bytes
-         now.acked_bytes);
+      (Printf.sprintf "drained %d exceeds admitted %d" now.drained_bytes
+         now.admitted_bytes);
+  if now.acked_bytes > now.admitted_bytes then
+    report t "conservation"
+      (Printf.sprintf "acked %d exceeds admitted %d" now.acked_bytes
+         now.admitted_bytes);
   if (not prev.accepting) && now.acked_bytes > prev.acked_bytes then
     report t "admission-closed"
       (Printf.sprintf "acked %d bytes after power-fail"

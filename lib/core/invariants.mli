@@ -9,10 +9,11 @@
     - {b capacity}: buffered bytes never exceed the configured buffer;
     - {b monotonicity}: acknowledged and drained byte counts never go
       backwards;
-    - {b conservation}: acknowledged bytes are either still buffered or
-      have been drained (coalescing of overlapping sector rewrites can
-      only shrink the drained count, never grow it past the
-      acknowledged one);
+    - {b conservation}: the drain never retires more bytes than were
+      admitted into the ring, and nothing is acknowledged that was not
+      admitted (the bound is admitted rather than acknowledged bytes
+      because a replicated logger drains entries whose writers are
+      still waiting on the remote ack — see {!Net.Replication});
     - {b admission closed}: after a power-fail notification, nothing
       further is ever acknowledged. *)
 

@@ -38,6 +38,13 @@ type t = {
   mutable drain_writes : int;
   mutable max_buffered : int;
   mutable stalls : int;
+  (* Replication (RapiLog-R): called at the admission instant with the
+     1-based admission sequence number; may block the admitting writer
+     (replica-ack policy). [None] = single-machine logger, byte-identical
+     to the pre-replication behaviour. *)
+  mutable replicate : (seq:int -> lba:int -> data:string -> unit) option;
+  mutable push_seq : int;
+  mutable admitted_bytes : int;
   journal : Journal.t option;
   metrics : logger_metrics option;
 }
@@ -104,6 +111,9 @@ let create sim ~domain ?(trace = Trace.null) config ~device =
       drain_writes = 0;
       max_buffered = 0;
       stalls = 0;
+      replicate = None;
+      push_seq = 0;
+      admitted_bytes = 0;
       journal = Journal.recording ();
       metrics =
         Option.map
@@ -166,9 +176,21 @@ let accept_write t ~lba ~data =
     (match t.journal with
     | Some j -> Journal.push j t.sim ~device:(journal_device t) ~lba ~data
     | None -> ());
+    t.push_seq <- t.push_seq + 1;
+    t.admitted_bytes <- t.admitted_bytes + String.length data;
+    t.max_buffered <- max t.max_buffered (Ring_buffer.bytes_used t.ring);
+    (match t.replicate with
+    | None -> ()
+    | Some hook ->
+        (* The entry is in the ring: let the local drain start on it
+           while this writer waits on the wire (replica-ack). If power
+           failed during the wait, the copy is safe on both sides but
+           the acknowledgement must not happen. *)
+        Resource.Condition.signal t.arrived;
+        hook ~seq:t.push_seq ~lba ~data;
+        if not t.accepting then block_forever ());
     t.acked_bytes <- t.acked_bytes + String.length data;
     t.acked_writes <- t.acked_writes + 1;
-    t.max_buffered <- max t.max_buffered (Ring_buffer.bytes_used t.ring);
     (match t.metrics with
     | Some m ->
         Metrics.Span.finish m.m_admission t.sim entered;
@@ -209,8 +231,16 @@ let quiesce t =
     Resource.Condition.wait t.empty
   done
 
+let set_replication t hook =
+  (match t.replicate with
+  | Some _ -> invalid_arg "Trusted_logger.set_replication: hook already set"
+  | None -> ());
+  t.replicate <- Some hook
+
 let accepting t = t.accepting
 let buffered_bytes t = Ring_buffer.bytes_used t.ring
+let admitted_bytes t = t.admitted_bytes
+let admitted_writes t = t.push_seq
 let max_buffered_bytes t = t.max_buffered
 let acked_bytes t = t.acked_bytes
 let drained_bytes t = t.drained_bytes

@@ -68,6 +68,15 @@ val quiesce : t -> unit
     OS-crash experiments (where the drain continues after the guest
     died). Must run in a process. *)
 
+val set_replication : t -> (seq:int -> lba:int -> data:string -> unit) -> unit
+(** Install the RapiLog-R replication hook (see {!Net.Replication}),
+    called in the admitting writer's process at the instant an entry
+    lands in the trusted ring, with the 1-based admission sequence
+    number. The hook may block (replica-ack policy): the local drain is
+    signalled before it runs, and the acknowledgement bookkeeping
+    happens only after it returns — and never if power failed in the
+    meantime. Raises [Invalid_argument] if a hook is already set. *)
+
 val accepting : t -> bool
 (** [false] once {!notify_power_fail} ran. *)
 
@@ -84,6 +93,15 @@ val acked_bytes : t -> int
 
 val drained_bytes : t -> int
 val acked_writes : t -> int
+
+val admitted_bytes : t -> int
+(** Bytes ever admitted into the ring. Admission precedes (and with
+    replication can far precede) acknowledgement, so conservation is
+    [drained_bytes <= admitted_bytes], not vs {!acked_bytes};
+    {!admitted_writes} is the entry count (the last entry's replication
+    sequence number). *)
+
+val admitted_writes : t -> int
 
 val drain_writes : t -> int
 (** Physical writes issued: [acked_writes / drain_writes] is the

@@ -1,13 +1,21 @@
 open Desim
 
-type kind = Os_crash | Power_cut | Power_cut_tight
+type kind = Os_crash | Power_cut | Power_cut_tight | Machine_loss
 
 let kind_name = function
   | Os_crash -> "os-crash"
   | Power_cut -> "power-cut"
   | Power_cut_tight -> "power-cut-tight"
+  | Machine_loss -> "machine-loss"
 
-let all_kinds = [ Os_crash; Power_cut; Power_cut_tight ]
+let all_kinds = [ Os_crash; Power_cut; Power_cut_tight; Machine_loss ]
+
+(* The single-machine kinds every local mode is sweepable under.
+   [Machine_loss] is opt-in: the whole primary vanishing is exactly the
+   failure local RapiLog does NOT promise to survive (only the
+   replicated scenario does), so a default sweep would flag expected
+   losses as breaks. *)
+let default_kinds = [ Os_crash; Power_cut; Power_cut_tight ]
 
 let kind_of_name name =
   List.find_opt (fun kind -> String.equal (kind_name kind) name) all_kinds
@@ -29,7 +37,7 @@ let default scenario =
     window_start = Time.ms 5;
     window_length = Time.ms 40;
     stride = 1;
-    kinds = all_kinds;
+    kinds = default_kinds;
     tight_window = Time.ms 20;
     tight_buffer_bytes = 128 * 1024;
     media_digests = false;
@@ -42,7 +50,7 @@ let default scenario =
    boundary indices are only meaningful against the world they were
    counted in. *)
 let effective_scenario config = function
-  | Os_crash | Power_cut -> config.scenario
+  | Os_crash | Power_cut | Machine_loss -> config.scenario
   | Power_cut_tight ->
       {
         config.scenario with
@@ -192,6 +200,17 @@ let run_point config kind ~event_index ~at_ns =
                  Rapilog.Trusted_logger.quiesce logger;
                  stop_monitor ()))
       | None -> stop_monitor ())
+  | Machine_loss ->
+      (* The primary vanishes this instant: guest, trusted buffer, PSU
+         residual energy and all. The guest halts first (nothing executes
+         on a dead machine), then the power domain loses every device
+         with a zero window — in-flight writes tear right here, before
+         any same-instant completion can fire. Survivors: durable media,
+         and — in the replicated scenario — the replica machine plus
+         whatever was already on the wire to it. *)
+      Hypervisor.Vmm.crash_guest built.Scenario.vmm;
+      Power.Power_domain.lose built.Scenario.power;
+      Sim.schedule_at sim (Time.add (Sim.now sim) (Time.ms 2)) stop_monitor
   | Power_cut | Power_cut_tight ->
       Power.Power_domain.cut built.Scenario.power;
       let dead =
@@ -215,7 +234,8 @@ let run_point config kind ~event_index ~at_ns =
       Sim.schedule_at sim (Time.add dead (Time.ms 2)) stop_monitor);
   Sim.run sim;
   let recovery =
-    Dbms.Recovery.run ~log_device:built.Scenario.log_physical
+    Dbms.Recovery.run
+      ~log_device:(Scenario.recovery_log_device built)
       ~data_device:built.Scenario.data_physical
       ~wal_config:built.Scenario.wal_config
       ~pool_config:built.Scenario.config.Scenario.pool
@@ -692,7 +712,13 @@ let enumerate_journal config kind =
         effective.Scenario.logger.Rapilog.Trusted_logger.buffer_bytes;
       p_drain_max =
         effective.Scenario.logger.Rapilog.Trusted_logger.drain_max_bytes;
-      p_window_ns = Time.span_to_ns (Power.Psu.window effective.Scenario.psu);
+      p_window_ns =
+        (* Machine loss has no residual-energy window: the devices are
+           dead at the boundary instant itself. *)
+        (match kind with
+        | Machine_loss -> 0
+        | Os_crash | Power_cut | Power_cut_tight ->
+            Time.span_to_ns (Power.Psu.window effective.Scenario.psu));
       p_wal_config = built.Scenario.wal_config;
       p_pool_config = built.Scenario.config.Scenario.pool;
       p_chunk_sectors = chunk_sectors;
@@ -977,6 +1003,13 @@ let write_fate ~started_at_boundary ~s ~c ~dead =
   else if s < dead then Torn
   else Dropped
 
+(* Machine loss: death is not an event racing the queue — the injection
+   kills the devices inline at the boundary, before any same-instant
+   completion can fire. A transfer already on the platter tears; one not
+   yet started never happens. *)
+let write_fate_instant ~started_at_boundary =
+  if started_at_boundary then Torn else Dropped
+
 (* Power cut at [boundary]: admission closes at the cut and the guest
    halts (the power-fail interrupt), so durable state evolves only
    through the trusted drain and the data writes already submitted —
@@ -986,6 +1019,11 @@ let write_fate ~started_at_boundary ~s ~c ~dead =
 let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
   let j = prep.p_journal in
   let dead = b_time + prep.p_window_ns in
+  let instant = prep.p_kind = Machine_loss in
+  let fate ~started_at_boundary ~s ~c =
+    if instant then write_fate_instant ~started_at_boundary
+    else write_fate ~started_at_boundary ~s ~c ~dead
+  in
   let resume = ref None in
   (* The drain write already popped at the boundary, if any. *)
   if cur.pops_seen > cur.log_completes_seen then begin
@@ -996,10 +1034,7 @@ let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
     let lba = Journal.b j cp in
     let data = Journal.payload j cp in
     let sectors = Journal.c j cp in
-    match
-      write_fate ~started_at_boundary:(Journal.index j sp <= boundary) ~s ~c
-        ~dead
-    with
+    match fate ~started_at_boundary:(Journal.index j sp <= boundary) ~s ~c with
     | Persists ->
         (* A recorded device batch, like the os-crash pending write:
            compared directly, not watermark-trusted. *)
@@ -1079,9 +1114,7 @@ let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
         let lba = Journal.b j cp in
         let data = Journal.payload j cp in
         (match
-           write_fate
-             ~started_at_boundary:(Journal.index j sp <= boundary)
-             ~s ~c ~dead
+           fate ~started_at_boundary:(Journal.index j sp <= boundary) ~s ~c
          with
         | Persists -> sink_write sink ~trusted:false ~lba ~data
         | Torn ->
@@ -1109,7 +1142,10 @@ let reconstruct_point config prep cur ~event_index ~at_ns =
   let member_sinks = Array.map sink_over cur.member_base in
   (match prep.p_kind with
   | Os_crash -> synth_os_crash prep cur ~log_sink ~member_sinks
-  | Power_cut | Power_cut_tight ->
+  | Power_cut | Power_cut_tight | Machine_loss ->
+      (* Machine loss is a power cut with a zero window ([p_window_ns]
+         is 0 and fates are instant): the pending drain write tears, the
+         re-drain loop writes nothing, queued data writes vanish. *)
       synth_power_cut prep cur ~boundary:event_index ~b_time:at_ns ~log_sink
         ~member_sinks);
   let frozen_log = Storage.Block.of_media ~model:"journal-log" log_sink.sk_media in

@@ -19,19 +19,31 @@
     them out over {!Parallel} with verdicts bit-identical to a serial
     sweep.
 
-    Three crash kinds distinguish the failure modes the paper's claim 3
-    covers: a guest-OS crash (the logger's drain simply continues), a
-    mains power cut (the drain races the PSU hold-up window), and a
-    power cut under a deliberately tight residual-energy budget with a
-    correspondingly small trusted buffer (the budget expires mid-activity,
-    so window-expiry effects — torn in-flight writes, the halt just
-    before device death — are actually exercised). *)
+    Four crash kinds distinguish the failure modes the paper's claim 3
+    covers, plus the one it does not: a guest-OS crash (the logger's
+    drain simply continues), a mains power cut (the drain races the PSU
+    hold-up window), a power cut under a deliberately tight
+    residual-energy budget with a correspondingly small trusted buffer
+    (the budget expires mid-activity, so window-expiry effects — torn
+    in-flight writes, the halt just before device death — are actually
+    exercised), and {b machine loss} — the whole primary vanishing with
+    no residual window at all, the failure that bounds local RapiLog's
+    durability domain and that only the replicated scenario
+    ([Rapilog_replicated], {!Net.Replication}) survives. *)
 
-type kind = Os_crash | Power_cut | Power_cut_tight
+type kind = Os_crash | Power_cut | Power_cut_tight | Machine_loss
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
+
 val all_kinds : kind list
+(** Every kind, including [Machine_loss]. *)
+
+val default_kinds : kind list
+(** The three single-machine kinds — what {!default} sweeps.
+    [Machine_loss] is opt-in because local RapiLog is {e expected} to
+    lose buffered commits to it; include it explicitly when sweeping a
+    replicated scenario (or when measuring the local loss). *)
 
 type config = {
   scenario : Scenario.config;
@@ -55,8 +67,8 @@ type config = {
 }
 
 val default : Scenario.config -> config
-(** Window of 40 ms opening 5 ms after load, stride 1, all three kinds,
-    20 ms tight budget with a 128 KiB buffer. *)
+(** Window of 40 ms opening 5 ms after load, stride 1, the
+    {!default_kinds}, 20 ms tight budget with a 128 KiB buffer. *)
 
 type enumeration = {
   e_kind : kind;

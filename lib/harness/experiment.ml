@@ -145,7 +145,8 @@ let run_failure config ~kind ~after =
   | Power_cut -> assert (Power.Power_domain.dead_at built.Scenario.power <> None)
   | Os_crash -> ());
   let recovery =
-    Dbms.Recovery.run ~log_device:built.Scenario.log_physical
+    Dbms.Recovery.run
+      ~log_device:(Scenario.recovery_log_device built)
       ~data_device:built.Scenario.data_physical
       ~wal_config:built.Scenario.wal_config
       ~pool_config:built.Scenario.config.Scenario.pool
@@ -213,7 +214,8 @@ let durability_ok result =
     && result.invariant_violations = 0
   in
   match (Scenario.mode_is_durable result.fmode, result.kind) with
-  | `Always, (Power_cut | Os_crash) -> safe && result.audit.Audit.state_exact
+  | (`Always | `Machine_loss_too), (Power_cut | Os_crash) ->
+      safe && result.audit.Audit.state_exact
   | `Os_crash_only, Os_crash -> safe && result.audit.Audit.state_exact
   | `Os_crash_only, Power_cut -> result.invariant_violations = 0  (* loss permitted *)
   | `Never, (Power_cut | Os_crash) -> result.invariant_violations = 0

@@ -4,6 +4,7 @@ type mode =
   | Native_sync
   | Virt_sync
   | Rapilog
+  | Rapilog_replicated
   | Wcache_flush
   | Unsafe_wcache
   | Async_commit
@@ -12,18 +13,28 @@ let mode_name = function
   | Native_sync -> "native-sync"
   | Virt_sync -> "virt-sync"
   | Rapilog -> "rapilog"
+  | Rapilog_replicated -> "rapilog-replicated"
   | Wcache_flush -> "wcache-flush"
   | Unsafe_wcache -> "unsafe-wcache"
   | Async_commit -> "async-commit"
 
 let all_modes =
-  [ Native_sync; Virt_sync; Rapilog; Wcache_flush; Unsafe_wcache; Async_commit ]
+  [
+    Native_sync;
+    Virt_sync;
+    Rapilog;
+    Rapilog_replicated;
+    Wcache_flush;
+    Unsafe_wcache;
+    Async_commit;
+  ]
 
 let mode_of_name name =
   List.find_opt (fun mode -> String.equal (mode_name mode) name) all_modes
 
 let mode_is_durable = function
   | Native_sync | Virt_sync | Rapilog | Wcache_flush -> `Always
+  | Rapilog_replicated -> `Machine_loss_too
   | Unsafe_wcache -> `Os_crash_only
   | Async_commit -> `Never
 
@@ -51,6 +62,7 @@ type config = {
   duration : Time.span;
   seed : int64;
   logger : Rapilog.Trusted_logger.config;
+  net : Net.Replication.config;
   psu : Power.Psu.config;
   checkpoint_interval : Time.span option;
   pool : Dbms.Buffer_pool.config;
@@ -71,6 +83,7 @@ let default =
     duration = Time.sec 3;
     seed = 42L;
     logger = Rapilog.Trusted_logger.default_config;
+    net = Net.Replication.default;
     psu = Power.Psu.default;
     checkpoint_interval = Some Time.(sec 1);
     pool = { Dbms.Buffer_pool.default_config with capacity_pages = 4096 };
@@ -98,6 +111,7 @@ type built = {
   data_members : Storage.Block.t array;
   data_chunk_sectors : int;
   logger : Rapilog.Trusted_logger.t option;
+  replication : Net.Replication.t option;
   generator : generator;
 }
 
@@ -142,7 +156,7 @@ let build config =
   let vmm_config =
     match config.mode with
     | Native_sync | Wcache_flush | Unsafe_wcache | Async_commit -> Hypervisor.Vmm.native
-    | Virt_sync | Rapilog -> Hypervisor.Vmm.default_sel4
+    | Virt_sync | Rapilog | Rapilog_replicated -> Hypervisor.Vmm.default_sel4
   in
   let vmm = Hypervisor.Vmm.create sim vmm_config in
   let power = Power.Power_domain.create sim config.psu in
@@ -179,27 +193,36 @@ let build config =
   let virtio_of device =
     Hypervisor.Vmm.attach_virtio_disk vmm (Hypervisor.Virtio_blk.backend_of_block device)
   in
-  let log_attached, data_attached, logger =
+  let log_attached, data_attached, logger, replication =
     match config.mode with
     | Native_sync | Async_commit ->
         Power.Power_domain.register_device power log_physical;
-        (log_physical, data_physical, None)
+        (log_physical, data_physical, None, None)
     | Virt_sync ->
         Power.Power_domain.register_device power log_physical;
-        (virtio_of log_physical, virtio_of data_physical, None)
-    | Rapilog ->
+        (virtio_of log_physical, virtio_of data_physical, None, None)
+    | Rapilog | Rapilog_replicated ->
         (* The logger registers the physical device itself. *)
         let frontend, logger =
           Rapilog.attach ~vmm ~power ~config:config.logger ~device:log_physical ()
         in
-        (frontend, virtio_of data_physical, Some logger)
+        let replication =
+          if config.mode = Rapilog_replicated then
+            (* The replica is a second machine: its log device belongs
+               to a different failure domain and is deliberately NOT
+               registered with the primary's power domain. *)
+            let replica_device = make_device sim config.device in
+            Some (Net.Replication.attach sim config.net ~logger ~replica_device)
+          else None
+        in
+        (frontend, virtio_of data_physical, Some logger, replication)
     | Wcache_flush | Unsafe_wcache ->
         (* Same hardware; the modes differ in whether the WAL issues a
            flush barrier after every force (safe) or trusts the volatile
            cache (fast and lossy on power cuts). *)
         let cached = Storage.Write_cache.wrap sim Storage.Write_cache.default log_physical in
         Power.Power_domain.register_device power cached;
-        (cached, data_physical, None)
+        (cached, data_physical, None, None)
   in
   let wal_config =
     { Dbms.Wal.default_config with
@@ -245,5 +268,17 @@ let build config =
     data_members;
     data_chunk_sectors;
     logger;
+    replication;
     generator = make_generator sim config;
   }
+
+(* What recovery reads after a crash: the bare log device, or — when a
+   replica exists — the primary's durable media merged with the
+   replica's received prefix. The merge is what turns machine loss from
+   fatal to survivable; for single-machine crash kinds it only ever
+   adds durable-but-unacked extras, which the audit tolerates. *)
+let recovery_log_device built =
+  match built.replication with
+  | Some replication ->
+      Net.Replication.recovery_log_device replication ~primary:built.log_physical
+  | None -> built.log_physical

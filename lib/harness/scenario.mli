@@ -10,6 +10,12 @@
       forcing synchronously. Isolates the virtualisation overhead.
     - [Rapilog]: virtualised, log disk interposed by the trusted logger —
       commits acknowledge from the trusted buffer.
+    - [Rapilog_replicated]: RapiLog-R — the trusted logger additionally
+      streams admitted entries over a simulated network link to a
+      replica machine ({!Net.Replication}, policy and link shape from
+      {!config.net}). Under the default replica-ack policy, commits
+      acknowledge only once the remote copy is held too, so even losing
+      the whole primary machine loses nothing acknowledged.
     - [Wcache_flush]: bare metal with the disk's volatile write cache
       enabled and a flush barrier after every log force. Safe — and the
       barrier largely negates the cache, which is why the cache gets
@@ -24,6 +30,7 @@ type mode =
   | Native_sync
   | Virt_sync
   | Rapilog
+  | Rapilog_replicated
   | Wcache_flush
   | Unsafe_wcache
   | Async_commit
@@ -32,10 +39,14 @@ val mode_name : mode -> string
 val mode_of_name : string -> mode option
 val all_modes : mode list
 
-val mode_is_durable : mode -> [ `Always | `Os_crash_only | `Never ]
+val mode_is_durable :
+  mode -> [ `Always | `Machine_loss_too | `Os_crash_only | `Never ]
 (** The durability each mode promises: [`Always] covers OS crashes and
-    power cuts, [`Os_crash_only] survives OS crashes but not power cuts,
-    [`Never] can lose acknowledged commits on any failure. *)
+    power cuts, [`Machine_loss_too] additionally survives the whole
+    primary machine vanishing (replica-ack replication — the promise
+    assumes the default {!Net.Replication.config.policy}),
+    [`Os_crash_only] survives OS crashes but not power cuts, [`Never]
+    can lose acknowledged commits on any failure. *)
 
 type device_kind = Disk of Storage.Hdd.config | Flash of Storage.Ssd.config
 
@@ -65,6 +76,8 @@ type config = {
   duration : Desim.Time.span;  (** measurement window *)
   seed : int64;
   logger : Rapilog.Trusted_logger.config;
+  net : Net.Replication.config;
+      (** replication policy and link shapes, for [Rapilog_replicated] *)
   psu : Power.Psu.config;
   checkpoint_interval : Desim.Time.span option;
   pool : Dbms.Buffer_pool.config;
@@ -98,13 +111,21 @@ type built = {
           when the data volume is striped, else the single device *)
   data_chunk_sectors : int;
       (** stripe chunk size; 0 when the data volume is not striped *)
-  logger : Rapilog.Trusted_logger.t option;  (** in [Rapilog] mode *)
+  logger : Rapilog.Trusted_logger.t option;
+      (** in [Rapilog] and [Rapilog_replicated] modes *)
+  replication : Net.Replication.t option;  (** in [Rapilog_replicated] mode *)
   generator : generator;
 }
 
 val build : config -> built
 (** Assemble the machine; nothing is running yet except device-internal
     and logger processes. *)
+
+val recovery_log_device : built -> Storage.Block.t
+(** The log device recovery should read after a crash: [log_physical],
+    or — when the scenario has a replica — a frozen merge of the
+    primary's durable media with the replica's received entry prefix
+    ({!Net.Replication.recovery_log_device}). *)
 
 val hdd_streaming_bandwidth : Storage.Hdd.config -> float
 (** Sequential write bandwidth in bytes/s — the drain rate available to

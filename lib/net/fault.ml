@@ -1,0 +1,35 @@
+open Desim
+
+(* Same contract as Failure_injector.pick_instant: half-open, degenerate
+   intervals deterministic, reversed intervals loud. *)
+let pick_instant sim ~earliest ~latest =
+  let span = Time.diff latest earliest in
+  if Time.compare_span span Time.zero_span < 0 then
+    invalid_arg "Net.Fault: latest is before earliest";
+  if Time.compare_span span Time.zero_span = 0 then earliest
+  else Time.add earliest (Rng.span (Sim.rng sim) span)
+
+let pick_span sim ~min_outage ~max_outage =
+  if Time.compare_span max_outage min_outage < 0 then
+    invalid_arg "Net.Fault: max_outage is before min_outage";
+  if Time.compare_span max_outage min_outage = 0 then min_outage
+  else
+    let width = Time.ns (Time.span_to_ns max_outage - Time.span_to_ns min_outage) in
+    Time.add_span min_outage (Rng.span (Sim.rng sim) width)
+
+let outage_between sim ~earliest ~latest ~min_outage ~max_outage ~partition
+    ~heal =
+  let cut_at = pick_instant sim ~earliest ~latest in
+  let outage = pick_span sim ~min_outage ~max_outage in
+  let heal_at = Time.add cut_at outage in
+  Sim.schedule_at sim cut_at partition;
+  Sim.schedule_at sim heal_at heal;
+  (cut_at, heal_at)
+
+let machine_loss_at sim power ~at =
+  Sim.schedule_at sim at (fun () -> Power.Power_domain.lose power)
+
+let machine_loss_between sim power ~earliest ~latest =
+  let at = pick_instant sim ~earliest ~latest in
+  machine_loss_at sim power ~at;
+  at

@@ -1,0 +1,31 @@
+(** Network fault injection, in the {!Power.Failure_injector} idiom:
+    instants drawn uniformly from half-open intervals off the
+    simulation's root generator, so fault schedules are a pure function
+    of the seed. *)
+
+open Desim
+
+val outage_between :
+  Sim.t ->
+  earliest:Time.t ->
+  latest:Time.t ->
+  min_outage:Time.span ->
+  max_outage:Time.span ->
+  partition:(unit -> unit) ->
+  heal:(unit -> unit) ->
+  Time.t * Time.t
+(** Schedule a partition/heal pair: the partition instant is drawn from
+    [\[earliest, latest)], the outage length from
+    [\[min_outage, max_outage)] (both degenerate deterministically when
+    empty; reversed bounds raise [Invalid_argument]). [partition] and
+    [heal] typically call {!Link.partition} / {!Link.heal} on the links
+    crossing the cut. Returns [(partition_at, heal_at)]. *)
+
+val machine_loss_at : Sim.t -> Power.Power_domain.t -> at:Time.t -> unit
+(** Schedule {!Power.Power_domain.lose} — the whole machine vanishing,
+    with no residual-energy window — at the given instant. *)
+
+val machine_loss_between :
+  Sim.t -> Power.Power_domain.t -> earliest:Time.t -> latest:Time.t -> Time.t
+(** Draw the loss instant from the half-open interval, like
+    {!Power.Failure_injector.power_cut_between}; returns it. *)

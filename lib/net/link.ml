@@ -1,0 +1,239 @@
+open Desim
+
+type latency =
+  | Constant of Time.span
+  | Uniform of Time.span * Time.span
+  | Exponential of Time.span
+
+type config = {
+  latency : latency;
+  bandwidth : float;
+  drop_probability : float;
+}
+
+let default =
+  { latency = Constant (Time.us 25); bandwidth = 1.25e9; drop_probability = 0. }
+
+(* Latency kinds pre-resolved to ints/floats so sampling never touches
+   the constructor. *)
+let k_constant = 0
+let k_uniform = 1
+let k_exponential = 2
+
+type 'a t = {
+  sim : Sim.t;
+  trace_name : string;
+  rng : Rng.t;
+  deliver : 'a -> unit;
+  dummy : 'a;
+  lat_kind : int;
+  lat_a : int;  (* constant ns | uniform lo ns *)
+  lat_b : int;  (* uniform width ns (>= 0) *)
+  lat_mean : float;  (* exponential mean, ns *)
+  ns_per_byte : float;  (* 0. = unlimited bandwidth *)
+  drop_probability : float;
+  (* FIFO wire queue over parallel ring arrays: [payloads.(i)] becomes
+     deliverable at [ready_ns.(i)]; [sent_ns.(i)] stamps the send for
+     the delay histogram. Capacity is a power of two ([mask]). *)
+  mutable payloads : 'a array;
+  mutable ready_ns : int array;
+  mutable sent_ns : int array;
+  mutable mask : int;
+  mutable head : int;
+  mutable count : int;
+  (* Serialisation cursor: the wire is busy until here. *)
+  mutable tx_end_ns : int;
+  (* FIFO floor: no message may become ready before the previous one. *)
+  mutable last_ready_ns : int;
+  (* At most one pump event is outstanding, at this instant (-1: none).
+     last_ready_ns is monotone, so one event always suffices. *)
+  mutable pump_at_ns : int;
+  mutable pump : unit -> unit;
+  mutable is_partitioned : bool;
+  mutable severed : bool;
+  mutable n_sent : int;
+  mutable n_delivered : int;
+  mutable n_dropped : int;
+  m_delay : Metrics.Histogram.t option;
+}
+
+let initial_capacity = 64
+
+let sample_latency_ns t =
+  if t.lat_kind = k_constant then t.lat_a
+  else if t.lat_kind = k_uniform then
+    if t.lat_b = 0 then t.lat_a else t.lat_a + Rng.int t.rng t.lat_b
+  else
+    int_of_float (Rng.exponential t.rng ~mean:t.lat_mean)
+
+let grow t =
+  let old_cap = t.mask + 1 in
+  let cap = old_cap * 2 in
+  let payloads = Array.make cap t.dummy in
+  let ready_ns = Array.make cap 0 in
+  let sent_ns = Array.make cap 0 in
+  for i = 0 to t.count - 1 do
+    let j = (t.head + i) land t.mask in
+    payloads.(i) <- t.payloads.(j);
+    ready_ns.(i) <- t.ready_ns.(j);
+    sent_ns.(i) <- t.sent_ns.(j)
+  done;
+  t.payloads <- payloads;
+  t.ready_ns <- ready_ns;
+  t.sent_ns <- sent_ns;
+  t.mask <- cap - 1;
+  t.head <- 0
+
+let schedule_pump t at_ns =
+  if t.pump_at_ns < 0 then begin
+    let now_ns = Time.to_ns (Sim.now t.sim) in
+    let at_ns = if at_ns < now_ns then now_ns else at_ns in
+    t.pump_at_ns <- at_ns;
+    Sim.schedule_at t.sim (Time.of_ns at_ns) t.pump
+  end
+
+(* Deliver everything whose ready time has passed, in queue order, then
+   re-arm for the head of what remains. Runs as a plain event; [deliver]
+   must not block. *)
+let pump_now t =
+  t.pump_at_ns <- -1;
+  if not (t.is_partitioned || t.severed) then begin
+    let now_ns = Time.to_ns (Sim.now t.sim) in
+    let continue = ref true in
+    while !continue && t.count > 0 do
+      let h = t.head in
+      if t.ready_ns.(h) <= now_ns then begin
+        let payload = t.payloads.(h) in
+        t.payloads.(h) <- t.dummy;
+        t.head <- (h + 1) land t.mask;
+        t.count <- t.count - 1;
+        t.n_delivered <- t.n_delivered + 1;
+        (match t.m_delay with
+        | Some hist ->
+            Metrics.Histogram.observe hist
+              (float_of_int (now_ns - t.sent_ns.(h)) /. 1_000.)
+        | None -> ());
+        t.deliver payload
+      end
+      else continue := false
+    done;
+    if t.count > 0 then schedule_pump t t.ready_ns.(t.head)
+  end
+
+let create sim ?(name = "link") config ~dummy ~deliver =
+  (match config.latency with
+  | Constant d -> assert (Time.compare_span d Time.zero_span >= 0)
+  | Uniform (lo, hi) ->
+      assert (Time.compare_span lo Time.zero_span >= 0);
+      assert (Time.compare_span lo hi <= 0)
+  | Exponential mean -> assert (Time.compare_span mean Time.zero_span > 0));
+  assert (config.drop_probability >= 0. && config.drop_probability <= 1.);
+  assert (config.bandwidth >= 0.);
+  let t =
+    {
+      sim;
+      trace_name = name;
+      rng = Rng.split (Sim.rng sim);
+      deliver;
+      dummy;
+      lat_kind =
+        (match config.latency with
+        | Constant _ -> k_constant
+        | Uniform _ -> k_uniform
+        | Exponential _ -> k_exponential);
+      lat_a =
+        (match config.latency with
+        | Constant d | Uniform (d, _) -> Time.span_to_ns d
+        | Exponential _ -> 0);
+      lat_b =
+        (match config.latency with
+        | Uniform (lo, hi) -> Time.span_to_ns hi - Time.span_to_ns lo
+        | Constant _ | Exponential _ -> 0);
+      lat_mean =
+        (match config.latency with
+        | Exponential mean -> float_of_int (Time.span_to_ns mean)
+        | Constant _ | Uniform _ -> 0.);
+      ns_per_byte =
+        (if config.bandwidth = 0. || config.bandwidth = infinity then 0.
+         else 1e9 /. config.bandwidth);
+      drop_probability = config.drop_probability;
+      payloads = Array.make initial_capacity dummy;
+      ready_ns = Array.make initial_capacity 0;
+      sent_ns = Array.make initial_capacity 0;
+      mask = initial_capacity - 1;
+      head = 0;
+      count = 0;
+      tx_end_ns = 0;
+      last_ready_ns = 0;
+      pump_at_ns = -1;
+      pump = (fun () -> ());
+      is_partitioned = false;
+      severed = false;
+      n_sent = 0;
+      n_delivered = 0;
+      n_dropped = 0;
+      m_delay =
+        Option.map
+          (fun reg -> Metrics.histogram reg "net.link_delay")
+          (Metrics.recording ());
+    }
+  in
+  t.pump <- (fun () -> pump_now t);
+  t
+
+let send t ?(bytes = 0) payload =
+  if t.severed then t.n_dropped <- t.n_dropped + 1
+  else begin
+    t.n_sent <- t.n_sent + 1;
+    if t.drop_probability > 0. && Rng.float t.rng < t.drop_probability then
+      t.n_dropped <- t.n_dropped + 1
+    else begin
+      let now_ns = Time.to_ns (Sim.now t.sim) in
+      (* Serialisation: the wire transmits one message at a time. *)
+      let tx_start = if t.tx_end_ns > now_ns then t.tx_end_ns else now_ns in
+      let tx_ns =
+        if t.ns_per_byte = 0. || bytes <= 0 then 0
+        else int_of_float (t.ns_per_byte *. float_of_int bytes)
+      in
+      t.tx_end_ns <- tx_start + tx_ns;
+      let arrive_ns = t.tx_end_ns + sample_latency_ns t in
+      (* FIFO clamp: never overtake the previous message on this link. *)
+      let ready = if arrive_ns > t.last_ready_ns then arrive_ns else t.last_ready_ns in
+      t.last_ready_ns <- ready;
+      if t.count > t.mask then grow t;
+      let slot = (t.head + t.count) land t.mask in
+      t.payloads.(slot) <- payload;
+      t.ready_ns.(slot) <- ready;
+      t.sent_ns.(slot) <- now_ns;
+      t.count <- t.count + 1;
+      if not (t.is_partitioned || t.severed) then schedule_pump t ready
+    end
+  end
+
+let partition t = t.is_partitioned <- true
+
+let heal t =
+  if t.is_partitioned then begin
+    t.is_partitioned <- false;
+    (* Flush any backlog whose delivery times already passed. *)
+    if t.count > 0 then schedule_pump t t.ready_ns.(t.head)
+  end
+
+let partitioned t = t.is_partitioned
+
+let sever t =
+  if not t.severed then begin
+    t.severed <- true;
+    t.n_dropped <- t.n_dropped + t.count;
+    (* Release payload references for the collector. *)
+    for i = 0 to t.count - 1 do
+      t.payloads.((t.head + i) land t.mask) <- t.dummy
+    done;
+    t.count <- 0
+  end
+
+let name t = t.trace_name
+let sent t = t.n_sent
+let delivered t = t.n_delivered
+let dropped t = t.n_dropped
+let in_flight t = t.count

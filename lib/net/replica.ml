@@ -1,0 +1,77 @@
+open Desim
+
+type t = {
+  sim : Sim.t;
+  device : Storage.Block.t;
+  queue : (int * string) Queue.t;  (* (lba, data) awaiting the drain *)
+  mutable entries_rev : (int * int * string) list;  (* (seq, lba, data) *)
+  arrived : Resource.Condition.t;
+  idle : Resource.Condition.t;
+  mutable writing : bool;
+  mutable received : int;
+  mutable received_bytes : int;
+  mutable drained_writes : int;
+  m_drain : Metrics.Histogram.t option;
+}
+
+let drainer t () =
+  while true do
+    if Queue.is_empty t.queue then begin
+      t.writing <- false;
+      Resource.Condition.broadcast t.idle;
+      Resource.Condition.wait t.arrived
+    end
+    else begin
+      t.writing <- true;
+      let lba, data = Queue.pop t.queue in
+      let started =
+        match t.m_drain with Some _ -> Metrics.Span.start t.sim | None -> 0
+      in
+      Storage.Block.write t.device ~lba data;
+      (match t.m_drain with
+      | Some hist -> Metrics.Span.finish hist t.sim started
+      | None -> ());
+      t.drained_writes <- t.drained_writes + 1
+    end
+  done
+
+let create sim ~device () =
+  let t =
+    {
+      sim;
+      device;
+      queue = Queue.create ();
+      entries_rev = [];
+      arrived = Resource.Condition.create sim;
+      idle = Resource.Condition.create sim;
+      writing = false;
+      received = 0;
+      received_bytes = 0;
+      drained_writes = 0;
+      m_drain =
+        Option.map
+          (fun reg -> Metrics.histogram reg "replica.drain")
+          (Metrics.recording ());
+    }
+  in
+  ignore (Process.spawn sim ~name:"replica-drain" (drainer t));
+  t
+
+let device t = t.device
+
+let receive t ~seq ~lba ~data =
+  t.received <- t.received + 1;
+  t.received_bytes <- t.received_bytes + String.length data;
+  t.entries_rev <- (seq, lba, data) :: t.entries_rev;
+  Queue.push (lba, data) t.queue;
+  Resource.Condition.signal t.arrived
+
+let entries t = List.rev t.entries_rev
+let received t = t.received
+let received_bytes t = t.received_bytes
+let drained_writes t = t.drained_writes
+
+let quiesce t =
+  while not (Queue.is_empty t.queue && not t.writing) do
+    Resource.Condition.wait t.idle
+  done

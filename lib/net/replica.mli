@@ -1,0 +1,45 @@
+(** The remote log replica: a second machine holding a copy of the
+    primary's admitted log stream.
+
+    The replica is a separate failure domain — its device is {e not}
+    registered with the primary's {!Power.Power_domain}, so a primary
+    power cut or machine loss leaves the replica (and everything it has
+    received) intact. An entry counts as replicated the instant
+    {!receive} runs: the replica's buffer is its own durability domain,
+    exactly as the primary's trusted buffer is (the same seL4-isolation
+    argument, one machine over). A background drain writes received
+    entries to the replica's log device off the ack path.
+
+    Entries arrive tagged with the primary's admission sequence number
+    (1, 2, 3, …). Links are FIFO, so on a single data link they arrive
+    in sequence order; {!entries} preserves arrival order and recovery
+    applies only the longest consecutive prefix. *)
+
+open Desim
+
+type t
+
+val create : Sim.t -> device:Storage.Block.t -> unit -> t
+(** The drain process is spawned immediately (a plain simulation
+    process: it survives guest crashes on the primary). When
+    {!Desim.Metrics} recording is on, per-entry drain latency goes to
+    the ["replica.drain"] histogram. *)
+
+val device : t -> Storage.Block.t
+
+val receive : t -> seq:int -> lba:int -> data:string -> unit
+(** Accept one replicated entry; non-blocking, callable from event
+    context (a link's deliver callback). *)
+
+val entries : t -> (int * int * string) list
+(** All received entries as [(seq, lba, data)] in arrival order. *)
+
+val received : t -> int
+
+val received_bytes : t -> int
+
+val drained_writes : t -> int
+(** Entries the background drain has written to the replica device. *)
+
+val quiesce : t -> unit
+(** Block until the drain catches up; must run in a process. *)

@@ -1,0 +1,167 @@
+open Desim
+
+type policy = Local | Replica_ack | Async_replica
+
+let policy_name = function
+  | Local -> "local"
+  | Replica_ack -> "replica-ack"
+  | Async_replica -> "async-replica"
+
+let all_policies = [ Local; Replica_ack; Async_replica ]
+
+let policy_of_name name =
+  List.find_opt (fun p -> policy_name p = name) all_policies
+
+type config = {
+  policy : policy;
+  data_link : Link.config;
+  ack_link : Link.config;
+}
+
+let default =
+  { policy = Replica_ack; data_link = Link.default; ack_link = Link.default }
+
+type message = { seq : int; lba : int; data : string }
+
+(* On-wire framing overhead charged against link bandwidth. *)
+let header_bytes = 24
+let ack_bytes = 16
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  replica : Replica.t;
+  data_link : message Link.t;
+  ack_link : int Link.t;
+  (* Writers parked in [Replica_ack] until their seq's ack returns. *)
+  waiters : (int, unit Process.resumer) Hashtbl.t;
+  mutable n_sent : int;
+  mutable n_acked : int;
+  m_replicate : Metrics.Histogram.t option;
+  m_ack_wait : Metrics.Histogram.t option;
+}
+
+let on_ack t seq =
+  t.n_acked <- t.n_acked + 1;
+  match Hashtbl.find_opt t.waiters seq with
+  | Some resume ->
+      Hashtbl.remove t.waiters seq;
+      resume ()
+  | None -> ()
+
+let on_data t msg =
+  Replica.receive t.replica ~seq:msg.seq ~lba:msg.lba ~data:msg.data;
+  (* The replica's buffer is its durability domain: ack on receipt,
+     off the replica's own drain path. *)
+  Link.send t.ack_link ~bytes:ack_bytes msg.seq
+
+(* Runs in the admitting writer's process, straight after the ring push
+   (the entry is already locally durable-in-buffer). The send itself
+   never blocks; [Replica_ack] parks the writer until the ack returns.
+   A link pump event cannot fire between the send and the suspend —
+   both happen in this process without yielding — so the ack cannot be
+   lost to a missing waiter. *)
+let replicate_hook t ~seq ~lba ~data =
+  let started =
+    match t.m_replicate with Some _ -> Metrics.Span.start t.sim | None -> 0
+  in
+  t.n_sent <- t.n_sent + 1;
+  Link.send t.data_link
+    ~bytes:(String.length data + header_bytes)
+    { seq; lba; data };
+  (match t.config.policy with
+  | Replica_ack ->
+      let wait_started =
+        match t.m_ack_wait with Some _ -> Metrics.Span.start t.sim | None -> 0
+      in
+      Process.suspend (fun resume -> Hashtbl.replace t.waiters seq resume);
+      (match t.m_ack_wait with
+      | Some hist -> Metrics.Span.finish hist t.sim wait_started
+      | None -> ())
+  | Local | Async_replica -> ());
+  match t.m_replicate with
+  | Some hist -> Metrics.Span.finish hist t.sim started
+  | None -> ()
+
+let attach sim (config : config) ~logger ~replica_device =
+  let replica = Replica.create sim ~device:replica_device () in
+  let self = ref None in
+  let the t = match !t with Some t -> t | None -> assert false in
+  (* The ack link first: its rng split order is fixed by construction
+     order, part of the deterministic schedule. *)
+  let ack_link =
+    Link.create sim ~name:"replica-ack" config.ack_link ~dummy:0
+      ~deliver:(fun seq -> on_ack (the self) seq)
+  in
+  let dummy_message = { seq = 0; lba = 0; data = "" } in
+  let data_link =
+    Link.create sim ~name:"replica-data" config.data_link ~dummy:dummy_message
+      ~deliver:(fun msg -> on_data (the self) msg)
+  in
+  let metrics = Metrics.recording () in
+  let t =
+    {
+      sim;
+      config;
+      replica;
+      data_link;
+      ack_link;
+      waiters = Hashtbl.create 64;
+      n_sent = 0;
+      n_acked = 0;
+      m_replicate =
+        Option.map (fun reg -> Metrics.histogram reg "logger.replicate") metrics;
+      m_ack_wait =
+        Option.map
+          (fun reg -> Metrics.histogram reg "logger.replica_ack_wait")
+          metrics;
+    }
+  in
+  self := Some t;
+  (match config.policy with
+  | Local -> ()
+  | Replica_ack | Async_replica ->
+      Rapilog.Trusted_logger.set_replication logger (replicate_hook t));
+  t
+
+let config t = t.config
+let replica t = t.replica
+let wire_in_flight t = Link.in_flight t.data_link + Link.in_flight t.ack_link
+
+let primary_lost t =
+  Link.sever t.data_link;
+  Link.sever t.ack_link
+
+let sent t = t.n_sent
+let acked t = t.n_acked
+
+let recovery_log_device t ~primary =
+  let info = Storage.Block.info primary in
+  let media =
+    Storage.Block.Media.create ~sector_size:info.Storage.Block.sector_size
+      ~capacity_sectors:info.Storage.Block.capacity_sectors
+  in
+  (* Frozen copy of the primary's durable media, chunked. *)
+  let extent = Storage.Block.durable_extent primary in
+  let chunk = 256 in
+  let lba = ref 0 in
+  while !lba < extent do
+    let sectors = min chunk (extent - !lba) in
+    Storage.Block.Media.write media ~lba:!lba
+      ~data:(Storage.Block.durable_read primary ~lba:!lba ~sectors);
+    lba := !lba + sectors
+  done;
+  (* Overlay the replica's entries: the longest consecutive sequence
+     prefix (admission order, seq from 1), applied in order so a later
+     rewrite of the same sectors wins, exactly as on the primary. Links
+     are FIFO so a gap means loss; anything after a gap cannot be
+     trusted to reflect a prefix of the admitted stream. *)
+  let next = ref 1 in
+  List.iter
+    (fun (seq, lba, data) ->
+      if seq = !next then begin
+        Storage.Block.Media.write media ~lba ~data;
+        incr next
+      end)
+    (Replica.entries t.replica);
+  Storage.Block.of_media ~model:"replicated-log" media

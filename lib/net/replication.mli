@@ -1,0 +1,79 @@
+(** RapiLog-R: the primary's trusted logger streaming admitted log
+    entries to a remote {!Replica} over a pair of {!Link}s.
+
+    The datapath hooks {!Rapilog.Trusted_logger.set_replication}: at the
+    instant an entry is admitted into the trusted ring (the point where
+    the local logger would acknowledge), it is also sent down the data
+    link. The replica acknowledges on receipt — its buffer is its
+    durability domain — over the ack link. Three policies govern what
+    the commit waits for:
+
+    - [Local]: the hook is not installed at all; byte-identical to the
+      single-machine logger. The baseline.
+    - [Replica_ack]: the admitting writer blocks until the replica's ack
+      returns, so every {e acknowledged} commit exists on two machines.
+      Survives losing the whole primary — buffer, PSU residual energy
+      and all — at the price of one RTT of commit latency.
+    - [Async_replica]: the entry is sent but the commit does not wait.
+      The local durability contract (OS crash, power cut) is unchanged;
+      machine loss can eat the entries still on the wire.
+
+    [Replica_ack] assumes lossless links (the model has no retransmit;
+    a dropped entry or ack would stall that commit forever). Use drops
+    only with [Async_replica] or in raw link tests.
+
+    Metrics (when recording): ["logger.replicate"] spans the full hook
+    (send → return, including any ack wait), ["logger.replica_ack_wait"]
+    just the wait for the remote ack, plus the links' ["net.link_delay"]
+    and the replica's ["replica.drain"]. *)
+
+open Desim
+
+type policy = Local | Replica_ack | Async_replica
+
+val policy_name : policy -> string
+val policy_of_name : string -> policy option
+val all_policies : policy list
+
+type config = {
+  policy : policy;
+  data_link : Link.config;  (** primary → replica, carries log entries *)
+  ack_link : Link.config;  (** replica → primary, carries acks *)
+}
+
+val default : config
+(** [Replica_ack] over two {!Link.default} links (50 µs RTT, 10 GbE). *)
+
+type t
+
+val attach :
+  Sim.t -> config -> logger:Rapilog.Trusted_logger.t -> replica_device:Storage.Block.t -> t
+(** Build the replica node and both links, and (unless the policy is
+    [Local]) install the replication hook on [logger]. [replica_device]
+    must belong to the replica's failure domain — do {e not} register it
+    with the primary's power domain. *)
+
+val config : t -> config
+val replica : t -> Replica.t
+
+val wire_in_flight : t -> int
+(** Entries + acks currently on either link. *)
+
+val primary_lost : t -> unit
+(** Machine loss on the primary: sever both links (entries already on
+    the wire to the replica still count — they left the machine — but
+    nothing further will). The replica keeps running. *)
+
+val sent : t -> int
+(** Entries handed to the data link. *)
+
+val acked : t -> int
+(** Replica acks that made it back to the primary. *)
+
+val recovery_log_device : t -> primary:Storage.Block.t -> Storage.Block.t
+(** The merged post-crash view of the log: a frozen copy of the
+    primary's durable media with the replica's entries — the longest
+    consecutive sequence prefix, in order — applied on top. Recovery
+    reads this instead of the bare primary device; entries the replica
+    holds beyond the primary's durable tail become durable-but-unacked
+    extras at worst, which the audit already tolerates. *)

@@ -31,6 +31,19 @@ let cut t =
     List.iter (fun handler -> handler ~window) (List.rev t.handlers)
   end
 
+(* Machine loss: the box vanishes this instant — no hold-up window, no
+   drain race. Devices die first so that handlers (and anything they
+   wake at this instant) observe the hardware already dead; the
+   handlers still run so software state (logger admission) closes
+   consistently, with a zero window. *)
+let lose t =
+  if not t.failing then begin
+    t.failing <- true;
+    t.dead_at <- Some (Sim.now t.sim);
+    List.iter Storage.Block.power_cut t.devices;
+    List.iter (fun handler -> handler ~window:Time.zero_span) (List.rev t.handlers)
+  end
+
 let cut_at t time = Sim.schedule_at t.sim time (fun () -> cut t)
 let is_failing t = t.failing
 let dead_at t = t.dead_at

@@ -27,6 +27,15 @@ val cut : t -> unit
 val cut_at : t -> Desim.Time.t -> unit
 (** Schedule a cut. *)
 
+val lose : t -> unit
+(** Machine loss: the whole box vanishes {e now}. Unlike {!cut} there
+    is no residual-energy window — devices lose power at this very
+    instant (tearing in-flight writes, dropping volatile caches), and
+    power-fail handlers then run with [~window] zero. Durable media
+    survives (it can be read back by recovery); everything volatile —
+    including the trusted buffer the PSU window normally protects — is
+    gone. Idempotent, and a no-op after a {!cut}. *)
+
 val is_failing : t -> bool
 (** True from the instant of the cut onwards. *)
 

@@ -5,4 +5,5 @@ let () =
    @ Test_hypervisor.suites @ Test_dbms.suites @ Test_log_record_prop.suites
    @ Test_rapilog.suites @ Test_workload.suites @ Test_harness.suites
    @ Test_crash_surface.suites @ Test_crash_journal.suites
+   @ Test_net.suites
    @ Test_model_check.suites @ Test_audit_teeth.suites)

@@ -1,0 +1,380 @@
+(* Tests for the simulated network layer and the replicated trusted
+   logger (RapiLog-R): per-link FIFO delivery, fault-model bookkeeping,
+   seed-determinism of the delivery schedule, and the machine-loss
+   durability asymmetry between local and replicated RapiLog. *)
+
+open Desim
+open Testu
+
+(* -- link harness -------------------------------------------------------- *)
+
+(* Drive one link from a sender process: [sends] is a list of
+   (gap_us, bytes) pairs; message [i] is payload [i]. Returns the link
+   and the delivery trace as [(payload, delivered_at_ns)] in order. *)
+let run_link ?(seed = 7L) ?(setup = fun _ _ -> ()) config sends =
+  let sim = Sim.create ~seed () in
+  let trace = ref [] in
+  let link =
+    Net.Link.create sim config ~dummy:(-1) ~deliver:(fun payload ->
+        trace := (payload, Time.to_ns (Sim.now sim)) :: !trace)
+  in
+  setup sim link;
+  ignore
+    (Process.spawn sim ~name:"sender" (fun () ->
+         List.iteri
+           (fun i (gap_us, bytes) ->
+             if gap_us > 0 then Process.sleep (Time.us gap_us);
+             Net.Link.send link ~bytes i)
+           sends));
+  Sim.run sim;
+  (link, List.rev !trace)
+
+let gen_latency =
+  let open QCheck2.Gen in
+  let* kind = int_range 0 2 in
+  let* a = int_range 0 200 in
+  let* b = int_range 0 200 in
+  return
+    (match kind with
+    | 0 -> Net.Link.Constant (Time.us a)
+    | 1 -> Net.Link.Uniform (Time.us (min a b), Time.us (max a b))
+    | _ -> Net.Link.Exponential (Time.us (a + 1)))
+
+let gen_config =
+  let open QCheck2.Gen in
+  let* latency = gen_latency in
+  let* bandwidth = oneofl [ 0.; 1e8; 1.25e9 ] in
+  let* drop_probability = oneofl [ 0.; 0.1; 0.4 ] in
+  return { Net.Link.latency; bandwidth; drop_probability }
+
+let gen_sends =
+  let open QCheck2.Gen in
+  list_size (int_range 1 40) (pair (int_range 0 50) (int_range 0 4096))
+
+let gen_seed = QCheck2.Gen.(map Int64.of_int (int_range 1 1_000_000))
+
+(* Per-link FIFO: whatever the latency draws and drops, delivered
+   payloads are a strictly increasing subsequence of the send order and
+   delivery times never go backwards. *)
+let fifo_law (config, sends, seed) =
+  let link, trace = run_link ~seed config sends in
+  let rec check_mono last_id last_ns = function
+    | [] -> true
+    | (id, ns) :: rest ->
+        id > last_id && ns >= last_ns && check_mono id ns rest
+  in
+  check_mono (-1) (-1) trace
+  && Net.Link.sent link = List.length sends
+  && Net.Link.delivered link = List.length trace
+  && Net.Link.delivered link + Net.Link.dropped link = Net.Link.sent link
+  && Net.Link.in_flight link = 0
+
+(* Seed-determinism: the delivery schedule (payloads and timestamps) is
+   a pure function of (seed, config, send sequence). *)
+let determinism_law (config, sends, seed) =
+  let _, t1 = run_link ~seed config sends in
+  let _, t2 = run_link ~seed config sends in
+  t1 = t2
+
+(* Partition before any send, heal at a fixed later instant: exactly the
+   non-dropped backlog arrives, all of it at or after the heal, FIFO. *)
+let partition_heal_law (config, sends, seed) =
+  let heal_at = Time.of_ns 500_000_000 (* beyond any send + latency *) in
+  let link, trace =
+    run_link ~seed config sends ~setup:(fun sim link ->
+        Net.Link.partition link;
+        Sim.schedule_at sim heal_at (fun () -> Net.Link.heal link))
+  in
+  let heal_ns = Time.to_ns heal_at in
+  List.for_all (fun (_, ns) -> ns >= heal_ns) trace
+  && Net.Link.delivered link = List.length sends - Net.Link.dropped link
+  && trace = List.sort compare trace (* FIFO: ids increasing *)
+
+let sever_discards () =
+  let link, trace =
+    run_link { Net.Link.default with drop_probability = 0. }
+      [ (0, 512); (1, 512); (2, 512) ]
+      ~setup:(fun sim link ->
+        Net.Link.partition link;
+        (* All three messages are queued behind the partition when the
+           peer dies; everything must be discarded, nothing delivered. *)
+        Sim.schedule_at sim (Time.of_ns 400_000_000) (fun () ->
+            Net.Link.sever link))
+  in
+  Alcotest.(check (list (pair int int))) "nothing delivered" [] trace;
+  Alcotest.(check int) "backlog counted as dropped" 3 (Net.Link.dropped link);
+  Net.Link.send link 99;
+  Alcotest.(check int) "post-sever send not accepted" 3 (Net.Link.sent link);
+  Alcotest.(check int) "post-sever send counted dropped" 4 (Net.Link.dropped link)
+
+let constant_latency_exact () =
+  let config =
+    {
+      Net.Link.latency = Net.Link.Constant (Time.us 40);
+      bandwidth = 0.;
+      drop_probability = 0.;
+    }
+  in
+  let _, trace = run_link config [ (0, 0) ] in
+  match trace with
+  | [ (0, ns) ] -> Alcotest.(check int) "delivered at latency" 40_000 ns
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let bandwidth_serialises () =
+  (* Two back-to-back 1 MB messages on a 1 GB/s link, zero propagation
+     delay: the second is serialised behind the first, so deliveries are
+     1 ms apart. *)
+  let config =
+    {
+      Net.Link.latency = Net.Link.Constant Time.zero_span;
+      bandwidth = 1e9;
+      drop_probability = 0.;
+    }
+  in
+  let _, trace = run_link config [ (0, 1_000_000); (0, 1_000_000) ] in
+  match trace with
+  | [ (0, a); (1, b) ] ->
+      Alcotest.(check int) "first after its own serialisation" 1_000_000 a;
+      Alcotest.(check int) "second a full serialisation later" 2_000_000 b
+  | _ -> Alcotest.fail "expected exactly two deliveries"
+
+(* -- fault scheduling ----------------------------------------------------- *)
+
+let outage_in_bounds () =
+  let sim = Sim.create ~seed:11L () in
+  let cut = ref None and healed = ref None in
+  let earliest = Time.of_ns 1_000_000 and latest = Time.of_ns 5_000_000 in
+  let cut_at, heal_at =
+    Net.Fault.outage_between sim ~earliest ~latest ~min_outage:(Time.us 10)
+      ~max_outage:(Time.us 500)
+      ~partition:(fun () -> cut := Some (Sim.now sim))
+      ~heal:(fun () -> healed := Some (Sim.now sim))
+  in
+  Sim.run sim;
+  Alcotest.(check bool) "cut fired at its instant" true (!cut = Some cut_at);
+  Alcotest.(check bool) "heal fired at its instant" true (!healed = Some heal_at);
+  Alcotest.(check bool) "cut within [earliest, latest)" true
+    (Time.compare cut_at earliest >= 0 && Time.compare cut_at latest < 0);
+  let outage = Time.diff heal_at cut_at in
+  Alcotest.(check bool) "outage within [min, max)" true
+    (Time.compare_span outage (Time.us 10) >= 0
+    && Time.compare_span outage (Time.us 500) < 0)
+
+let outage_degenerate_and_reversed () =
+  let sim = Sim.create ~seed:3L () in
+  let at = Time.of_ns 2_000_000 in
+  let cut_at, heal_at =
+    Net.Fault.outage_between sim ~earliest:at ~latest:at ~min_outage:(Time.us 7)
+      ~max_outage:(Time.us 7)
+      ~partition:(fun () -> ())
+      ~heal:(fun () -> ())
+  in
+  Alcotest.(check int) "degenerate instant" (Time.to_ns at) (Time.to_ns cut_at);
+  check_span "degenerate outage" (Time.us 7) (Time.diff heal_at cut_at);
+  Alcotest.check_raises "reversed bounds"
+    (Invalid_argument "Net.Fault: latest is before earliest") (fun () ->
+      ignore
+        (Net.Fault.outage_between sim
+           ~earliest:(Time.of_ns 9_000_000)
+           ~latest:at ~min_outage:Time.zero_span ~max_outage:Time.zero_span
+           ~partition:ignore ~heal:ignore));
+  Sim.run sim
+
+(* -- replication ---------------------------------------------------------- *)
+
+let replicated_scenario ?(policy = Net.Replication.Replica_ack) () =
+  {
+    Harness.Scenario.default with
+    Harness.Scenario.mode = Harness.Scenario.Rapilog_replicated;
+    workload =
+      Harness.Scenario.Micro
+        {
+          Workload.Microbench.default_config with
+          Workload.Microbench.keys = 64;
+          value_bytes = 32;
+        };
+    clients = 2;
+    seed = 99L;
+    warmup = Time.ms 50;
+    duration = Time.ms 400;
+    net = { Net.Replication.default with Net.Replication.policy };
+  }
+
+(* Drive the replicated datapath directly — logger, links and replica
+   wired by hand, no background scenario machinery — and check the
+   counters line up end to end. *)
+let replication_counters () =
+  let sim = Sim.create ~seed:5L () in
+  let device = Storage.Hdd.create sim Storage.Hdd.default_7200rpm in
+  let trusted =
+    Hypervisor.Domain.create sim ~name:"rapilog" ~kind:Hypervisor.Domain.Trusted
+  in
+  let logger =
+    Rapilog.Trusted_logger.create sim ~domain:trusted
+      Rapilog.Trusted_logger.default_config ~device
+  in
+  let backend_domain =
+    Hypervisor.Domain.create sim ~name:"drv" ~kind:Hypervisor.Domain.Trusted
+  in
+  let frontend =
+    Hypervisor.Virtio_blk.create sim ~ipc:Hypervisor.Ipc.default_sel4
+      ~backend_domain
+      (Rapilog.Trusted_logger.backend logger)
+  in
+  let replica_device = Storage.Hdd.create sim Storage.Hdd.default_7200rpm in
+  let repl =
+    Net.Replication.attach sim Net.Replication.default ~logger ~replica_device
+  in
+  let guest =
+    Hypervisor.Domain.create sim ~name:"guest" ~kind:Hypervisor.Domain.Guest
+  in
+  let writes = 24 in
+  ignore
+    (Hypervisor.Domain.spawn guest (fun () ->
+         for i = 1 to writes do
+           Storage.Block.write frontend ~lba:(i * 2)
+             (String.make 512 (Char.chr (64 + (i mod 26))))
+         done;
+         Rapilog.Trusted_logger.quiesce logger;
+         Net.Replica.quiesce (Net.Replication.replica repl)));
+  Sim.run sim;
+  let replica = Net.Replication.replica repl in
+  Alcotest.(check int) "every admission sent" writes (Net.Replication.sent repl);
+  Alcotest.(check int) "every entry acked back" writes (Net.Replication.acked repl);
+  Alcotest.(check int) "replica received all" writes (Net.Replica.received replica);
+  Alcotest.(check int) "replica drained all" writes (Net.Replica.drained_writes replica);
+  Alcotest.(check int) "nothing left on the wire" 0 (Net.Replication.wire_in_flight repl);
+  Alcotest.(check int) "logger acked every write" writes
+    (Rapilog.Trusted_logger.acked_writes logger);
+  let seqs = List.map (fun (seq, _, _) -> seq) (Net.Replica.entries replica) in
+  Alcotest.(check (list int)) "arrival order is the admission sequence"
+    (List.init writes (fun i -> i + 1))
+    seqs
+
+let replicated_steady_commits () =
+  List.iter
+    (fun policy ->
+      let r = Harness.Experiment.run_steady (replicated_scenario ~policy ()) in
+      Alcotest.(check bool)
+        (Net.Replication.policy_name policy ^ " commits in window")
+        true
+        (r.Harness.Experiment.committed_in_window > 0))
+    Net.Replication.all_policies
+
+let replicated_steady_deterministic () =
+  let config = replicated_scenario () in
+  let a = Harness.Experiment.run_steady config in
+  let b = Harness.Experiment.run_steady config in
+  Alcotest.(check bool) "rerun bit-identical" true (a = b);
+  let c, _registry = Harness.Experiment.run_steady_metrics config in
+  Alcotest.(check bool) "metrics recording does not perturb the run" true (a = c)
+
+(* -- machine loss --------------------------------------------------------- *)
+
+let local_scenario () =
+  { (replicated_scenario ()) with Harness.Scenario.mode = Harness.Scenario.Rapilog }
+
+let tiny_sweep scenario =
+  {
+    (Harness.Crash_surface.default scenario) with
+    Harness.Crash_surface.window_start = Time.ms 2;
+    window_length = Time.ms 2;
+    stride = 60;
+    kinds = [ Harness.Crash_surface.Machine_loss ];
+  }
+
+(* The PR's central asymmetry: at machine-loss boundaries, replica-ack
+   RapiLog never breaks the durability contract while local RapiLog
+   demonstrably loses buffered acknowledged commits. *)
+let machine_loss_asymmetry () =
+  let replicated =
+    Harness.Crash_surface.sweep ~jobs:1 (tiny_sweep (replicated_scenario ()))
+  in
+  Alcotest.(check bool) "replicated: points explored" true
+    (replicated.Harness.Crash_surface.r_explored >= 3);
+  Alcotest.(check int) "replicated: zero contract breaks" 0
+    replicated.Harness.Crash_surface.r_contract_breaks;
+  Alcotest.(check int) "replicated: zero lost commits" 0
+    replicated.Harness.Crash_surface.r_lost_total;
+  let local =
+    Harness.Crash_surface.sweep_journal ~jobs:1
+      { (tiny_sweep (local_scenario ())) with Harness.Crash_surface.stride = 25 }
+  in
+  Alcotest.(check bool) "local: points explored" true
+    (local.Harness.Crash_surface.r_explored >= 3);
+  Alcotest.(check bool) "local rapilog loses buffered commits" true
+    (local.Harness.Crash_surface.r_lost_total > 0)
+
+(* The journal reconstruction must model machine loss exactly like the
+   full replay does — same differential oracle as the three original
+   kinds, media digests included. *)
+let machine_loss_journal_matches_replay () =
+  let config =
+    {
+      (tiny_sweep (local_scenario ())) with
+      Harness.Crash_surface.stride = 25;
+      media_digests = true;
+    }
+  in
+  let replay = Harness.Crash_surface.sweep ~jobs:1 config in
+  let journal = Harness.Crash_surface.sweep_journal ~jobs:1 config in
+  Alcotest.(check bool) "summaries bit-identical" true (replay = journal)
+
+let machine_loss_sweep_parallel_deterministic () =
+  let config = tiny_sweep (replicated_scenario ()) in
+  let serial = Harness.Crash_surface.sweep ~jobs:1 config in
+  let parallel = Harness.Crash_surface.sweep ~jobs:4 config in
+  Alcotest.(check bool) "jobs=1 equals jobs=4" true (serial = parallel)
+
+let kind_names_roundtrip () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        (Harness.Crash_surface.kind_name kind ^ " roundtrips")
+        true
+        (Harness.Crash_surface.kind_of_name (Harness.Crash_surface.kind_name kind)
+        = Some kind))
+    Harness.Crash_surface.all_kinds;
+  Alcotest.(check bool) "machine loss not in the default sweep" true
+    (not
+       (List.mem Harness.Crash_surface.Machine_loss
+          Harness.Crash_surface.default_kinds))
+
+let suites =
+  [
+    ( "net.link",
+      [
+        prop "fifo per link" ~count:120
+          QCheck2.Gen.(triple gen_config gen_sends gen_seed)
+          fifo_law;
+        prop "delivery schedule is a pure function of the seed" ~count:80
+          QCheck2.Gen.(triple gen_config gen_sends gen_seed)
+          determinism_law;
+        prop "partition+heal delivers exactly the non-dropped backlog" ~count:80
+          QCheck2.Gen.(triple gen_config gen_sends gen_seed)
+          partition_heal_law;
+        case "sever discards backlog and future sends" sever_discards;
+        case "constant latency is exact" constant_latency_exact;
+        case "bandwidth serialises back-to-back sends" bandwidth_serialises;
+      ] );
+    ( "net.fault",
+      [
+        case "outage drawn within bounds" outage_in_bounds;
+        case "degenerate intervals deterministic, reversed raise"
+          outage_degenerate_and_reversed;
+      ] );
+    ( "net.replication",
+      [
+        case "datapath counters line up" replication_counters;
+        case "all policies commit" replicated_steady_commits;
+        case "replicated steady run deterministic" replicated_steady_deterministic;
+      ] );
+    ( "net.machine-loss",
+      [
+        case "replica-ack survives, local rapilog loses" machine_loss_asymmetry;
+        case "journal reconstruction matches full replay"
+          machine_loss_journal_matches_replay;
+        case "parallel sweep bit-identical" machine_loss_sweep_parallel_deterministic;
+        case "kind names roundtrip; machine loss opt-in" kind_names_roundtrip;
+      ] );
+  ]
