@@ -26,6 +26,8 @@ let fig5 =
   {
     id = "fig5-buffer-size";
     title = "Fig 5: trusted buffer size vs throughput and flush budget";
+    description =
+      "sweeps the trusted-logger ring size against throughput and the worst-case flush budget";
     run =
       (fun ~quick ->
         Report.section "Fig 5: trusted-buffer sizing (throughput vs hold-up safety)";
@@ -33,6 +35,7 @@ let fig5 =
           match Scenario.default.Scenario.device with
           | Scenario.Disk hdd -> Scenario.hdd_streaming_bandwidth hdd /. 2.
           | Scenario.Flash _ -> 100e6
+          | Scenario.Nvme _ -> 300e6
         in
         let window = Power.Psu.window Power.Psu.default in
         Report.kvf "hold-up window" "%a" Time.pp_span window;

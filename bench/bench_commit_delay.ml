@@ -14,6 +14,8 @@ let fig11 =
   {
     id = "fig11-commit-delay";
     title = "Fig 11: commit_delay tuning vs RapiLog";
+    description =
+      "tunes PostgreSQL-style commit_delay and shows rapilog needs no such knob";
     run =
       (fun ~quick ->
         Report.section

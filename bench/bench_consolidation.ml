@@ -26,16 +26,17 @@ let build_databases sim vmm ~count ~log_path_for =
   List.init count (fun i ->
       let wal_config =
         {
-          Dbms.Wal.master_lba = i * log_region_stride;
+          Dbms.Wal.default_config with
+          master_lba = i * log_region_stride;
           log_start_lba = (i * log_region_stride) + 8;
-          flush_after_write = false;
         }
       in
       let wal = Dbms.Wal.create sim wal_config ~device:(log_path_for i) in
       let data_dev = Storage.Ssd.create sim Storage.Ssd.default in
       let pool =
         Dbms.Buffer_pool.create sim Dbms.Buffer_pool.default_config
-          ~device:data_dev ~wal_force:(Dbms.Wal.force wal)
+          ~device:data_dev
+          ~wal_force:(fun ~page:_ lsn -> Dbms.Wal.force wal lsn)
       in
       let engine =
         Dbms.Engine.create ~vmm ~profile:Dbms.Engine_profile.postgres_like ~wal
@@ -90,6 +91,8 @@ let fig10 =
   {
     id = "fig10-consolidation";
     title = "Fig 10: two databases consolidated onto one log disk";
+    description =
+      "consolidates two databases onto one log disk and measures the interference";
     run =
       (fun ~quick ->
         Report.section

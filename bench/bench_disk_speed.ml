@@ -12,6 +12,8 @@ let fig6 =
   {
     id = "fig6-disk-speed";
     title = "Fig 6: speedup vs device sync-write latency";
+    description =
+      "plots rapilog's speedup as the device's sync-write latency shrinks (15k rpm to flash)";
     run =
       (fun ~quick ->
         Report.section "Fig 6: RapiLog speedup vs device speed (8 clients, TPC-C-lite)";

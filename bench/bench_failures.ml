@@ -91,6 +91,8 @@ let tab2 =
   {
     id = "tab2-power-cut";
     title = "Tab 2: power-cut durability matrix";
+    description =
+      "cuts mains power mid-load in every mode and audits acked-commit durability";
     run =
       (fun ~quick ->
         Report.section "Tab 2: power-cut durability (injected mains cuts under load)";
@@ -112,6 +114,8 @@ let tab3 =
   {
     id = "tab3-os-crash";
     title = "Tab 3: guest-OS-crash durability matrix";
+    description =
+      "crashes the guest OS mid-load in every mode and audits acked-commit durability";
     run =
       (fun ~quick ->
         Report.section "Tab 3: OS-crash durability (guest kernel dies under load)";

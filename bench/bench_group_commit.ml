@@ -12,6 +12,8 @@ let fig7 =
   {
     id = "fig7-group-commit";
     title = "Fig 7: group commit vs RapiLog across client counts";
+    description =
+      "compares software group commit against rapilog across client counts";
     run =
       (fun ~quick ->
         Report.section "Fig 7: group commit vs RapiLog (7200 rpm disk, TPC-C-lite)";

@@ -10,6 +10,8 @@ let fig4 =
   {
     id = "fig4-latency";
     title = "Fig 4: commit latency, update microbenchmark, 8 clients, disk";
+    description =
+      "commit-latency distribution on the update microbenchmark at 8 clients";
     run =
       (fun ~quick ->
         Report.section

@@ -17,6 +17,8 @@ let breakdown =
   {
     id = "metrics-breakdown";
     title = "Per-stage commit-latency breakdown, sync-disk vs rapilog";
+    description =
+      "per-stage commit-path latency spans (queue, copy, ring, device) sync vs rapilog";
     run =
       (fun ~quick ->
         Report.section

@@ -107,5 +107,7 @@ let experiment =
   {
     Bench_support.id = "micro-core-ops";
     title = "Core-operation microbenchmarks (bechamel)";
+    description =
+      "bechamel microbenchmarks of event queue, sim step and logger hot paths";
     run = (fun ~quick:_ -> run_all ());
   }

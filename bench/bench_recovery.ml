@@ -11,6 +11,8 @@ let tab4 =
   {
     id = "tab4-recovery";
     title = "Tab 4: recovery correctness and work under random crashes";
+    description =
+      "random crash points: redo/undo work done and exactness of the recovered store";
     run =
       (fun ~quick ->
         Report.section "Tab 4: recovery audit (random guest crashes, rapilog mode)";

@@ -32,6 +32,8 @@ let fig12 =
   {
     id = "fig12-replication";
     title = "Fig 12: ack policies vs network RTT (RapiLog-R)";
+    description =
+      "rapilog-R ack policies (local, replica, quorum) against network round-trip time";
     run =
       (fun ~quick ->
         Report.section

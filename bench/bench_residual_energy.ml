@@ -12,6 +12,8 @@ let tab5 =
   {
     id = "tab5-residual-energy";
     title = "Tab 5: PSU hold-up budget vs buffer fill";
+    description =
+      "checks the PSU hold-up window covers draining a full trusted buffer";
     run =
       (fun ~quick ->
         Report.section "Tab 5: residual-energy budget (analytic + injected cuts)";

@@ -34,7 +34,7 @@ let fresh_engine world =
   let wal = Dbms.Wal.create world.sim wal_config ~device:world.log_path in
   let pool =
     Dbms.Buffer_pool.create world.sim pool_config ~device:world.data
-      ~wal_force:(Dbms.Wal.force wal)
+      ~wal_force:(fun ~page:_ lsn -> Dbms.Wal.force wal lsn)
   in
   Dbms.Engine.create ~vmm:world.vmm ~profile:Dbms.Engine_profile.postgres_like
     ~wal ~pool ()
@@ -75,6 +75,8 @@ let tab6 =
   {
     id = "tab6-restart";
     title = "Tab 6: repeated crash / recover / restart generations";
+    description =
+      "runs crash/recover/restart generations back-to-back, carrying state across each";
     run =
       (fun ~quick ->
         Report.section "Tab 6: five incarnations of one RapiLog database";

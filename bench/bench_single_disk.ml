@@ -12,6 +12,8 @@ let fig8 =
   {
     id = "fig8-single-disk";
     title = "Fig 8: dedicated log disk vs shared single disk";
+    description =
+      "costs a shared log+data disk against the dedicated-log-device layout";
     run =
       (fun ~quick ->
         Report.section

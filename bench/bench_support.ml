@@ -6,6 +6,8 @@ open Harness
 type experiment = {
   id : string;
   title : string;
+  description : string;
+      (* one line for [--list]: what the experiment measures and why *)
   run : quick:bool -> unit;
 }
 

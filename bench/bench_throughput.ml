@@ -55,6 +55,8 @@ let fig1 =
   {
     id = "fig1-tput-hdd";
     title = "Fig 1: TPC-C-lite throughput vs clients, 7200rpm disk";
+    description =
+      "TPC-C-lite throughput vs clients on the 7200 rpm disk, all modes";
     run =
       (fun ~quick ->
         sweep_report
@@ -67,6 +69,8 @@ let fig2 =
   {
     id = "fig2-tput-engines";
     title = "Fig 2: cross-engine throughput (pg / innodb / commercial profiles)";
+    description =
+      "throughput across pg/innodb/commercial engine profiles, sync vs rapilog";
     run =
       (fun ~quick ->
         Report.section
@@ -93,6 +97,8 @@ let fig3 =
   {
     id = "fig3-tput-ssd";
     title = "Fig 3: TPC-C-lite throughput vs clients, SSD";
+    description =
+      "TPC-C-lite throughput vs clients on the SATA SSD, all modes";
     run =
       (fun ~quick ->
         let config =

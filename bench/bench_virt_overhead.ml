@@ -65,6 +65,8 @@ let tab1 =
   {
     id = "tab1-virt-overhead";
     title = "Tab 1: virtualisation overhead in isolation";
+    description =
+      "isolates hypervisor/IPC overhead with durability off in both guests";
     run =
       (fun ~quick ->
         Report.section "Tab 1: virtualisation overhead (native vs seL4 VMM)";

@@ -10,6 +10,8 @@ let fig9 =
   {
     id = "fig9-ycsb";
     title = "Fig 9: YCSB read-fraction sweep";
+    description =
+      "YCSB-lite read-fraction sweep: where commit latency stops mattering";
     run =
       (fun ~quick ->
         Report.section "Fig 9: YCSB-lite read-fraction sweep (8 clients, disk, zipf .99)";

@@ -17,7 +17,7 @@ let experiments =
   @ Bench_ycsb.experiments @ Bench_consolidation.experiments
   @ Bench_restart.experiments @ Bench_commit_delay.experiments
   @ Bench_metrics.experiments @ Bench_replication.experiments
-  @ [ Bench_micro.experiment ]
+  @ Bench_commit_path.experiments @ [ Bench_micro.experiment ]
 
 let usage () =
   print_endline "usage: main.exe [--quick] [--list] [--metrics] [--only ID]...";
@@ -49,7 +49,8 @@ let () =
   parse (List.tl (Array.to_list Sys.argv));
   if !list_only then begin
     List.iter
-      (fun e -> Printf.printf "%-22s %s\n" e.Bench_support.id e.Bench_support.title)
+      (fun e ->
+        Printf.printf "%-22s %s\n" e.Bench_support.id e.Bench_support.description)
       experiments;
     exit 0
   end;

@@ -5,18 +5,29 @@
    - the desim core: event-queue add/pop throughput and the Sim.step
      hot path's allocation rate (Gc.minor_words per event — the
      acceptance bar is zero);
-   - the experiment sweep: wall-clock for a fixed scenario grid at
-     jobs=1 and jobs=N, asserting the parallel results are
-     bit-identical to serial;
-   - the observability layer: the same scenario with and without the
+   - the commit-path hot paths this PR fights over: the NVMe submission
+     arithmetic (service time + zone accounting), the WAL stream append
+     (one record encoded straight into a warm stream buffer), and the
+     adaptive group-commit decision — all gated allocation-free;
+   - the commit-path grid: throughput and p50/p99 commit latency across
+     device (hdd/ssd/nvme) × WAL stream count × commit policy × client
+     count, with the adaptive policy required to beat fixed batching on
+     p99 at every nvme cell;
+   - the journal crash sweep over the new configurations: a
+     multi-stream rapilog config and an nvme rapilog config must report
+     zero contract breaks and zero acknowledged commits lost at every
+     explored boundary;
+   - the experiment sweep: wall-clock for a fixed scenario grid
+     (including nvme, multi-stream and adaptive-policy cells) at jobs=1
+     and jobs=N, asserting the parallel results are bit-identical to
+     serial;
+   - the observability layer: the same scenarios with and without the
      metrics registry installed, asserting the steady results are
      bit-identical (instrumentation only reads the clock) and emitting
      the per-stage commit-latency histograms as the "metrics" section.
 
-   Writes a JSON report (default BENCH_PR4.json). With --check it also
-   self-validates: the JSON must parse, parallel must equal serial,
-   metrics-on must equal metrics-off, every instrumented run must carry
-   populated stage histograms, and the step path must not allocate — so
+   Writes a JSON report (default BENCH_PR6.json). With --check it also
+   self-validates — the gates above plus JSON well-formedness — so
    `dune runtest` keeps this harness honest.
 
    Usage: perf.exe [--quick] [--check] [--jobs N] [--output PATH] *)
@@ -113,6 +124,92 @@ let bench_net_link ~events =
   let measured = float_of_int (events - 33) in
   (measured /. elapsed, words /. measured, elapsed)
 
+(* ---- commit-path microbenchmarks ----------------------------------- *)
+
+(* The NVMe submission hot path: the pure service-time arithmetic every
+   request performs plus the per-write zone accounting. Both run on the
+   live request path at queue-depth concurrency, so they must not
+   allocate. *)
+let bench_nvme_submit ~events =
+  let config = Storage.Nvme.default in
+  let zones = Storage.Nvme.Zones.create config in
+  let span = config.Storage.Nvme.capacity_sectors - 16 in
+  let sink = ref 0 in
+  Gc.minor ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to events - 1 do
+    sink := !sink + Storage.Nvme.service_ns config ~sectors:16;
+    Storage.Nvme.Zones.note_write zones ~lba:(i * 16 mod span) ~sectors:16
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  ignore (Sys.opaque_identity !sink);
+  (float_of_int events /. elapsed, words /. float_of_int events, elapsed)
+
+(* The WAL stream-append hot path: one update record encoded straight
+   into a warm stream buffer (the incremental-CRC single-pass encoder —
+   no intermediate record buffer). The buffer is recycled the way
+   truncation recycles a live stream's, so growth never charges the
+   measurement. *)
+let bench_log_append ~events =
+  let buf = Buffer.create (1 lsl 20) in
+  let record =
+    Dbms.Log_record.Update
+      { txid = 7; key = 42; before = String.make 16 'b'; after = String.make 16 'a' }
+  in
+  let limit = 1 lsl 19 in
+  while Buffer.length buf < limit do
+    Dbms.Log_record.encode_into record buf
+  done;
+  Buffer.clear buf;
+  Gc.minor ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to events do
+    if Buffer.length buf > limit then Buffer.clear buf;
+    Dbms.Log_record.encode_into record buf
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  (float_of_int events /. elapsed, words /. float_of_int events, elapsed)
+
+(* The adaptive group-commit decision: pure integer arithmetic a
+   committer runs between a clock read and a sleep, plus the EWMA
+   update the WAL folds in after every device write. *)
+let bench_commit_policy ~events =
+  let policy = Dbms.Commit_policy.Adaptive { target_ns = 100_000; max_batch = 16 } in
+  let ewma = ref 0 in
+  let sink = ref 0 in
+  Gc.minor ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to events - 1 do
+    ewma := Dbms.Commit_policy.ewma_update ~prev:!ewma ~obs:(8_000_000 - (i land 0xFFFFF));
+    sink :=
+      !sink
+      + Dbms.Commit_policy.decide policy ~ewma_ns:!ewma ~pending:(i land 7)
+          ~waited_ns:(i land 0x3FFFF)
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  ignore (Sys.opaque_identity !sink);
+  (float_of_int events /. elapsed, words /. float_of_int events, elapsed)
+
+(* ---- shared PR6 axis ------------------------------------------------ *)
+
+let nvme_device = Scenario.Nvme Storage.Nvme.default
+
+let adaptive_policy =
+  Dbms.Commit_policy.Adaptive { target_ns = 100_000; max_batch = 16 }
+
+let with_policy config policy =
+  {
+    config with
+    Scenario.profile =
+      Dbms.Engine_profile.with_commit_policy config.Scenario.profile policy;
+  }
+
 (* ---- sweep wall-clock at jobs=1 vs jobs=N -------------------------- *)
 
 let sweep_grid ~quick =
@@ -130,9 +227,31 @@ let sweep_grid ~quick =
       [ Scenario.Native_sync; Scenario.Rapilog; Scenario.Rapilog_replicated ]
     else Scenario.all_modes
   in
-  List.concat_map
-    (fun n -> List.map (fun mode -> { config with Scenario.mode; clients = n }) modes)
-    clients
+  let classic =
+    List.concat_map
+      (fun n ->
+        List.map (fun mode -> { config with Scenario.mode; clients = n }) modes)
+      clients
+  in
+  (* One representative per new axis, so the parallel-identity gate
+     covers the nvme device, multi-stream WAL and adaptive policy. *)
+  let axis =
+    [
+      { config with Scenario.mode = Scenario.Rapilog; device = nvme_device; clients = 4 };
+      with_policy
+        { config with Scenario.mode = Scenario.Native_sync; device = nvme_device; clients = 4 }
+        adaptive_policy;
+      { config with Scenario.mode = Scenario.Rapilog; log_streams = 2; clients = 4 };
+      {
+        config with
+        Scenario.mode = Scenario.Rapilog;
+        device = nvme_device;
+        log_streams = 2;
+        clients = 4;
+      };
+    ]
+  in
+  classic @ axis
 
 let steady_fingerprint (r : Experiment.steady_result) =
   (* Every scalar the sweep reports; identical records ⇒ identical runs. *)
@@ -168,23 +287,155 @@ let bench_sweep ~quick ~jobs ~cores =
   let identical = serial = parallel in
   (List.length grid, serial, serial_s, parallel_timing, identical)
 
+(* ---- the commit-path grid ------------------------------------------ *)
+
+(* The headline table of this PR: throughput and p50/p99 commit latency
+   across device × WAL stream count × commit policy × client count, in
+   native-sync mode so the device's write latency sits on the commit
+   path and the policies have something to fight over. Run twice
+   (serial, then the worker pool) so the new configurations are covered
+   by the parallel-identity gate too. *)
+type commit_cell = {
+  cc_device : string;
+  cc_streams : int;
+  cc_policy : Dbms.Commit_policy.t;
+  cc_clients : int;
+}
+
+let commit_path_cells ~quick =
+  let devices =
+    if quick then
+      [ ("hdd", Scenario.Disk Storage.Hdd.default_7200rpm); ("nvme", nvme_device) ]
+    else
+      [
+        ("hdd", Scenario.Disk Storage.Hdd.default_7200rpm);
+        ("ssd", Scenario.Flash Storage.Ssd.default);
+        ("nvme", nvme_device);
+      ]
+  in
+  let streams = if quick then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let clients = if quick then [ 16 ] else [ 8; 32 ] in
+  let policies =
+    [ Dbms.Commit_policy.Fixed 1; Dbms.Commit_policy.Fixed 8; adaptive_policy ]
+  in
+  List.concat_map
+    (fun (cc_device, _) ->
+      List.concat_map
+        (fun cc_streams ->
+          List.concat_map
+            (fun cc_clients ->
+              List.map
+                (fun cc_policy -> { cc_device; cc_streams; cc_policy; cc_clients })
+                policies)
+            clients)
+        streams)
+    devices
+  |> fun cells ->
+  let device_of name = List.assoc name devices in
+  let config cell =
+    with_policy
+      {
+        Scenario.default with
+        Scenario.mode = Scenario.Native_sync;
+        device = device_of cell.cc_device;
+        log_streams = cell.cc_streams;
+        clients = cell.cc_clients;
+        warmup = Time.ms 100;
+        duration = (if quick then Time.ms 300 else Time.ms 800);
+        seed = 4242L;
+      }
+      cell.cc_policy
+  in
+  (cells, List.map config cells)
+
+let bench_commit_path ~quick ~jobs =
+  let cells, configs = commit_path_cells ~quick in
+  let serial = Experiment.run_steady_batch ~jobs:1 configs in
+  let parallel = Experiment.run_steady_batch ~jobs configs in
+  let identical = serial = parallel in
+  (List.combine cells serial, identical)
+
+(* The gate: at every nvme cell, the adaptive policy's p99 must be no
+   worse than fixed batching's (same device, streams and clients). On a
+   device already at µs latency, holding commits to gather a batch
+   cannot pay for itself — the adaptive policy is supposed to know
+   that. *)
+let commit_path_gate rows ~fail =
+  List.iter
+    (fun (cell, r) ->
+      match cell.cc_policy with
+      | Dbms.Commit_policy.Fixed n when n > 1 && cell.cc_device = "nvme" ->
+          let adaptive =
+            List.find_opt
+              (fun (c, _) ->
+                c.cc_device = cell.cc_device
+                && c.cc_streams = cell.cc_streams
+                && c.cc_clients = cell.cc_clients
+                && c.cc_policy = adaptive_policy)
+              rows
+          in
+          (match adaptive with
+          | None -> fail "commit-path grid has no adaptive row for an nvme cell"
+          | Some (_, a) ->
+              if a.Experiment.latency_p99_us > r.Experiment.latency_p99_us then
+                fail
+                  (Printf.sprintf
+                     "nvme s=%d c=%d: adaptive p99 %.0fus worse than %s p99 \
+                      %.0fus"
+                     cell.cc_streams cell.cc_clients a.Experiment.latency_p99_us
+                     (Dbms.Commit_policy.to_string cell.cc_policy)
+                     r.Experiment.latency_p99_us))
+      | _ -> ())
+    rows
+
+(* ---- journal crash sweep over the new configurations ---------------- *)
+
+(* The verification half of the latency war: the journal-reconstruction
+   sweep over a multi-stream rapilog config and an nvme rapilog config.
+   Every explored boundary must keep the always-durable contract — no
+   acknowledged commit lost, recovered state exact — or the new commit
+   path bought its latency with correctness. *)
+let journal_cells ~quick ~jobs =
+  let scenario =
+    {
+      Scenario.default with
+      Scenario.mode = Scenario.Rapilog;
+      workload =
+        Scenario.Micro
+          {
+            Workload.Microbench.default_config with
+            Workload.Microbench.keys = 64;
+            value_bytes = 32;
+          };
+      clients = 2;
+      seed = 99L;
+    }
+  in
+  let tiny scenario =
+    {
+      (Crash_surface.default scenario) with
+      Crash_surface.window_start = Time.ms 2;
+      window_length = Time.ms 2;
+      stride = (if quick then 25 else 5);
+      tight_window = Time.ms 20;
+      tight_buffer_bytes = 64 * 1024;
+    }
+  in
+  List.map
+    (fun (name, sc) -> (name, Crash_surface.sweep_journal ~jobs (tiny sc)))
+    [
+      ("rapilog-hdd-s2", { scenario with Scenario.log_streams = 2 });
+      ("rapilog-nvme", { scenario with Scenario.device = nvme_device });
+    ]
+
 (* ---- metrics-on vs metrics-off ------------------------------------- *)
 
-(* The two poles of the design space at low and high concurrency: the
-   per-stage breakdowns EXPERIMENTS.md quotes, and the gate that
+(* The poles of the design space — low and high concurrency in each
+   mode, plus the new nvme / multi-stream / adaptive configurations:
+   the per-stage breakdowns EXPERIMENTS.md quotes, and the gate that
    instrumentation does not perturb the simulation. *)
-let metrics_cells =
-  [
-    (Scenario.Native_sync, 1);
-    (Scenario.Native_sync, 32);
-    (Scenario.Rapilog, 1);
-    (Scenario.Rapilog, 32);
-    (Scenario.Rapilog_replicated, 1);
-    (Scenario.Rapilog_replicated, 32);
-  ]
-
-let bench_metrics ~quick =
-  let config =
+let metrics_cells ~quick =
+  let base =
     {
       Scenario.default with
       Scenario.warmup = Time.ms 100;
@@ -192,13 +443,37 @@ let bench_metrics ~quick =
       seed = 4242L;
     }
   in
+  [
+    ("native-sync/1", { base with Scenario.mode = Scenario.Native_sync; clients = 1 });
+    ("native-sync/32", { base with Scenario.mode = Scenario.Native_sync; clients = 32 });
+    ("rapilog/1", { base with Scenario.mode = Scenario.Rapilog; clients = 1 });
+    ("rapilog/32", { base with Scenario.mode = Scenario.Rapilog; clients = 32 });
+    ( "rapilog-replicated/1",
+      { base with Scenario.mode = Scenario.Rapilog_replicated; clients = 1 } );
+    ( "rapilog-replicated/32",
+      { base with Scenario.mode = Scenario.Rapilog_replicated; clients = 32 } );
+    ( "rapilog-nvme/16",
+      { base with Scenario.mode = Scenario.Rapilog; device = nvme_device; clients = 16 } );
+    ( "native-sync-nvme-adaptive/16",
+      with_policy
+        {
+          base with
+          Scenario.mode = Scenario.Native_sync;
+          device = nvme_device;
+          clients = 16;
+        }
+        adaptive_policy );
+    ( "rapilog-s2/16",
+      { base with Scenario.mode = Scenario.Rapilog; log_streams = 2; clients = 16 } );
+  ]
+
+let bench_metrics ~quick =
   List.map
-    (fun (mode, clients) ->
-      let config = { config with Scenario.mode; clients } in
+    (fun (label, config) ->
       let plain = Experiment.run_steady config in
       let instrumented, registry = Experiment.run_steady_metrics config in
-      (Scenario.mode_name mode, clients, plain = instrumented, registry))
-    metrics_cells
+      (label, config, plain = instrumented, registry))
+    (metrics_cells ~quick)
 
 (* ---- main ----------------------------------------------------------- *)
 
@@ -210,7 +485,7 @@ let () =
   let quick = ref false in
   let check = ref false in
   let jobs = ref (Parallel.default_jobs ()) in
-  let output = ref "BENCH_PR4.json" in
+  let output = ref "BENCH_PR6.json" in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest -> quick := true; parse rest
@@ -233,13 +508,23 @@ let () =
   let step_rate, step_words, _ = bench_sim_step ~events:micro_events in
   Printf.printf "perf: net-link microbench (%d messages)...\n%!" micro_events;
   let link_rate, link_words, _ = bench_net_link ~events:micro_events in
+  Printf.printf "perf: nvme-submit microbench (%d writes)...\n%!" micro_events;
+  let nvme_rate, nvme_words, _ = bench_nvme_submit ~events:micro_events in
+  Printf.printf "perf: log-append microbench (%d records)...\n%!" micro_events;
+  let append_rate, append_words, _ = bench_log_append ~events:micro_events in
+  Printf.printf "perf: commit-policy microbench (%d decisions)...\n%!" micro_events;
+  let policy_rate, policy_words, _ = bench_commit_policy ~events:micro_events in
   Printf.printf "perf: scenario sweep at jobs=1 then jobs=%d...\n%!" jobs;
   let cores = Domain.recommended_domain_count () in
   let scenarios, serial_results, serial_s, parallel_timing, identical =
     bench_sweep ~quick ~jobs ~cores
   in
+  Printf.printf "perf: commit-path grid (device x streams x policy x clients)...\n%!";
+  let commit_rows, commit_identical = bench_commit_path ~quick ~jobs in
+  Printf.printf "perf: journal crash sweep over nvme and multi-stream configs...\n%!";
+  let journal_results = journal_cells ~quick ~jobs in
   Printf.printf "perf: per-stage metrics breakdown (%d cells)...\n%!"
-    (List.length metrics_cells);
+    (List.length (metrics_cells ~quick));
   let metrics_rows = bench_metrics ~quick in
   let metrics_identical =
     List.for_all (fun (_, _, same, _) -> same) metrics_rows
@@ -260,36 +545,30 @@ let () =
           ],
           "parallel timing skipped (1 core)" )
   in
+  let micro_section events_label events rate words =
+    Obj
+      [
+        (events_label, Num (float_of_int events));
+        ("events_per_sec", Num rate);
+        ("minor_words_per_event", Num words);
+      ]
+  in
 
   let report =
     Obj
       [
-        ("pr", Num 4.);
+        ("pr", Num 6.);
         ("harness", Str "perf.exe");
         ("quick", Bool quick);
         ("cores", Num (float_of_int cores));
         ("jobs", Num (float_of_int jobs));
-        ( "event_queue",
-          Obj
-            [
-              ("events", Num (float_of_int micro_events));
-              ("events_per_sec", Num eq_rate);
-              ("minor_words_per_event", Num eq_words);
-            ] );
-        ( "sim_step",
-          Obj
-            [
-              ("events", Num (float_of_int micro_events));
-              ("events_per_sec", Num step_rate);
-              ("minor_words_per_event", Num step_words);
-            ] );
-        ( "net_link",
-          Obj
-            [
-              ("messages", Num (float_of_int micro_events));
-              ("messages_per_sec", Num link_rate);
-              ("minor_words_per_message", Num link_words);
-            ] );
+        ("event_queue", micro_section "events" micro_events eq_rate eq_words);
+        ("sim_step", micro_section "events" micro_events step_rate step_words);
+        ("net_link", micro_section "messages" micro_events link_rate link_words);
+        ("nvme_submit", micro_section "writes" micro_events nvme_rate nvme_words);
+        ("log_append", micro_section "records" micro_events append_rate append_words);
+        ( "commit_policy",
+          micro_section "decisions" micro_events policy_rate policy_words );
         ( "sweep",
           Obj
             ([
@@ -301,6 +580,46 @@ let () =
                 ("bit_identical", Bool identical);
                 ("results", Arr (List.map steady_fingerprint serial_results));
               ]) );
+        ( "commit_path",
+          Obj
+            [
+              ("cells", Num (float_of_int (List.length commit_rows)));
+              ("bit_identical", Bool commit_identical);
+              ( "results",
+                Arr
+                  (List.map
+                     (fun (cell, r) ->
+                       Obj
+                         [
+                           ("device", Str cell.cc_device);
+                           ("streams", Num (float_of_int cell.cc_streams));
+                           ( "policy",
+                             Str (Dbms.Commit_policy.to_string cell.cc_policy) );
+                           ("clients", Num (float_of_int cell.cc_clients));
+                           ("throughput", Num r.Experiment.throughput);
+                           ("p50_us", Num r.Experiment.latency_p50_us);
+                           ("p99_us", Num r.Experiment.latency_p99_us);
+                           ( "log_writes",
+                             Num (float_of_int r.Experiment.physical_log_writes)
+                           );
+                           ( "wal_forces",
+                             Num (float_of_int r.Experiment.wal_forces) );
+                         ])
+                     commit_rows) );
+            ] );
+        ( "crash_journal",
+          Arr
+            (List.map
+               (fun (name, (r : Crash_surface.result)) ->
+                 Obj
+                   [
+                     ("config", Str name);
+                     ("explored", Num (float_of_int r.Crash_surface.r_explored));
+                     ( "contract_breaks",
+                       Num (float_of_int r.Crash_surface.r_contract_breaks) );
+                     ("lost_total", Num (float_of_int r.Crash_surface.r_lost_total));
+                   ])
+               journal_results) );
         ( "metrics",
           Obj
             [
@@ -308,11 +627,10 @@ let () =
               ( "runs",
                 Arr
                   (List.map
-                     (fun (mode, clients, same, registry) ->
+                     (fun (label, _, same, registry) ->
                        Obj
                          [
-                           ("mode", Str mode);
-                           ("clients", Num (float_of_int clients));
+                           ("cell", Str label);
                            ("identical_to_uninstrumented", Bool same);
                            ("registry", Metrics_report.json_of registry);
                          ])
@@ -330,8 +648,22 @@ let () =
   Printf.printf "perf: link %.2fM msg/s (%.3f words/msg)\n" (link_rate /. 1e6)
     link_words;
   Printf.printf
+    "perf: nvme %.2fM wr/s (%.3f words/wr) | append %.2fM rec/s (%.3f words/rec) \
+     | policy %.2fM dec/s (%.3f words/dec)\n"
+    (nvme_rate /. 1e6) nvme_words (append_rate /. 1e6) append_words
+    (policy_rate /. 1e6) policy_words;
+  Printf.printf
     "perf: sweep %d scenarios: serial %.2fs, %s, bit-identical: %b\n"
     scenarios serial_s speedup_note identical;
+  Printf.printf "perf: commit-path grid %d cells, bit-identical: %b\n"
+    (List.length commit_rows) commit_identical;
+  List.iter
+    (fun (name, (r : Crash_surface.result)) ->
+      Printf.printf
+        "perf: journal sweep %s: %d boundaries, %d contract breaks, %d lost\n"
+        name r.Crash_surface.r_explored r.Crash_surface.r_contract_breaks
+        r.Crash_surface.r_lost_total)
+    journal_results;
   Printf.printf
     "perf: metrics %d cells, bit-identical to uninstrumented: %b\n"
     (List.length metrics_rows) metrics_identical;
@@ -346,12 +678,31 @@ let () =
     | Obj _ -> ()
     | _ -> fail "report is not a JSON object");
     if not identical then fail "parallel sweep results differ from serial";
+    if not commit_identical then
+      fail "parallel commit-path grid differs from serial";
     if not metrics_identical then
       fail "metrics-on steady results differ from metrics-off";
+    commit_path_gate commit_rows ~fail;
+    List.iter
+      (fun (name, (r : Crash_surface.result)) ->
+        if r.Crash_surface.r_explored < 6 then
+          fail
+            (Printf.sprintf "journal sweep %s explored only %d boundaries" name
+               r.Crash_surface.r_explored);
+        if r.Crash_surface.r_contract_breaks <> 0 then
+          fail
+            (Printf.sprintf "journal sweep %s: %d contract breaks (want 0)" name
+               r.Crash_surface.r_contract_breaks);
+        if r.Crash_surface.r_lost_total <> 0 then
+          fail
+            (Printf.sprintf
+               "journal sweep %s: %d acknowledged commits lost (want 0)" name
+               r.Crash_surface.r_lost_total))
+      journal_results;
     (* Every instrumented cell must populate the commit-path stages: the
        client-visible total plus at least one stage below it. *)
     List.iter
-      (fun (mode, clients, _, registry) ->
+      (fun (label, (config : Scenario.config), _, registry) ->
         let hist_count name =
           match Desim.Metrics.find registry name with
           | Some (Desim.Metrics.Histogram h) -> Desim.Metrics.Histogram.count h
@@ -360,31 +711,32 @@ let () =
         let require name =
           if hist_count name = 0 then
             fail
-              (Printf.sprintf "metrics %s/%d: stage %S has no observations"
-                 mode clients name)
+              (Printf.sprintf "metrics %s: stage %S has no observations" label
+                 name)
         in
         require "commit.total";
         require "commit.force";
         require "wal.force_write";
-        if mode = "rapilog" then require "logger.admission";
-        if mode = "rapilog-replicated" then begin
-          require "logger.admission";
-          require "logger.replicate";
-          require "net.link_delay"
-        end)
+        (match config.Scenario.mode with
+        | Scenario.Rapilog -> require "logger.admission"
+        | Scenario.Rapilog_replicated ->
+            require "logger.admission";
+            require "logger.replicate";
+            require "net.link_delay"
+        | _ -> ()))
       metrics_rows;
-    if step_words > 0.5 then
-      fail
-        (Printf.sprintf "Sim.step allocates %.3f minor words/event (want 0)"
-           step_words);
-    if eq_words > 0.5 then
-      fail
-        (Printf.sprintf "event queue allocates %.3f minor words/event (want 0)"
-           eq_words);
-    if link_words > 0.5 then
-      fail
-        (Printf.sprintf "net link allocates %.3f minor words/message (want 0)"
-           link_words);
+    let alloc_gate name words =
+      if words > 0.5 then
+        fail
+          (Printf.sprintf "%s allocates %.3f minor words/event (want 0)" name
+             words)
+    in
+    alloc_gate "Sim.step" step_words;
+    alloc_gate "event queue" eq_words;
+    alloc_gate "net link" link_words;
+    alloc_gate "nvme submit" nvme_words;
+    alloc_gate "log append" append_words;
+    alloc_gate "commit-policy decision" policy_words;
     (* The 2x bar only applies where the hardware can provide it. *)
     (match parallel_timing with
     | Some parallel_s when cores >= 4 && jobs >= 4 ->

@@ -37,7 +37,7 @@ let duration_arg =
   Arg.(value & opt float 2.0 & info [ "d"; "duration" ] ~docv:"SECONDS" ~doc:"Measurement window in simulated seconds.")
 
 let device_arg =
-  let doc = "Log/data device: 'hdd' (7200 rpm), 'hdd:RPM', or 'ssd'." in
+  let doc = "Log/data device: 'hdd' (7200 rpm), 'hdd:RPM', 'ssd', or 'nvme'." in
   Arg.(value & opt string "hdd" & info [ "device" ] ~docv:"DEV" ~doc)
 
 let workload_arg =
@@ -60,6 +60,12 @@ let buffer_kib_arg =
 let holdup_ms_arg =
   Arg.(value & opt int 300 & info [ "holdup-ms" ] ~docv:"MS" ~doc:"PSU hold-up window (ms).")
 
+let log_streams_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "log-streams" ] ~docv:"N"
+        ~doc:"Parallel WAL streams (requires the dedicated-log-device layout).")
+
 let parse_device s =
   match String.split_on_char ':' s with
   | [ "hdd" ] -> Ok (Scenario.Disk Storage.Hdd.default_7200rpm)
@@ -69,7 +75,8 @@ let parse_device s =
           Ok (Scenario.Disk (Storage.Hdd.config_with_rpm Storage.Hdd.default_7200rpm rpm))
       | Some _ | None -> Error (Printf.sprintf "bad rpm in %S" s))
   | [ "ssd" ] -> Ok (Scenario.Flash Storage.Ssd.default)
-  | _ -> Error (Printf.sprintf "unknown device %S (hdd, hdd:RPM or ssd)" s)
+  | [ "nvme" ] -> Ok (Scenario.Nvme Storage.Nvme.default)
+  | _ -> Error (Printf.sprintf "unknown device %S (hdd, hdd:RPM, ssd or nvme)" s)
 
 let parse_workload s =
   match String.split_on_char ':' s with
@@ -91,17 +98,24 @@ let parse_engine s =
   | None -> Error (Printf.sprintf "unknown engine profile %S" s)
 
 let build_config mode clients seed duration device workload engine buffer_kib holdup_ms
-    single_disk data_spindles =
+    single_disk data_spindles log_streams =
   let ( let* ) = Result.bind in
   let* device = parse_device device in
   let* workload = parse_workload workload in
   let* profile = parse_engine engine in
+  let* () =
+    if log_streams < 1 then Error "log-streams must be at least 1"
+    else if log_streams > 1 && single_disk then
+      Error "log-streams requires a dedicated log device (drop --single-disk)"
+    else Ok ()
+  in
   Ok
     {
       Scenario.default with
       Scenario.mode;
       single_disk;
       data_spindles;
+      log_streams;
       clients;
       seed;
       duration = Desim.Time.span_of_float_sec duration;
@@ -120,7 +134,7 @@ let config_term =
   let open Term in
   const build_config $ mode_arg $ clients_arg $ seed_arg $ duration_arg
   $ device_arg $ workload_arg $ engine_arg $ buffer_kib_arg $ holdup_ms_arg
-  $ single_disk_arg $ data_spindles_arg
+  $ single_disk_arg $ data_spindles_arg $ log_streams_arg
 
 let or_exit = function
   | Ok v -> v

@@ -20,7 +20,7 @@ let () =
   let wal = Dbms.Wal.create sim wal_config ~device:log_path in
   let pool =
     Dbms.Buffer_pool.create sim pool_config ~device:data_disk
-      ~wal_force:(Dbms.Wal.force wal)
+      ~wal_force:(fun ~page:_ lsn -> Dbms.Wal.force wal lsn)
   in
   let engine1 =
     Dbms.Engine.create ~vmm ~profile:Dbms.Engine_profile.postgres_like ~wal ~pool ()

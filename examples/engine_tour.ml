@@ -29,7 +29,7 @@ let () =
   let pool_config = Dbms.Buffer_pool.default_config in
   let pool =
     Dbms.Buffer_pool.create sim pool_config ~device:data_dev
-      ~wal_force:(Dbms.Wal.force wal)
+      ~wal_force:(fun ~page:_ lsn -> Dbms.Wal.force wal lsn)
   in
   let engine =
     Dbms.Engine.create ~vmm ~profile:Dbms.Engine_profile.postgres_like ~wal ~pool ()

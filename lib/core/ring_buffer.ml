@@ -109,37 +109,106 @@ let pop t =
 let sectors t data = String.length data / t.sector_size
 
 (* Coalescing works directly on the circular arrays: one scan decides
-   how many entries merge and the extent of the merged write, then the
-   batch is blitted straight into the result buffer — no intermediate
-   list, no reversal. *)
+   which entries merge and the extent of the merged write, then the
+   batch is blitted straight into the result buffer.
+
+   The scan is region-aware: an entry whose LBA falls outside the
+   accumulated run belongs to a different log region (with S parallel
+   WAL streams the guest's writes interleave S regions spaced far
+   apart), so it is skipped — not a barrier — and the run keeps
+   growing behind it. Without this, interleaved streams defeat
+   coalescing entirely and every drained entry pays a full seek.
+
+   Skipping must never reorder writes to the same sectors: a later
+   entry is only taken if it overlaps no skipped entry's extent
+   (tracked in [skip_lo]/[skip_hi]), so per-sector write order — and
+   with it each stream's prefix order, which recovery depends on — is
+   preserved. An in-run entry that exceeds [max_bytes] still stops the
+   scan, as before. *)
 let pop_coalesced t ~max_bytes =
   if t.count = 0 then None
   else begin
     let base = t.lbas.(t.head) in
     let end_lba = ref (base + sectors t t.datas.(t.head)) in
     let batch_bytes = ref (String.length t.datas.(t.head)) in
+    let take = Array.make t.count false in
+    take.(0) <- true;
     let n = ref 1 in
-    let continue = ref true in
-    while !continue && !n < t.count do
-      let j = slot t !n in
-      let lba = t.lbas.(j) and len = String.length t.datas.(j) in
-      if lba >= base && lba <= !end_lba && !batch_bytes + len <= max_bytes
-      then begin
-        end_lba := max !end_lba (lba + len / t.sector_size);
-        batch_bytes := !batch_bytes + len;
-        incr n
-      end
-      else continue := false
-    done;
+    let contiguous = ref true in
+    let skip_lo = Array.make t.count 0 in
+    let skip_hi = Array.make t.count 0 in
+    let skips = ref 0 in
+    let overlaps_skipped lba stop =
+      let hit = ref false in
+      for k = 0 to !skips - 1 do
+        if lba < skip_hi.(k) && skip_lo.(k) < stop then hit := true
+      done;
+      !hit
+    in
+    (try
+       for i = 1 to t.count - 1 do
+         let j = slot t i in
+         let lba = t.lbas.(j) and len = String.length t.datas.(j) in
+         let stop = lba + (len / t.sector_size) in
+         if lba >= base && lba <= !end_lba && not (overlaps_skipped lba stop)
+         then
+           if !batch_bytes + len <= max_bytes then begin
+             end_lba := max !end_lba stop;
+             batch_bytes := !batch_bytes + len;
+             take.(i) <- true;
+             if i <> !n then contiguous := false;
+             incr n
+           end
+           else raise Exit
+         else begin
+           skip_lo.(!skips) <- lba;
+           skip_hi.(!skips) <- stop;
+           incr skips
+         end
+       done
+     with Exit -> ());
     let merged = Bytes.make ((!end_lba - base) * t.sector_size) '\000' in
-    for _ = 1 to !n do
-      let j = t.head in
-      let data = t.datas.(j) in
-      Bytes.blit_string data 0 merged
-        ((t.lbas.(j) - base) * t.sector_size)
-        (String.length data);
-      drop_head t
-    done;
+    if !contiguous then
+      (* The batch is a queue prefix (always the case with one stream):
+         drop heads as before. *)
+      for _ = 1 to !n do
+        let j = t.head in
+        let data = t.datas.(j) in
+        Bytes.blit_string data 0 merged
+          ((t.lbas.(j) - base) * t.sector_size)
+          (String.length data);
+        drop_head t
+      done
+    else begin
+      (* Selected entries are interleaved with survivors from other
+         regions: blit the batch in queue order, then compact the
+         survivors toward the head, preserving their order. *)
+      let kept = ref 0 in
+      let total = t.count in
+      for i = 0 to total - 1 do
+        let j = slot t i in
+        if take.(i) then begin
+          let data = t.datas.(j) in
+          Bytes.blit_string data 0 merged
+            ((t.lbas.(j) - base) * t.sector_size)
+            (String.length data);
+          t.bytes <- t.bytes - String.length data;
+          t.popped <- t.popped + String.length data;
+          t.pop_count <- t.pop_count + 1
+        end
+        else begin
+          let dst = slot t !kept in
+          t.lbas.(dst) <- t.lbas.(j);
+          t.datas.(dst) <- t.datas.(j);
+          t.stamps.(dst) <- t.stamps.(j);
+          incr kept
+        end
+      done;
+      for i = !kept to total - 1 do
+        t.datas.(slot t i) <- ""
+      done;
+      t.count <- !kept
+    end;
     Some { lba = base; data = Bytes.unsafe_to_string merged }
   end
 

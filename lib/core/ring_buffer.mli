@@ -40,9 +40,14 @@ val head_stamp : t -> int
 val pop : t -> entry option
 
 val pop_coalesced : t -> max_bytes:int -> entry option
-(** Pop the head and merge following entries while each starts within or
-    immediately after the accumulated range and the merged size stays
-    within [max_bytes]. Later entries overwrite overlapping sectors. *)
+(** Pop the head and merge queued entries that start within or
+    immediately after the accumulated range, keeping the merged size
+    within [max_bytes]. Later entries overwrite overlapping sectors.
+    Entries outside the range — another log region's writes, when the
+    WAL runs parallel streams — are skipped over and stay queued in
+    order, so one region's run coalesces even when regions interleave
+    in the queue; an entry overlapping a skipped one is never taken,
+    keeping every sector's writes in push order. *)
 
 val iter : t -> (entry -> unit) -> unit
 (** Visit the queued entries oldest-first without consuming them. The

@@ -16,7 +16,7 @@ type t = {
   sim : Sim.t;
   config : config;
   device : Storage.Block.t;
-  wal_force : Lsn.t -> unit;
+  wal_force : page:int -> Lsn.t -> unit;
   slots : (int, slot) Hashtbl.t;  (* page id -> slot *)
   allocated : (int, unit) Hashtbl.t;  (* page ids with an on-device image *)
   winner_parity : (int, int) Hashtbl.t;
@@ -75,7 +75,7 @@ let flush_page_locked t page =
        into an image whose LSN the WAL has not covered. *)
     let image = Page.serialize page ~page_bytes:t.config.page_bytes in
     let snapshot_lsn = page.Page.page_lsn in
-    t.wal_force snapshot_lsn;
+    t.wal_force ~page:page.Page.id snapshot_lsn;
     let target =
       match Hashtbl.find_opt t.winner_parity page.Page.id with
       | Some winner -> 1 - winner

@@ -33,7 +33,15 @@ val default_config : config
 type t
 
 val create :
-  Desim.Sim.t -> config -> device:Storage.Block.t -> wal_force:(Lsn.t -> unit) -> t
+  Desim.Sim.t ->
+  config ->
+  device:Storage.Block.t ->
+  wal_force:(page:int -> Lsn.t -> unit) ->
+  t
+(** [wal_force] enforces the WAL rule before a dirty page flush: it must
+    make the flushed page's log durable up to the given LSN. The page id
+    is supplied so a multi-stream WAL can force the page's own stream —
+    page LSNs are per-stream offsets, meaningless on any other stream. *)
 
 val config : t -> config
 

@@ -1,0 +1,41 @@
+type t =
+  | Serial
+  | Fixed of int
+  | Adaptive of { target_ns : int; max_batch : int }
+
+let default = Fixed 1
+
+let quantum_ns = 10_000
+let fixed_wait_cap_ns = 200_000
+
+(* Pure integer decision — the commit path calls this between clock
+   reads and sleeps, so it must not allocate. Returns 0 to write now,
+   or a sleep in nanoseconds after which the caller re-evaluates. *)
+let decide policy ~ewma_ns ~pending ~waited_ns =
+  match policy with
+  | Serial -> 0
+  | Fixed n ->
+      if n <= 1 || pending >= n || waited_ns >= fixed_wait_cap_ns then 0
+      else
+        let remaining = fixed_wait_cap_ns - waited_ns in
+        if remaining < quantum_ns then remaining else quantum_ns
+  | Adaptive { target_ns; max_batch } ->
+      (* The whole point: when the measured device latency is already at
+         or under target, gathering a batch cannot pay for itself — ack
+         immediately. Only a slow device justifies holding commits, and
+         then never longer than one device write. *)
+      if ewma_ns <= target_ns || pending >= max_batch || waited_ns >= ewma_ns
+      then 0
+      else
+        let remaining = ewma_ns - waited_ns in
+        if remaining < quantum_ns then remaining else quantum_ns
+
+let ewma_update ~prev ~obs = if prev = 0 then obs else prev + ((obs - prev) asr 3)
+
+let to_string = function
+  | Serial -> "serial"
+  | Fixed n -> Printf.sprintf "fixed-%d" n
+  | Adaptive { target_ns; max_batch } ->
+      Printf.sprintf "adaptive-%dus-max%d" (target_ns / 1000) max_batch
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -40,7 +40,7 @@ let tables =
 let[@inline] byte_s s i = Char.code (String.unsafe_get s i)
 let[@inline] byte_b b i = Char.code (Bytes.unsafe_get b i)
 
-let digest_string_raw s ~pos ~len =
+let update_string_raw crc0 s ~pos ~len =
   assert (pos >= 0 && len >= 0);
   let tables = Lazy.force tables in
   let t0 = Array.unsafe_get tables 0
@@ -51,7 +51,7 @@ let digest_string_raw s ~pos ~len =
   and t5 = Array.unsafe_get tables 5
   and t6 = Array.unsafe_get tables 6
   and t7 = Array.unsafe_get tables 7 in
-  let crc = ref mask in
+  let crc = ref crc0 in
   let i = ref pos in
   let stop = pos + len in
   while stop - !i >= 8 do
@@ -72,7 +72,10 @@ let digest_string_raw s ~pos ~len =
     crc := Array.unsafe_get t0 ((!crc lxor byte_s s !i) land 0xFF) lxor (!crc lsr 8);
     incr i
   done;
-  Int32.of_int (!crc lxor mask land mask)
+  !crc
+
+let digest_string_raw s ~pos ~len =
+  Int32.of_int (update_string_raw mask s ~pos ~len lxor mask land mask)
 
 let digest_bytes_raw b ~pos ~len =
   assert (pos >= 0 && len >= 0);
@@ -119,3 +122,22 @@ let digest_bytes b ~pos ~len =
   if pos < 0 || len < 0 || pos + len > Bytes.length b then
     invalid_arg "Crc32.digest_bytes";
   digest_bytes_raw b ~pos ~len
+
+(* Incremental interface over the same untagged register: the log
+   append path feeds each field into the CRC as it writes it into the
+   stream buffer, so no contiguous copy of the record ever exists. *)
+
+type state = int
+
+let init = mask
+
+let[@inline] update_byte crc b =
+  let t0 = Array.unsafe_get (Lazy.force tables) 0 in
+  Array.unsafe_get t0 ((crc lxor b) land 0xFF) lxor (crc lsr 8)
+
+let update_string crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update_string";
+  update_string_raw crc s ~pos ~len
+
+let finish crc = crc lxor mask land mask

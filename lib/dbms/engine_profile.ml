@@ -5,7 +5,7 @@ type t = {
   txn_base_cpu : Time.span;
   op_cpu : Time.span;
   update_meta_bytes : int;
-  group_commit : bool;
+  commit_policy : Commit_policy.t;
   commit_delay : Time.span;
 }
 
@@ -15,7 +15,7 @@ let postgres_like =
     txn_base_cpu = Time.us 80;
     op_cpu = Time.us 15;
     update_meta_bytes = 48;
-    group_commit = true;
+    commit_policy = Commit_policy.Fixed 1;
     commit_delay = Time.zero_span;
   }
 
@@ -25,7 +25,7 @@ let innodb_like =
     txn_base_cpu = Time.us 60;
     op_cpu = Time.us 12;
     update_meta_bytes = 140;
-    group_commit = true;
+    commit_policy = Commit_policy.Fixed 1;
     commit_delay = Time.zero_span;
   }
 
@@ -35,7 +35,7 @@ let commercial_like =
     txn_base_cpu = Time.us 45;
     op_cpu = Time.us 8;
     update_meta_bytes = 90;
-    group_commit = true;
+    commit_policy = Commit_policy.Fixed 1;
     commit_delay = Time.zero_span;
   }
 
@@ -43,9 +43,16 @@ let all = [ postgres_like; innodb_like; commercial_like ]
 
 let by_name name = List.find_opt (fun t -> String.equal t.name name) all
 
-let with_group_commit t group_commit = { t with group_commit }
+let with_commit_policy t commit_policy = { t with commit_policy }
+
+let with_group_commit t group_commit =
+  {
+    t with
+    commit_policy = (if group_commit then Commit_policy.Fixed 1 else Commit_policy.Serial);
+  }
 
 let pp fmt t =
   Format.fprintf fmt
-    "%s (base=%a op=%a meta=%dB group-commit=%b)" t.name Time.pp_span
-    t.txn_base_cpu Time.pp_span t.op_cpu t.update_meta_bytes t.group_commit
+    "%s (base=%a op=%a meta=%dB commit=%a)" t.name Time.pp_span
+    t.txn_base_cpu Time.pp_span t.op_cpu t.update_meta_bytes Commit_policy.pp
+    t.commit_policy

@@ -15,8 +15,10 @@ type t = {
   update_meta_bytes : int;
       (** extra log bytes per update beyond the images (headers, index
           entries, engine bookkeeping), logged as a padding record *)
-  group_commit : bool;
-      (** batch concurrent commit flushes into one device write *)
+  commit_policy : Commit_policy.t;
+      (** how concurrent commit flushes batch into device writes; all
+          default profiles use [Fixed 1] (mutex-structured group commit,
+          no deliberate gather wait) *)
   commit_delay : Desim.Time.span;
       (** deliberate pre-force wait to gather a larger group (PostgreSQL's
           [commit_delay]); zero for all default profiles *)
@@ -30,6 +32,11 @@ val all : t list
 
 val by_name : string -> t option
 
+val with_commit_policy : t -> Commit_policy.t -> t
+
 val with_group_commit : t -> bool -> t
+(** Compatibility shim over {!with_commit_policy}: [true] is
+    [Commit_policy.Fixed 1] (the old [group_commit = true]), [false] is
+    [Commit_policy.Serial] (one physical write per commit). *)
 
 val pp : Format.formatter -> t -> unit

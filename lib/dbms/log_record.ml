@@ -5,6 +5,8 @@ type t =
   | Abort of { txid : int }
   | Checkpoint of { redo_lsn : Lsn.t }
   | Noop of { filler : int }
+  | Commit_multi of { txid : int; deps : int array }
+  | Abort_multi of { txid : int; deps : int array }
 
 let magic = 0xA55A
 
@@ -26,6 +28,12 @@ let pp fmt = function
   | Abort { txid } -> Format.fprintf fmt "Abort(%d)" txid
   | Checkpoint { redo_lsn } -> Format.fprintf fmt "Checkpoint(%a)" Lsn.pp redo_lsn
   | Noop { filler } -> Format.fprintf fmt "Noop(%d)" filler
+  | Commit_multi { txid; deps } ->
+      Format.fprintf fmt "CommitV(txid=%d deps=[%s])" txid
+        (String.concat ";" (Array.to_list (Array.map string_of_int deps)))
+  | Abort_multi { txid; deps } ->
+      Format.fprintf fmt "AbortV(txid=%d deps=[%s])" txid
+        (String.concat ";" (Array.to_list (Array.map string_of_int deps)))
 
 let kind_code = function
   | Begin _ -> 1
@@ -34,12 +42,19 @@ let kind_code = function
   | Abort _ -> 4
   | Checkpoint _ -> 5
   | Noop _ -> 6
+  | Commit_multi _ -> 7
+  | Abort_multi _ -> 8
 
+(* The multi-stream outcome records are fixed-width in the stream count:
+   the engine computes a commit record's end LSN *before* appending it
+   (the record's own dependency slot includes itself), which only works
+   because the size does not depend on the dependency values. *)
 let body_size = function
   | Begin _ | Commit _ | Abort _ -> 8
   | Update { before; after; _ } -> 8 + 8 + 4 + String.length before + 4 + String.length after
   | Checkpoint _ -> 8
   | Noop { filler } -> filler
+  | Commit_multi { deps; _ } | Abort_multi { deps; _ } -> 8 + 1 + (8 * Array.length deps)
 
 let encoded_size t = header_size + body_size t
 
@@ -57,6 +72,11 @@ let encode_body t body =
       let after_pos = 20 + String.length before in
       Bytes.set_int32_le body after_pos (Int32.of_int (String.length after));
       Bytes.blit_string after 0 body (after_pos + 4) (String.length after)
+  | Commit_multi { txid; deps } | Abort_multi { txid; deps } ->
+      assert (Array.length deps <= 255);
+      set64 0 txid;
+      Bytes.set_uint8 body 8 (Array.length deps);
+      Array.iteri (fun i dep -> set64 (9 + (8 * i)) dep) deps
 
 let encode t =
   let blen = body_size t in
@@ -72,7 +92,67 @@ let encode t =
     (Crc32.digest_bytes buf ~pos:2 ~len:(prefix_size - 2 + blen));
   Bytes.unsafe_to_string buf
 
-let encode_into t buf = Buffer.add_string buf (encode t)
+(* Single-pass encoding: each field goes into the stream buffer and the
+   running CRC together, little-endian, with no intermediate record
+   buffer and no boxed int32/int64 temporaries. This is the per-append
+   hot path of every WAL stream — with the buffer warm (no growth) it
+   allocates nothing, which bench/perf.exe gates. Loops are structured
+   as tail recursion rather than closures so no environment is built. *)
+
+let[@inline] put_byte buf crc b =
+  Buffer.add_uint8 buf b;
+  Crc32.update_byte crc b
+
+let put_u32 buf crc v =
+  let crc = put_byte buf crc (v land 0xFF) in
+  let crc = put_byte buf crc ((v lsr 8) land 0xFF) in
+  let crc = put_byte buf crc ((v lsr 16) land 0xFF) in
+  put_byte buf crc ((v lsr 24) land 0xFF)
+
+let put_u64 buf crc v =
+  let crc = put_u32 buf crc (v land 0xFFFFFFFF) in
+  put_u32 buf crc ((v lsr 32) land 0xFFFFFFFF)
+
+let put_string buf crc s =
+  Buffer.add_string buf s;
+  Crc32.update_string crc s ~pos:0 ~len:(String.length s)
+
+let rec put_zeros buf crc n =
+  if n = 0 then crc else put_zeros buf (put_byte buf crc 0) (n - 1)
+
+let rec put_deps buf crc deps i =
+  if i = Array.length deps then crc
+  else put_deps buf (put_u64 buf crc (Array.unsafe_get deps i)) deps (i + 1)
+
+let encode_into t buf =
+  let blen = body_size t in
+  assert (blen <= max_body);
+  Buffer.add_uint16_le buf magic;
+  let crc = put_byte buf Crc32.init (kind_code t) in
+  let crc = put_u32 buf crc blen in
+  let crc =
+    match t with
+    | Begin { txid } | Commit { txid } | Abort { txid } -> put_u64 buf crc txid
+    | Checkpoint { redo_lsn } -> put_u64 buf crc (Lsn.to_int redo_lsn)
+    | Noop { filler } -> put_zeros buf crc filler
+    | Update { txid; key; before; after } ->
+        let crc = put_u64 buf crc txid in
+        let crc = put_u64 buf crc key in
+        let crc = put_u32 buf crc (String.length before) in
+        let crc = put_string buf crc before in
+        let crc = put_u32 buf crc (String.length after) in
+        put_string buf crc after
+    | Commit_multi { txid; deps } | Abort_multi { txid; deps } ->
+        assert (Array.length deps <= 255);
+        let crc = put_u64 buf crc txid in
+        let crc = put_byte buf crc (Array.length deps) in
+        put_deps buf crc deps 0
+  in
+  let v = Crc32.finish crc in
+  Buffer.add_uint8 buf (v land 0xFF);
+  Buffer.add_uint8 buf ((v lsr 8) land 0xFF);
+  Buffer.add_uint8 buf ((v lsr 16) land 0xFF);
+  Buffer.add_uint8 buf ((v lsr 24) land 0xFF)
 
 let u64 s pos = Int64.to_int (String.get_int64_le s pos)
 let u32 s pos = Int32.to_int (String.get_int32_le s pos)
@@ -100,6 +180,15 @@ let decode_body kind s ~pos ~len =
                  before = String.sub s (pos + 20) blen;
                  after = String.sub s (pos + 24 + blen) alen;
                })
+      end
+  | (7 | 8) when fits 9 ->
+      let count = String.get_uint8 s (pos + 8) in
+      if len <> 9 + (8 * count) then None
+      else begin
+        let deps = Array.init count (fun i -> u64 s (pos + 9 + (8 * i))) in
+        let txid = u64 s pos in
+        if kind = 7 then Some (Commit_multi { txid; deps })
+        else Some (Abort_multi { txid; deps })
       end
   | _ -> None
 

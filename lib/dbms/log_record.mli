@@ -26,6 +26,19 @@ type t =
   | Abort of { txid : int }
   | Checkpoint of { redo_lsn : Lsn.t }
   | Noop of { filler : int }  (** padding; [filler] body bytes of zeros *)
+  | Commit_multi of { txid : int; deps : int array }
+      (** multi-stream commit: the transaction is committed iff, for
+          every stream [s], [deps.(s)] is within stream [s]'s durable
+          prefix. The vector folds in the WAL's cross-stream watermark,
+          so validity of a later commit implies validity of every
+          earlier one. Fixed-width in the stream count, so the record's
+          end LSN (its own home-stream dependency) is computable before
+          appending. *)
+  | Abort_multi of { txid : int; deps : int array }
+      (** multi-stream abort: durable-and-valid (all compensating
+          updates durable) means the transaction rolled back before the
+          crash and recovery must not undo it again; an invalid one
+          leaves the transaction a loser, undone from its images. *)
 
 val pp : Format.formatter -> t -> unit
 

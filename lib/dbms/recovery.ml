@@ -58,10 +58,9 @@ let read_durable_log ~log_device ~wal_config =
    the same device, far past the log region). *)
 let scan_chunk_sectors = 4096
 
-let scan_records ~log_device ~wal_config =
+let scan_records_region ~log_device ~start ~limit_lba =
   let sector_size = (Storage.Block.info log_device).Storage.Block.sector_size in
-  let extent = Storage.Block.durable_extent log_device in
-  let start = wal_config.Wal.log_start_lba in
+  let extent = min (Storage.Block.durable_extent log_device) limit_lba in
   let buf = Buffer.create (scan_chunk_sectors * sector_size) in
   let records = ref [] in
   let pos = ref 0 in
@@ -92,6 +91,10 @@ let scan_records ~log_device ~wal_config =
   done;
   List.rev !records
 
+let scan_records ~log_device ~wal_config =
+  scan_records_region ~log_device ~start:wal_config.Wal.log_start_lba
+    ~limit_lba:max_int
+
 type outcome = Won | Lost
 
 let analyse records =
@@ -108,6 +111,16 @@ let analyse records =
           note_seen txid;
           Hashtbl.replace outcomes txid Won
       | Log_record.Abort { txid } ->
+          note_seen txid;
+          Hashtbl.replace outcomes txid Lost;
+          Hashtbl.replace aborted txid ()
+      (* Multi-stream outcome records only appear in multi-stream logs,
+         which {!run_multi} analyses with the dependency-validity rule;
+         in a single-stream scan they read as their plain counterparts. *)
+      | Log_record.Commit_multi { txid; _ } ->
+          note_seen txid;
+          Hashtbl.replace outcomes txid Won
+      | Log_record.Abort_multi { txid; _ } ->
           note_seen txid;
           Hashtbl.replace outcomes txid Lost;
           Hashtbl.replace aborted txid ()
@@ -140,6 +153,7 @@ let candidate_page_ids ~pool_config records =
       | Log_record.Update { key; _ } ->
           Hashtbl.replace ids (Page.page_of_key ~keys_per_page key) ()
       | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
+      | Log_record.Commit_multi _ | Log_record.Abort_multi _
       | Log_record.Checkpoint _ | Log_record.Noop _ ->
           ())
     records;
@@ -221,7 +235,8 @@ let redo_undo_store ~pool_config ~records ~losers ~redo_start ~pages =
             incr redo_applied
           end
       | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
-      | Log_record.Abort _ | Log_record.Checkpoint _ | Log_record.Noop _ ->
+      | Log_record.Abort _ | Log_record.Commit_multi _ | Log_record.Abort_multi _
+      | Log_record.Checkpoint _ | Log_record.Noop _ ->
           ())
     records;
   (* Undo the losers, newest first. An empty before-image encodes "key did
@@ -237,7 +252,8 @@ let redo_undo_store ~pool_config ~records ~losers ~redo_start ~pages =
           else Hashtbl.replace page.Page.values key before;
           incr undo_applied
       | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
-      | Log_record.Abort _ | Log_record.Checkpoint _ | Log_record.Noop _ ->
+      | Log_record.Abort _ | Log_record.Commit_multi _ | Log_record.Abort_multi _
+      | Log_record.Checkpoint _ | Log_record.Noop _ ->
           ())
     (List.rev records);
   let store = Hashtbl.create 1024 in
@@ -266,7 +282,185 @@ let note_metrics result =
   | None -> ());
   result
 
-let run ~log_device ~data_device ~wal_config ~pool_config =
+(* {2 Multi-stream recovery}
+
+   With [Wal.streams > 1] every stream is an independent byte sequence
+   in its own device region, so the scan runs per stream (region-bounded
+   — a later stream's bytes must not read as stream [s]'s tail) and a
+   transaction's fate follows the dependency rule documented on
+   {!Log_record.Commit_multi}: the outcome counts only if, for every
+   stream, the recorded dependency is inside that stream's durable
+   decoded prefix. Because commit vectors fold in the WAL's cross-stream
+   watermark, the valid commits are closed under the commit order — an
+   invalid commit can never be depended on by a valid one. *)
+
+let analyse_multi per_stream ~durable_ends =
+  let streams = Array.length durable_ends in
+  let valid deps =
+    Array.length deps = streams
+    && begin
+         let ok = ref true in
+         Array.iteri (fun s d -> if d > durable_ends.(s) then ok := false) deps;
+         !ok
+       end
+  in
+  let outcomes = Hashtbl.create 256 in
+  let seen = Hashtbl.create 256 in
+  let note_seen txid = Hashtbl.replace seen txid () in
+  Array.iter
+    (List.iter (fun (record, _lsn) ->
+         match record with
+         | Log_record.Begin { txid } -> note_seen txid
+         | Log_record.Update { txid; _ } -> note_seen txid
+         | Log_record.Commit { txid } ->
+             note_seen txid;
+             Hashtbl.replace outcomes txid Won
+         | Log_record.Abort { txid } ->
+             note_seen txid;
+             Hashtbl.replace outcomes txid Lost
+         | Log_record.Commit_multi { txid; deps } ->
+             note_seen txid;
+             if valid deps then Hashtbl.replace outcomes txid Won
+         | Log_record.Abort_multi { txid; deps } ->
+             note_seen txid;
+             if valid deps then Hashtbl.replace outcomes txid Lost
+         | Log_record.Checkpoint _ | Log_record.Noop _ -> ()))
+    per_stream;
+  let committed = ref [] and aborted_list = ref [] and losers = ref [] in
+  Hashtbl.iter
+    (fun txid () ->
+      match Hashtbl.find_opt outcomes txid with
+      | Some Won -> committed := txid :: !committed
+      | Some Lost -> aborted_list := txid :: !aborted_list
+      | None -> losers := txid :: !losers)
+    seen;
+  ( List.sort Int.compare !committed,
+    List.sort Int.compare !aborted_list,
+    List.sort Int.compare !losers )
+
+let run_multi ~log_device ~data_device ~wal_config ~pool_config =
+  let streams = wal_config.Wal.streams in
+  let per_stream =
+    Array.init streams (fun s ->
+        let start = Wal.stream_start_lba wal_config s in
+        scan_records_region ~log_device ~start
+          ~limit_lba:(start + wal_config.Wal.stream_stride_sectors))
+  in
+  let durable_ends =
+    Array.map
+      (fun records ->
+        match List.rev records with [] -> 0 | (_, lsn) :: _ -> Lsn.to_int lsn)
+      per_stream
+  in
+  let committed, aborted, losers = analyse_multi per_stream ~durable_ends in
+  let all_records = List.concat (Array.to_list per_stream) in
+  let pages, parities = load_pages ~data_device ~pool_config all_records in
+  let keys_per_page = pool_config.Buffer_pool.keys_per_page in
+  let page_of_key key =
+    let id = Page.page_of_key ~keys_per_page key in
+    match Hashtbl.find_opt pages id with
+    | Some page -> page
+    | None ->
+        let page = Page.create ~id in
+        Hashtbl.replace pages id page;
+        page
+  in
+  (* Redo: repeating history per stream, in stream order, from the log
+     start (multi-stream configurations run without checkpoints). Pages
+     are partitioned across streams — every update to a page lives on
+     one stream — so the page-LSN guard compares LSNs of one sequence,
+     exactly as in the single-stream pass. *)
+  let redo_applied = ref 0 in
+  Array.iter
+    (List.iter (fun (record, lsn) ->
+         match record with
+         | Log_record.Update { key; after; _ } ->
+             let page = page_of_key key in
+             if Lsn.(page.Page.page_lsn < lsn) then begin
+               (if String.length after = 0 then begin
+                  Hashtbl.remove page.Page.values key;
+                  page.Page.page_lsn <- lsn
+                end
+                else Page.set page ~key ~value:after ~lsn);
+               incr redo_applied
+             end
+         | _ -> ()))
+    per_stream;
+  (* Undo: roll the losers back per stream, newest first. One wrinkle
+     the single log never shows: a key a loser updated may carry a later
+     update by a *valid committed* winner. Under strict 2PL the winner
+     can only have locked the key after the loser's in-memory rollback
+     completed — but the loser's abort record may have missed the
+     durable prefix of its home stream even though the winner's commit
+     made its own (the streams' prefixes are independent). Restoring the
+     loser's before-image would clobber the winner, so a loser's update
+     is skipped when a valid winner touched the key {e later} (per-key
+     LSNs are comparable — a page's updates all live on one stream):
+     the loser's durable update/compensation pair nets to the value the
+     winner started from, which redo already superseded. A loser update
+     {e after} the last winner update is the newest durable state of the
+     key and must still be rolled back — strict 2PL puts every record of
+     an earlier loser before the winner's, so the guard never slices the
+     middle of one loser's update/compensation sequence. *)
+  let loser_set = Hashtbl.create 16 in
+  List.iter (fun txid -> Hashtbl.replace loser_set txid ()) losers;
+  let winner_set = Hashtbl.create 64 in
+  List.iter (fun txid -> Hashtbl.replace winner_set txid ()) committed;
+  let winner_latest = Hashtbl.create 256 in
+  Array.iter
+    (List.iter (fun (record, lsn) ->
+         match record with
+         | Log_record.Update { txid; key; _ } when Hashtbl.mem winner_set txid ->
+             let prev =
+               match Hashtbl.find_opt winner_latest key with
+               | Some prev -> prev
+               | None -> Lsn.zero
+             in
+             Hashtbl.replace winner_latest key (Lsn.max prev lsn)
+         | _ -> ()))
+    per_stream;
+  let superseded key lsn =
+    match Hashtbl.find_opt winner_latest key with
+    | Some w -> Lsn.(lsn < w)
+    | None -> false
+  in
+  let undo_applied = ref 0 in
+  Array.iter
+    (fun records ->
+      List.iter
+        (fun (record, lsn) ->
+          match record with
+          | Log_record.Update { txid; key; before; _ }
+            when Hashtbl.mem loser_set txid && not (superseded key lsn) ->
+              let page = page_of_key key in
+              if String.length before = 0 then Hashtbl.remove page.Page.values key
+              else Hashtbl.replace page.Page.values key before;
+              incr undo_applied
+          | _ -> ())
+        (List.rev records))
+    per_stream;
+  let store = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun _id page ->
+      Hashtbl.iter (fun key value -> Hashtbl.replace store key value) page.Page.values)
+    pages;
+  note_metrics
+    {
+      store;
+      records = all_records;
+      parities;
+      committed;
+      aborted;
+      losers;
+      durable_records = List.length all_records;
+      durable_end = Lsn.of_int (Array.fold_left ( + ) 0 durable_ends);
+      redo_start = Lsn.zero;
+      redo_applied = !redo_applied;
+      undo_applied = !undo_applied;
+      pages_loaded = Hashtbl.length pages;
+    }
+
+let run_single ~log_device ~data_device ~wal_config ~pool_config =
   let records = scan_records ~log_device ~wal_config in
   let committed, aborted, losers = analyse records in
   let redo_start =
@@ -294,6 +488,11 @@ let run ~log_device ~data_device ~wal_config ~pool_config =
     undo_applied;
     pages_loaded = Hashtbl.length pages;
   }
+
+let run ~log_device ~data_device ~wal_config ~pool_config =
+  if wal_config.Wal.streams > 1 then
+    run_multi ~log_device ~data_device ~wal_config ~pool_config
+  else run_single ~log_device ~data_device ~wal_config ~pool_config
 
 
 (* {2 Incremental recovery}
@@ -435,6 +634,17 @@ module Incremental = struct
           Hashtbl.replace opos txid
             ((i, Won) :: Option.value ~default:[] (Hashtbl.find_opt opos txid))
       | Log_record.Abort { txid } ->
+          note_first txid i;
+          Hashtbl.replace opos txid
+            ((i, Lost) :: Option.value ~default:[] (Hashtbl.find_opt opos txid))
+      (* The incremental engine only serves single-stream sweeps (the
+         multi-stream path falls back to the sequential {!run}); a
+         multi-stream outcome record reads as its plain counterpart. *)
+      | Log_record.Commit_multi { txid; _ } ->
+          note_first txid i;
+          Hashtbl.replace opos txid
+            ((i, Won) :: Option.value ~default:[] (Hashtbl.find_opt opos txid))
+      | Log_record.Abort_multi { txid; _ } ->
           note_first txid i;
           Hashtbl.replace opos txid
             ((i, Lost) :: Option.value ~default:[] (Hashtbl.find_opt opos txid))
@@ -702,6 +912,7 @@ module Incremental = struct
             end
           end
       | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
+      | Log_record.Commit_multi _ | Log_record.Abort_multi _
       | Log_record.Checkpoint _ | Log_record.Noop _ ->
           ());
       t.redone <- i + 1
@@ -853,6 +1064,12 @@ module Incremental = struct
       | Log_record.Abort { txid } ->
           Hashtbl.replace t_seen txid ();
           Hashtbl.replace t_outcomes txid Lost
+      | Log_record.Commit_multi { txid; _ } ->
+          Hashtbl.replace t_seen txid ();
+          Hashtbl.replace t_outcomes txid Won
+      | Log_record.Abort_multi { txid; _ } ->
+          Hashtbl.replace t_seen txid ();
+          Hashtbl.replace t_outcomes txid Lost
       | Log_record.Checkpoint _ | Log_record.Noop _ -> ()
     done;
     let committed = ref [] and aborted = ref [] and losers = ref [] in
@@ -980,6 +1197,7 @@ module Incremental = struct
             end
           end
       | Log_record.Begin _ | Log_record.Commit _ | Log_record.Abort _
+      | Log_record.Commit_multi _ | Log_record.Abort_multi _
       | Log_record.Checkpoint _ | Log_record.Noop _ ->
           ()
     done;

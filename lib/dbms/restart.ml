@@ -28,7 +28,9 @@ let neutralise_losers wal (recovery : Recovery.result) =
               (Wal.append wal
                  (Log_record.Update { txid; key; before = after; after = before }))
         | Log_record.Update _ | Log_record.Begin _ | Log_record.Commit _
-        | Log_record.Abort _ | Log_record.Checkpoint _ | Log_record.Noop _ ->
+        | Log_record.Abort _ | Log_record.Commit_multi _
+        | Log_record.Abort_multi _ | Log_record.Checkpoint _
+        | Log_record.Noop _ ->
             ())
       (List.rev recovery.Recovery.records);
     Hashtbl.iter
@@ -81,7 +83,7 @@ let restart ~vmm ~profile ?async_commit ~log_device ~data_device ~wal_config
   neutralise_losers wal recovery;
   let pool =
     Buffer_pool.create sim pool_config ~device:data_device
-      ~wal_force:(Wal.force wal)
+      ~wal_force:(fun ~page:_ lsn -> Wal.force wal lsn)
   in
   seed_pool pool pool_config recovery;
   let engine =

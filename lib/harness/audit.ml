@@ -18,6 +18,7 @@ let keys_written_by recovery txids =
           Int_set.add key keys
       | Dbms.Log_record.Update _ | Dbms.Log_record.Begin _
       | Dbms.Log_record.Commit _ | Dbms.Log_record.Abort _
+      | Dbms.Log_record.Commit_multi _ | Dbms.Log_record.Abort_multi _
       | Dbms.Log_record.Checkpoint _ | Dbms.Log_record.Noop _ ->
           keys)
     Int_set.empty recovery.Dbms.Recovery.records

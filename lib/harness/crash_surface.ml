@@ -370,8 +370,47 @@ let journal_supported (scenario : Scenario.config) =
   scenario.Scenario.mode = Scenario.Rapilog
   && (not scenario.Scenario.single_disk)
   && match scenario.Scenario.device with
-     | Scenario.Disk _ -> true
+     | Scenario.Disk _ | Scenario.Nvme _ -> true
      | Scenario.Flash _ -> false
+
+(* The log-device timing the power-cut synthesis re-derives drain
+   writes with: the same pure [write_timeline] arithmetic the live
+   device executes, abstracted over the two journal-capable models. The
+   disk's timeline depends on the head position; the NVMe's only on the
+   clock — the [head] threaded through the re-drain loop is the head
+   track for a disk and always 0 for NVMe. *)
+type log_timing =
+  | Hdd_timing of Storage.Hdd.config
+  | Nvme_timing of Storage.Nvme.config
+
+let timing_of_device = function
+  | Scenario.Disk hdd -> Hdd_timing hdd
+  | Scenario.Nvme nvme -> Nvme_timing nvme
+  | Scenario.Flash _ ->
+      invalid_arg "Crash_surface: journal sweep does not model the SATA SSD"
+
+let timing_sector_size = function
+  | Hdd_timing hdd -> hdd.Storage.Hdd.sector_size
+  | Nvme_timing nvme -> nvme.Storage.Nvme.sector_size
+
+let timing_head_of_lba timing lba =
+  match timing with
+  | Hdd_timing hdd -> Storage.Hdd.track_of_lba hdd lba
+  | Nvme_timing _ -> 0
+
+(* (start_ns, complete_ns, head-after) of a drain write submitted at
+   [now_ns] with the device idle — the serial drainer never has a
+   second write in flight, so the NVMe queue depth does not enter. *)
+let timing_write_timeline timing ~now_ns ~head ~lba ~sectors =
+  match timing with
+  | Hdd_timing hdd ->
+      let tl =
+        Storage.Hdd.write_timeline hdd ~now_ns ~head_track:head ~lba ~sectors
+      in
+      (tl.Storage.Hdd.wt_start_ns, tl.Storage.Hdd.wt_complete_ns, tl.Storage.Hdd.wt_track)
+  | Nvme_timing nvme ->
+      let tl = Storage.Nvme.write_timeline nvme ~now_ns ~sectors in
+      (tl.Storage.Nvme.wt_start_ns, tl.Storage.Nvme.wt_complete_ns, 0)
 
 (* Everything the reconstruction needs about one kind's reference run:
    the journal, the boundary enumeration, the effective machine
@@ -382,7 +421,7 @@ type prep = {
   p_kind : kind;
   p_enum : enumeration;
   p_journal : Journal.t;
-  p_hdd : Storage.Hdd.config;
+  p_timing : log_timing;
   p_sector_size : int;
   p_buffer_bytes : int;
   p_drain_max : int;
@@ -397,9 +436,10 @@ type prep = {
   p_violations_ns : int array;  (* monitor violation instants, ascending *)
   (* FIFO pairings, by occurrence order. The drainer is the log device's
      only client, so the k-th Pop, the k-th log Write_start and the k-th
-     log Write_complete describe one physical write; the WAL's force
-     mutex serializes log submissions, so the k-th log-port Submit pairs
-     with the k-th Push; each data-port Submit fans out into per-member
+     log Write_complete describe one physical write; each WAL stream's
+     force mutex keeps at most one submission outstanding, so submits
+     and pushes pair FIFO within a stream's device region (and globally
+     when [streams = 1]); each data-port Submit fans out into per-member
      segments served FIFO, so per member the k-th Write_start/-complete
      pair with the k-th expected segment. *)
   p_log_pops : int array;  (* journal positions *)
@@ -407,12 +447,21 @@ type prep = {
   p_log_completes : int array;
   p_log_submits : int array;
   p_pushes : int array;
+  p_submit_push : int array;
+      (* journal position of the Push admitting the k-th log-port
+         Submit; -1 for submits past the settle horizon. With parallel
+         streams the global submit→push order is NOT FIFO (admission's
+         copy time scales with the write size), only each stream's is —
+         this explicit pairing is what the os-crash synthesis walks. *)
   p_member_starts : int array array;
   p_member_completes : int array array;
   p_member_submit_pos : int array array;
       (* position of the Submit that produced the k-th write of member m *)
-  p_shared : Dbms.Recovery.Incremental.shared;
-      (* future-stream record/index tables, built once per kind *)
+  p_shared : Dbms.Recovery.Incremental.shared option;
+      (* future-stream record/index tables, built once per kind.
+         [None] with parallel log streams: the incremental engine's
+         single-prefix watermark does not model S independent durable
+         prefixes, so those sweeps run full recovery per point. *)
 }
 
 let member_slot members endpoint =
@@ -446,7 +495,24 @@ let pair_journal prep_partial journal =
   let expected : (int * int * int) Queue.t array =
     Array.init n_members (fun _ -> Queue.create ())
   in
-  let pending_log_submits = Queue.create () in
+  (* Stream region of a log-device lba: with one stream every submission
+     (master block included) shares one FIFO; with several, each
+     stream's region has its own. *)
+  let streams = p.p_wal_config.Dbms.Wal.streams in
+  let region_of_lba lba =
+    if streams <= 1 then 0
+    else begin
+      let s =
+        (lba - p.p_wal_config.Dbms.Wal.log_start_lba)
+        / p.p_wal_config.Dbms.Wal.stream_stride_sectors
+      in
+      assert (s >= 0 && s < streams);
+      s
+    end
+  in
+  let pending_log_submits = Array.init (max 1 streams) (fun _ -> Queue.create ()) in
+  let n_log_submits = ref 0 in
+  let submit_push_pairs = ref [] in
   for pos = 0 to Journal.length journal - 1 do
     let a = Journal.a journal pos in
     match Journal.kind journal pos with
@@ -455,14 +521,19 @@ let pair_journal prep_partial journal =
         log_pops := pos :: !log_pops
     | Journal.Push ->
         assert (a = p.p_log_dev);
-        let lba, _sectors, _submit = Queue.pop pending_log_submits in
-        assert (lba = Journal.b journal pos);
+        let push_lba = Journal.b journal pos in
+        let lba, _sectors, k =
+          Queue.pop pending_log_submits.(region_of_lba push_lba)
+        in
+        assert (lba = push_lba);
+        submit_push_pairs := (k, pos) :: !submit_push_pairs;
         pushes := pos :: !pushes
     | Journal.Submit ->
         if a = p.p_log_port then begin
           Queue.push
-            (Journal.b journal pos, Journal.c journal pos, pos)
-            pending_log_submits;
+            (Journal.b journal pos, Journal.c journal pos, !n_log_submits)
+            pending_log_submits.(region_of_lba (Journal.b journal pos));
+          incr n_log_submits;
           log_submits := pos :: !log_submits
         end
         else if a = p.p_data_port then
@@ -495,6 +566,8 @@ let pair_journal prep_partial journal =
     | Journal.Ack -> ()
   done;
   let arr l = Array.of_list (List.rev l) in
+  let submit_push = Array.make !n_log_submits (-1) in
+  List.iter (fun (k, pos) -> submit_push.(k) <- pos) !submit_push_pairs;
   let p =
     {
       p with
@@ -503,6 +576,7 @@ let pair_journal prep_partial journal =
       p_log_completes = arr !log_completes;
       p_log_submits = arr !log_submits;
       p_pushes = arr !pushes;
+      p_submit_push = submit_push;
       p_member_starts = Array.map arr member_starts;
       p_member_completes = Array.map arr member_completes;
       p_member_submit_pos = Array.map arr member_submit_pos;
@@ -519,6 +593,20 @@ let pair_journal prep_partial journal =
       check p.p_log_starts;
       check p.p_log_completes)
     p.p_log_pops;
+  (* And the member FIFO the synthesis indexes by: the k-th complete
+     must describe the k-th start's write. Trivial on the disk's serial
+     actuator; on NVMe it holds because every data write is one
+     page-sized program (equal service), and this assert is what pins
+     that if the pool ever mixes sizes. *)
+  Array.iteri
+    (fun m starts ->
+      let completes = p.p_member_completes.(m) in
+      Array.iteri
+        (fun k sp ->
+          if k < Array.length completes then
+            assert (Journal.b journal completes.(k) = Journal.b journal sp))
+        starts)
+    p.p_member_starts;
   p
 
 let grace_bound = Time.ms 500
@@ -536,7 +624,7 @@ let enumerate_journal config kind =
   if not (journal_supported config.scenario) then
     invalid_arg
       "Crash_surface: journal sweep requires Rapilog mode, a dedicated log \
-       disk and rotational devices";
+       device, and a disk or NVMe model";
   let effective = effective_scenario config kind in
   let journal = Journal.create () in
   Journal.start_recording journal;
@@ -658,56 +746,58 @@ let enumerate_journal config kind =
              (fun v -> Time.to_ns v.Rapilog.Invariants.at)
              (Rapilog.Invariants.violations monitor))
   in
-  let hdd =
-    match effective.Scenario.device with
-    | Scenario.Disk hdd -> hdd
-    | Scenario.Flash _ -> assert false
-  in
+  let timing = timing_of_device effective.Scenario.device in
+  let sector_size = timing_sector_size timing in
   (* The future stream: every log push's payload at its stream offset,
      later pushes overwriting earlier ones (a force appending into a
      partially-filled tail sector re-pushes that sector fuller). Every
      point's durable log is a verified prefix of this image — the
      incremental engine's whole scan/analysis phase reduces to binary
-     searches over its one-time decode. *)
-  let future =
-    let start = built.Scenario.wal_config.Dbms.Wal.log_start_lba in
-    let ss = hdd.Storage.Hdd.sector_size in
-    let fb = ref (Bytes.make 65536 '\000') and flen = ref 0 in
-    for pos = 0 to Journal.length journal - 1 do
-      match Journal.kind journal pos with
-      | Journal.Push when Journal.a journal pos = log_dev ->
-          let lba = Journal.b journal pos in
-          assert (lba >= start);
-          let data = Journal.payload journal pos in
-          let off = (lba - start) * ss in
-          let len = String.length data in
-          if off + len > Bytes.length !fb then begin
-            let cap = ref (Bytes.length !fb) in
-            while !cap < off + len do
-              cap := !cap * 2
-            done;
-            let fresh = Bytes.make !cap '\000' in
-            Bytes.blit !fb 0 fresh 0 !flen;
-            fb := fresh
-          end;
-          Bytes.blit_string data 0 !fb off len;
-          if off + len > !flen then flen := off + len
-      | _ -> ()
-    done;
-    Bytes.sub_string !fb 0 !flen
-  in
+     searches over its one-time decode. Single-stream only: with
+     parallel streams there is no one prefix, so the per-point fallback
+     is a full recovery pass over the synthesized media. *)
   let shared =
-    Dbms.Recovery.Incremental.prepare ~wal_config:built.Scenario.wal_config
-      ~pool_config:built.Scenario.config.Scenario.pool
-      ~log_sector_size:hdd.Storage.Hdd.sector_size ~future
+    if built.Scenario.wal_config.Dbms.Wal.streams > 1 then None
+    else begin
+      let future =
+        let start = built.Scenario.wal_config.Dbms.Wal.log_start_lba in
+        let fb = ref (Bytes.make 65536 '\000') and flen = ref 0 in
+        for pos = 0 to Journal.length journal - 1 do
+          match Journal.kind journal pos with
+          | Journal.Push when Journal.a journal pos = log_dev ->
+              let lba = Journal.b journal pos in
+              assert (lba >= start);
+              let data = Journal.payload journal pos in
+              let off = (lba - start) * sector_size in
+              let len = String.length data in
+              if off + len > Bytes.length !fb then begin
+                let cap = ref (Bytes.length !fb) in
+                while !cap < off + len do
+                  cap := !cap * 2
+                done;
+                let fresh = Bytes.make !cap '\000' in
+                Bytes.blit !fb 0 fresh 0 !flen;
+                fb := fresh
+              end;
+              Bytes.blit_string data 0 !fb off len;
+              if off + len > !flen then flen := off + len
+          | _ -> ()
+        done;
+        Bytes.sub_string !fb 0 !flen
+      in
+      Some
+        (Dbms.Recovery.Incremental.prepare ~wal_config:built.Scenario.wal_config
+           ~pool_config:built.Scenario.config.Scenario.pool
+           ~log_sector_size:sector_size ~future)
+    end
   in
   let prep_partial =
     {
       p_kind = kind;
       p_enum = enum;
       p_journal = journal;
-      p_hdd = hdd;
-      p_sector_size = hdd.Storage.Hdd.sector_size;
+      p_timing = timing;
+      p_sector_size = sector_size;
       p_buffer_bytes =
         effective.Scenario.logger.Rapilog.Trusted_logger.buffer_bytes;
       p_drain_max =
@@ -732,6 +822,7 @@ let enumerate_journal config kind =
       p_log_completes = [||];
       p_log_submits = [||];
       p_pushes = [||];
+      p_submit_push = [||];
       p_member_starts = [||];
       p_member_completes = [||];
       p_member_submit_pos = [||];
@@ -748,9 +839,10 @@ type cursor = {
   mutable pos : int;  (* next journal position to fold in *)
   log_base : Storage.Block.Media.t;
   member_base : Storage.Block.Media.t array;
-  inc : Dbms.Recovery.Incremental.t;
+  inc : Dbms.Recovery.Incremental.t option;
       (* incremental recovery cache over the base image; fed every base
-         durable write, consulted per point instead of a full pass *)
+         durable write, consulted per point instead of a full pass.
+         [None] for multi-stream sweeps (full recovery per point). *)
   replica : Rapilog.Ring_buffer.t;
   model : (int, string) Hashtbl.t;
   (* Acknowledged txids as a sorted array: acks arrive near-ascending,
@@ -779,10 +871,10 @@ let cursor_create prep =
   (* A frozen view of the evolving base data volume for the incremental
      cache's page probes: media are mutable, so reads reflect every
      cursor advance. *)
-  let member_frozen =
-    Array.map (Storage.Block.of_media ~model:"journal-base") member_base
-  in
-  let data_base =
+  let data_base () =
+    let member_frozen =
+      Array.map (Storage.Block.of_media ~model:"journal-base") member_base
+    in
     if prep.p_chunk_sectors = 0 then member_frozen.(0)
     else
       Storage.Stripe.create
@@ -793,7 +885,11 @@ let cursor_create prep =
     pos = 0;
     log_base;
     member_base;
-    inc = Dbms.Recovery.Incremental.create prep.p_shared ~data_base;
+    inc =
+      Option.map
+        (fun shared ->
+          Dbms.Recovery.Incremental.create shared ~data_base:(data_base ()))
+        prep.p_shared;
     replica =
       Rapilog.Ring_buffer.create ~sector_size:prep.p_sector_size
         ~capacity_bytes:prep.p_buffer_bytes;
@@ -860,7 +956,9 @@ let cursor_advance prep cur ~boundary =
         if a = prep.p_log_dev then begin
           let data = Journal.payload j pos in
           Storage.Block.Media.write cur.log_base ~lba ~data;
-          Dbms.Recovery.Incremental.note_log_write cur.inc ~lba ~data;
+          Option.iter
+            (fun inc -> Dbms.Recovery.Incremental.note_log_write inc ~lba ~data)
+            cur.inc;
           cur.log_completes_seen <- cur.log_completes_seen + 1;
           cur.last_log_lba <- lba
         end
@@ -868,11 +966,14 @@ let cursor_advance prep cur ~boundary =
           let m = member_slot prep.p_members a in
           let data = Journal.payload j pos in
           Storage.Block.Media.write cur.member_base.(m) ~lba ~data;
-          iter_global_ranges prep ~member:m ~lba
-            ~sectors:(String.length data / prep.p_sector_size)
-            (fun glba gsectors ->
-              Dbms.Recovery.Incremental.note_data_write cur.inc ~lba:glba
-                ~sectors:gsectors);
+          Option.iter
+            (fun inc ->
+              iter_global_ranges prep ~member:m ~lba
+                ~sectors:(String.length data / prep.p_sector_size)
+                (fun glba gsectors ->
+                  Dbms.Recovery.Incremental.note_data_write inc ~lba:glba
+                    ~sectors:gsectors))
+            cur.inc;
           cur.member_completes_seen.(m) <- cur.member_completes_seen.(m) + 1
         end
     | Journal.Push ->
@@ -880,7 +981,9 @@ let cursor_advance prep cur ~boundary =
         let data = Journal.payload j pos in
         let ok = Rapilog.Ring_buffer.try_push cur.replica ~lba ~data in
         assert ok;
-        Dbms.Recovery.Incremental.note_push cur.inc ~lba ~data;
+        Option.iter
+          (fun inc -> Dbms.Recovery.Incremental.note_push inc ~lba ~data)
+          cur.inc;
         cur.pushes_seen <- cur.pushes_seen + 1
     | Journal.Pop ->
         (match
@@ -913,11 +1016,28 @@ let cursor_advance prep cur ~boundary =
     cur.pos <- pos + 1
   done
 
-let tear_draw prep ~endpoint ~sectors =
-  let ep = Journal.endpoint prep.p_journal endpoint in
-  match ep.Journal.ep_rng with
-  | Some rng -> Rng.int (Rng.copy rng) (sectors + 1)
-  | None -> assert false
+(* Torn-write randomness for one crash point. A live device draws its
+   tears off a generator it never touches before the cut, one draw per
+   in-flight write in submission order — so a point's draws come
+   sequentially off one fresh per-endpoint copy of the registered state.
+   The disk has at most one write in flight; NVMe's [queue_depth]
+   concurrency is where the sequencing matters. *)
+type tears = { mutable t_rngs : (int * Rng.t) list }
+
+let tear_draw prep tears ~endpoint ~sectors =
+  let rng =
+    match List.assoc_opt endpoint tears.t_rngs with
+    | Some rng -> rng
+    | None -> (
+        let ep = Journal.endpoint prep.p_journal endpoint in
+        match ep.Journal.ep_rng with
+        | Some rng ->
+            let rng = Rng.copy rng in
+            tears.t_rngs <- (endpoint, rng) :: tears.t_rngs;
+            rng
+        | None -> assert false)
+  in
+  Rng.int rng (sectors + 1)
 
 (* A per-point overlay that keeps the ordered write list alongside the
    media image: the media feeds the frozen devices (master block, page
@@ -960,7 +1080,7 @@ let sink_write_prefix s ~trusted ~lba ~data ~sectors =
    possibly-in-the-gap admission completes in the surviving backend, and
    every data write already submitted to the backend reaches media in
    full. *)
-let synth_os_crash prep cur ~log_sink ~member_sinks =
+let synth_os_crash prep cur ~boundary ~log_sink ~member_sinks =
   let j = prep.p_journal in
   if cur.pops_seen > cur.log_completes_seen then begin
     assert (cur.pops_seen = cur.log_completes_seen + 1);
@@ -973,13 +1093,25 @@ let synth_os_crash prep cur ~log_sink ~member_sinks =
   Rapilog.Ring_buffer.iter cur.replica (fun entry ->
       sink_write log_sink ~trusted:true ~lba:entry.Rapilog.Ring_buffer.lba
         ~data:entry.Rapilog.Ring_buffer.data);
-  if cur.log_submits_seen > cur.pushes_seen then begin
-    assert (cur.log_submits_seen = cur.pushes_seen + 1);
-    let pp = prep.p_pushes.(cur.pushes_seen) in
-    (* The one post-boundary admission: beyond the push watermark. *)
-    sink_write log_sink ~trusted:false ~lba:(Journal.b j pp)
-      ~data:(Journal.payload j pp)
-  end;
+  (* Post-boundary admissions, in push order: submissions already at the
+     logger whose admission had not fired at the boundary. A single WAL
+     stream holds at most one in the gap (the force mutex); with S
+     parallel streams each stream's force can have one outstanding, so
+     up to S replay here — all beyond the push watermark. Pending-ness
+     is per submit (its paired push falls past the boundary), because
+     with several streams a long copy can still be in flight while later
+     short submissions of other streams have already been admitted. *)
+  let pending = ref [] in
+  for k = 0 to cur.log_submits_seen - 1 do
+    let pp = prep.p_submit_push.(k) in
+    assert (pp >= 0);
+    if Journal.index j pp > boundary then pending := pp :: !pending
+  done;
+  List.iter
+    (fun pp ->
+      sink_write log_sink ~trusted:false ~lba:(Journal.b j pp)
+        ~data:(Journal.payload j pp))
+    (List.sort compare !pending);
   Array.iteri
     (fun m sink ->
       for k = cur.member_completes_seen.(m) to cur.member_expected.(m) - 1 do
@@ -1014,10 +1146,11 @@ let write_fate_instant ~started_at_boundary =
    halts (the power-fail interrupt), so durable state evolves only
    through the trusted drain and the data writes already submitted —
    each racing the PSU window. Drain timing after the boundary is
-   re-derived with {!Storage.Hdd.write_timeline}, the same arithmetic
-   the live device executes. *)
+   re-derived with the device model's pure [write_timeline], the same
+   arithmetic the live device executes. *)
 let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
   let j = prep.p_journal in
+  let tears = { t_rngs = [] } in
   let dead = b_time + prep.p_window_ns in
   let instant = prep.p_kind = Machine_loss in
   let fate ~started_at_boundary ~s ~c =
@@ -1039,10 +1172,9 @@ let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
         (* A recorded device batch, like the os-crash pending write:
            compared directly, not watermark-trusted. *)
         sink_write log_sink ~trusted:false ~lba ~data;
-        resume :=
-          Some (c, Storage.Hdd.track_of_lba prep.p_hdd lba)
+        resume := Some (c, timing_head_of_lba prep.p_timing lba)
     | Torn ->
-        let persisted = tear_draw prep ~endpoint:prep.p_log_dev ~sectors in
+        let persisted = tear_draw prep tears ~endpoint:prep.p_log_dev ~sectors in
         sink_write_prefix log_sink ~trusted:false ~lba ~data ~sectors:persisted
     | Dropped -> ()
   end
@@ -1051,7 +1183,7 @@ let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
        instant with the head where the last completed write left it. *)
     let head =
       if cur.last_log_lba < 0 then 0
-      else Storage.Hdd.track_of_lba prep.p_hdd cur.last_log_lba
+      else timing_head_of_lba prep.p_timing cur.last_log_lba
     in
     resume := Some (b_time, head)
   end;
@@ -1080,19 +1212,19 @@ let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
         | None -> running := false
         | Some { Rapilog.Ring_buffer.lba; data } ->
             let sectors = String.length data / prep.p_sector_size in
-            let tl =
-              Storage.Hdd.write_timeline prep.p_hdd ~now_ns:!cursor_ns
-                ~head_track:!head_track ~lba ~sectors
+            let start_ns, complete_ns, track =
+              timing_write_timeline prep.p_timing ~now_ns:!cursor_ns
+                ~head:!head_track ~lba ~sectors
             in
-            if tl.Storage.Hdd.wt_complete_ns < dead then begin
+            if complete_ns < dead then begin
               sink_write log_sink ~trusted:true ~lba ~data;
-              cursor_ns := tl.Storage.Hdd.wt_complete_ns;
-              head_track := tl.Storage.Hdd.wt_track
+              cursor_ns := complete_ns;
+              head_track := track
             end
             else begin
-              if tl.Storage.Hdd.wt_start_ns < dead then begin
+              if start_ns < dead then begin
                 let persisted =
-                  tear_draw prep ~endpoint:prep.p_log_dev ~sectors
+                  tear_draw prep tears ~endpoint:prep.p_log_dev ~sectors
                 in
                 sink_write_prefix log_sink ~trusted:true ~lba ~data
                   ~sectors:persisted
@@ -1102,7 +1234,13 @@ let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
       done);
   (* Data writes already submitted race the window on their journaled
      schedule: a member serves FIFO, and nothing submitted after the
-     boundary exists in the crash world to run ahead of them. *)
+     boundary exists in the crash world to run ahead of them. A torn
+     write does not end the member's story — an NVMe member holds up to
+     [queue_depth] programs in flight, each tearing independently in
+     submission order (the disk's serial actuator makes the write after
+     a torn one necessarily [Dropped], so it loses nothing by the
+     continue). Program starts are monotone in submission order, so the
+     first [Dropped] write is terminal on every model. *)
   Array.iteri
     (fun m sink ->
       let running = ref true in
@@ -1119,11 +1257,10 @@ let synth_power_cut prep cur ~boundary ~b_time ~log_sink ~member_sinks =
         | Persists -> sink_write sink ~trusted:false ~lba ~data
         | Torn ->
             let persisted =
-              tear_draw prep ~endpoint:prep.p_members.(m)
+              tear_draw prep tears ~endpoint:prep.p_members.(m)
                 ~sectors:(Journal.c j cp)
             in
-            sink_write_prefix sink ~trusted:false ~lba ~data ~sectors:persisted;
-            running := false
+            sink_write_prefix sink ~trusted:false ~lba ~data ~sectors:persisted
         | Dropped -> running := false);
         incr k
       done)
@@ -1141,7 +1278,7 @@ let reconstruct_point config prep cur ~event_index ~at_ns =
   let log_sink = sink_over cur.log_base in
   let member_sinks = Array.map sink_over cur.member_base in
   (match prep.p_kind with
-  | Os_crash -> synth_os_crash prep cur ~log_sink ~member_sinks
+  | Os_crash -> synth_os_crash prep cur ~boundary:event_index ~log_sink ~member_sinks
   | Power_cut | Power_cut_tight | Machine_loss ->
       (* Machine loss is a power cut with a zero window ([p_window_ns]
          is 0 and fates are instant): the pending drain write tears, the
@@ -1161,20 +1298,28 @@ let reconstruct_point config prep cur ~event_index ~at_ns =
         (Sim.create ~seed:0L ())
         ~chunk_sectors:prep.p_chunk_sectors frozen_members
   in
-  let data_overlay = ref [] in
-  Array.iteri
-    (fun m sink ->
-      List.iter
-        (fun (lba, _data, persisted, _trusted) ->
-          iter_global_ranges prep ~member:m ~lba ~sectors:persisted
-            (fun glba gsectors ->
-              data_overlay := (glba, gsectors) :: !data_overlay))
-        sink.sk_writes)
-    member_sinks;
   let recovery =
-    Dbms.Recovery.Incremental.run cur.inc
-      ~log_overlay:(List.rev log_sink.sk_writes) ~data_overlay:!data_overlay
-      ~log_device:frozen_log ~data_device:frozen_data
+    match cur.inc with
+    | Some inc ->
+        let data_overlay = ref [] in
+        Array.iteri
+          (fun m sink ->
+            List.iter
+              (fun (lba, _data, persisted, _trusted) ->
+                iter_global_ranges prep ~member:m ~lba ~sectors:persisted
+                  (fun glba gsectors ->
+                    data_overlay := (glba, gsectors) :: !data_overlay))
+              sink.sk_writes)
+          member_sinks;
+        Dbms.Recovery.Incremental.run inc
+          ~log_overlay:(List.rev log_sink.sk_writes) ~data_overlay:!data_overlay
+          ~log_device:frozen_log ~data_device:frozen_data
+    | None ->
+        (* Multi-stream: the synthesized media still cost only journal
+           folding, but each point pays a full recovery pass — there is
+           no single verified-prefix watermark to increment over. *)
+        Dbms.Recovery.run ~log_device:frozen_log ~data_device:frozen_data
+          ~wal_config:prep.p_wal_config ~pool_config:prep.p_pool_config
   in
   let audit =
     Audit.check_sorted ~model:cur.model ~acked:cur.acked ~n_acked:cur.n_acked

@@ -38,11 +38,15 @@ let mode_is_durable = function
   | Unsafe_wcache -> `Os_crash_only
   | Async_commit -> `Never
 
-type device_kind = Disk of Storage.Hdd.config | Flash of Storage.Ssd.config
+type device_kind =
+  | Disk of Storage.Hdd.config
+  | Flash of Storage.Ssd.config
+  | Nvme of Storage.Nvme.config
 
 let device_name = function
   | Disk config -> Printf.sprintf "hdd-%drpm" config.Storage.Hdd.rpm
   | Flash _ -> "ssd"
+  | Nvme _ -> "nvme"
 
 type workload_kind =
   | Tpcc of Workload.Tpcc_lite.config
@@ -67,6 +71,7 @@ type config = {
   checkpoint_interval : Time.span option;
   pool : Dbms.Buffer_pool.config;
   wal_writer_interval : Time.span;
+  log_streams : int;
 }
 
 let default =
@@ -88,6 +93,7 @@ let default =
     checkpoint_interval = Some Time.(sec 1);
     pool = { Dbms.Buffer_pool.default_config with capacity_pages = 4096 };
     wal_writer_interval = Time.ms 10;
+    log_streams = 1;
   }
 
 type generator = {
@@ -118,6 +124,7 @@ type built = {
 let make_device sim = function
   | Disk config -> Storage.Hdd.create sim config
   | Flash config -> Storage.Ssd.create sim config
+  | Nvme config -> Storage.Nvme.create sim config
 
 let make_generator sim config =
   match config.workload with
@@ -224,14 +231,25 @@ let build config =
         Power.Power_domain.register_device power cached;
         (cached, data_physical, None, None)
   in
+  assert (config.log_streams >= 1);
+  (* The single-disk layout reserves the low addresses for one log
+     region; parallel streams need the dedicated-log-device layout. *)
+  assert (not (config.single_disk && config.log_streams > 1));
   let wal_config =
-    { Dbms.Wal.default_config with
-      Dbms.Wal.flush_after_write = (config.mode = Wcache_flush) }
+    {
+      Dbms.Wal.default_config with
+      Dbms.Wal.flush_after_write = (config.mode = Wcache_flush);
+      streams = config.log_streams;
+    }
   in
   let wal = Dbms.Wal.create sim wal_config ~device:log_attached in
   let pool =
+    (* A dirty page's flush forces the page's own log stream: the engine
+       routes a page's updates to stream [page mod streams], and page
+       LSNs are offsets within that stream. *)
     Dbms.Buffer_pool.create sim config.pool ~device:data_attached
-      ~wal_force:(fun lsn -> Dbms.Wal.force wal lsn)
+      ~wal_force:(fun ~page lsn ->
+        Dbms.Wal.force ~stream:(page mod config.log_streams) wal lsn)
   in
   let async_commit = config.mode = Async_commit in
   let engine =
@@ -241,12 +259,15 @@ let build config =
     ignore
       (Dbms.Engine.spawn_wal_writer engine (Hypervisor.Vmm.guest vmm)
          ~interval:config.wal_writer_interval);
+  (* Checkpointing (master block + truncation) is single-stream: with
+     parallel streams there is no one redo LSN, so recovery repeats
+     history from each stream's start instead. *)
   (match config.checkpoint_interval with
-  | Some interval ->
+  | Some interval when config.log_streams = 1 ->
       ignore
         (Dbms.Checkpoint.start_in_domain (Hypervisor.Vmm.guest vmm)
            { Dbms.Checkpoint.interval } ~wal ~pool)
-  | None -> ());
+  | Some _ | None -> ());
   (* Background writer: keeps clean eviction victims available so page
      misses rarely stall behind a data-device write. *)
   ignore

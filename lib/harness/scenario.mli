@@ -48,7 +48,12 @@ val mode_is_durable :
     [`Os_crash_only] survives OS crashes but not power cuts, [`Never]
     can lose acknowledged commits on any failure. *)
 
-type device_kind = Disk of Storage.Hdd.config | Flash of Storage.Ssd.config
+type device_kind =
+  | Disk of Storage.Hdd.config  (** rotational disk ({!Storage.Hdd}) *)
+  | Flash of Storage.Ssd.config  (** SATA-era SSD ({!Storage.Ssd}) *)
+  | Nvme of Storage.Nvme.config
+      (** NVMe / zoned-append drive ({!Storage.Nvme}): µs-scale writes,
+          [queue_depth]-way concurrent submission *)
 
 val device_name : device_kind -> string
 
@@ -82,6 +87,12 @@ type config = {
   checkpoint_interval : Desim.Time.span option;
   pool : Dbms.Buffer_pool.config;
   wal_writer_interval : Desim.Time.span;  (** for [Async_commit] *)
+  log_streams : int;
+      (** parallel WAL streams (default 1). With more than one, the
+          engine partitions pages across streams, commits carry
+          dependency vectors, and checkpointing is disabled (recovery
+          repeats history from each stream's start). Requires the
+          dedicated-log-device layout (not [single_disk]). *)
 }
 
 val default : config

@@ -44,6 +44,23 @@ let sectors_written t = t.sectors_written
 let busy t = t.busy
 let write_service t = t.write_service
 
+(* Device metrics used to be named by model alone, so two instances of
+   the same model (e.g. the members of a stripe, or a future mixed
+   stripe) merged their [device.write:*] histograms into one row. A
+   registry-scoped counter hands out per-instance suffixes instead: the
+   first instance keeps the bare model name (back-compatible with every
+   existing report and document), later ones get [model#2], [model#3]…
+   The counter lives in the metrics registry itself, so numbering is
+   deterministic per run and resets with the registry. *)
+let instance_name model =
+  match Metrics.recording () with
+  | None -> model
+  | Some reg ->
+      let c = Metrics.counter reg ("device.instances:" ^ model) in
+      Metrics.Counter.incr c;
+      let n = Metrics.Counter.get c in
+      if n = 1 then model else Printf.sprintf "%s#%d" model n
+
 let pp fmt t =
   Format.fprintf fmt
     "reads=%d (%d sectors) writes=%d (%d sectors) flushes=%d busy=%a" t.reads

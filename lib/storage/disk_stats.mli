@@ -20,4 +20,12 @@ val busy : t -> Desim.Time.span
 val write_service : t -> Desim.Stats.Sample.t
 (** Per-write service times in microseconds. *)
 
+val instance_name : string -> string
+(** A per-instance metric label for a device of the given model: the
+    first instance created under the ambient metrics registry keeps the
+    bare model name, subsequent ones get [model#2], [model#3]… so two
+    same-model devices (stripe members, mixed-device stripes) never
+    merge their per-device counters. Returns the model unchanged when no
+    registry is recording. *)
+
 val pp : Format.formatter -> t -> unit

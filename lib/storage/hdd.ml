@@ -182,7 +182,8 @@ let create sim ?(model = "hdd-7200") config =
      model — the bottom of every commit-path breakdown. *)
   let m_write =
     Option.map
-      (fun reg -> Metrics.histogram reg ("device.write:" ^ model))
+      (fun reg ->
+        Metrics.histogram reg ("device.write:" ^ Disk_stats.instance_name model))
       (Metrics.recording ())
   in
   let ops =

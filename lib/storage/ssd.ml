@@ -80,6 +80,12 @@ let create sim ?(model = "ssd") config =
     }
   in
   let stats = Disk_stats.create () in
+  let m_write =
+    Option.map
+      (fun reg ->
+        Metrics.histogram reg ("device.write:" ^ Disk_stats.instance_name model))
+      (Metrics.recording ())
+  in
   let timed_read ~lba ~sectors =
     let started = Sim.now sim in
     let data =
@@ -109,7 +115,11 @@ let create sim ?(model = "ssd") config =
                 ~data
           | None -> ()
         end);
-    Disk_stats.record_write stats ~sectors ~service:(Time.diff (Sim.now sim) started)
+    let service = Time.diff (Sim.now sim) started in
+    (match m_write with
+    | Some h -> Metrics.Histogram.observe_span h service
+    | None -> ());
+    Disk_stats.record_write stats ~sectors ~service
   in
   let ops =
     {

@@ -44,7 +44,7 @@ let run_workload sim ~log_dev ~data_dev =
   let wal = Dbms.Wal.create sim Dbms.Wal.default_config ~device:log_dev in
   let pool =
     Dbms.Buffer_pool.create sim Dbms.Buffer_pool.default_config ~device:data_dev
-      ~wal_force:(Dbms.Wal.force wal)
+      ~wal_force:(fun ~page:_ lsn -> Dbms.Wal.force wal lsn)
   in
   let engine =
     Dbms.Engine.create ~vmm ~profile:Dbms.Engine_profile.postgres_like ~wal ~pool ()

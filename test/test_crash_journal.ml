@@ -60,16 +60,38 @@ let check_verdicts_identical name expected actual =
           (show_verdict e) (show_verdict a))
     expected actual
 
-let journal_matches_replay () =
-  let replay = Crash_surface.sweep ~jobs:1 tiny in
-  let journal = Crash_surface.sweep_journal ~jobs:1 tiny in
+let check_config name config =
+  let replay = Crash_surface.sweep ~jobs:1 config in
+  let journal = Crash_surface.sweep_journal ~jobs:1 config in
   Alcotest.(check bool)
-    (Printf.sprintf "points explored (%d)" replay.Crash_surface.r_explored)
+    (Printf.sprintf "%s: points explored (%d)" name replay.Crash_surface.r_explored)
     true
     (replay.Crash_surface.r_explored >= 6);
-  check_verdicts_identical "journal vs replay" replay.Crash_surface.r_verdicts
-    journal.Crash_surface.r_verdicts;
-  Alcotest.(check bool) "summaries identical" true (replay = journal)
+  check_verdicts_identical (name ^ ": journal vs replay")
+    replay.Crash_surface.r_verdicts journal.Crash_surface.r_verdicts;
+  Alcotest.(check bool) (name ^ ": summaries identical") true (replay = journal)
+
+let journal_matches_replay () = check_config "hdd" tiny
+
+(* The same oracle over the NVMe model: µs-scale drain timing, the
+   queue-depth-deep data members tearing several in-flight programs per
+   point, and the zoned device's sector geometry all must reconstruct
+   bit-identically. *)
+let journal_matches_replay_nvme () =
+  check_config "nvme"
+    {
+      tiny with
+      Crash_surface.scenario =
+        { scenario with Scenario.device = Scenario.Nvme Storage.Nvme.default };
+    }
+
+(* And over parallel WAL streams: the incremental engine steps aside
+   (full recovery per point), but media synthesis — including the
+   multi-admission os-crash gap, one per stream — must still match the
+   replay exactly. *)
+let journal_matches_replay_streams () =
+  check_config "hdd-s2"
+    { tiny with Crash_surface.scenario = { scenario with Scenario.log_streams = 2 } }
 
 let journal_parallel_equals_serial () =
   let serial = Crash_surface.sweep_journal ~jobs:1 tiny in
@@ -102,6 +124,9 @@ let suites =
     ( "harness.crash_journal",
       [
         case "journal sweep bit-identical to full replay" journal_matches_replay;
+        case "journal sweep matches replay on nvme" journal_matches_replay_nvme;
+        case "journal sweep matches replay with 2 streams"
+          journal_matches_replay_streams;
         case "journal parallel equals serial" journal_parallel_equals_serial;
         case "journal support is gated" journal_support_is_gated;
       ] );

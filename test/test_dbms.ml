@@ -364,7 +364,7 @@ let pool_fixture sim =
      the WAL-before-data ordering has its own probe test below. *)
   let dev = Storage.Ssd.create sim Storage.Ssd.default in
   let config = { Buffer_pool.default_config with capacity_pages = 4 } in
-  let pool = Buffer_pool.create sim config ~device:dev ~wal_force:(fun _ -> ()) in
+  let pool = Buffer_pool.create sim config ~device:dev ~wal_force:(fun ~page:_ _ -> ()) in
   (pool, dev, ())
 
 let pool_miss_then_hit () =
@@ -412,7 +412,7 @@ let pool_wal_before_data () =
       let forced_to = ref Lsn.zero in
       let config = { Buffer_pool.default_config with capacity_pages = 4 } in
       let pool =
-        Buffer_pool.create sim config ~device:dev ~wal_force:(fun lsn -> forced_to := lsn)
+        Buffer_pool.create sim config ~device:dev ~wal_force:(fun ~page:_ lsn -> forced_to := lsn)
       in
       Buffer_pool.with_page pool ~key:0 (fun page ->
           Page.set page ~key:0 ~value:"v" ~lsn:(Lsn.of_int 77);
@@ -465,7 +465,7 @@ let make_rig ?(seed = 1L) ?(profile = Engine_profile.postgres_like) () =
   let wal = Wal.create sim Wal.default_config ~device:log_dev in
   let pool =
     Buffer_pool.create sim Buffer_pool.default_config ~device:data_dev
-      ~wal_force:(Wal.force wal)
+      ~wal_force:(fun ~page:_ lsn -> Wal.force wal lsn)
   in
   let engine = Engine.create ~vmm ~profile ~wal ~pool () in
   { sim; vmm; engine; wal; pool; log_dev; data_dev }
@@ -559,7 +559,7 @@ let engine_group_commit_vs_serialised () =
     let wal = Wal.create sim Wal.default_config ~device:log_dev in
     let pool =
       Buffer_pool.create sim Buffer_pool.default_config ~device:data_dev
-        ~wal_force:(Wal.force wal)
+        ~wal_force:(fun ~page:_ lsn -> Wal.force wal lsn)
     in
     let engine = Engine.create ~vmm ~profile ~wal ~pool () in
     for i = 0 to 7 do
@@ -1126,7 +1126,7 @@ let slots_alternate_on_flush () =
   run_in_sim (fun sim ->
       let dev = Storage.Ssd.create sim Storage.Ssd.default in
       let config = Buffer_pool.default_config in
-      let pool = Buffer_pool.create sim config ~device:dev ~wal_force:(fun _ -> ()) in
+      let pool = Buffer_pool.create sim config ~device:dev ~wal_force:(fun ~page:_ _ -> ()) in
       let flush value lsn =
         Buffer_pool.with_page pool ~key:0 (fun page ->
             Page.set page ~key:0 ~value ~lsn:(Lsn.of_int lsn);
@@ -1158,7 +1158,7 @@ let torn_newest_slot_falls_back () =
       let log_dev = Storage.Ssd.create sim Storage.Ssd.default in
       let config = Buffer_pool.default_config in
       let wal = Wal.create sim Wal.default_config ~device:log_dev in
-      let pool = Buffer_pool.create sim config ~device:dev ~wal_force:(Wal.force wal) in
+      let pool = Buffer_pool.create sim config ~device:dev ~wal_force:(fun ~page:_ lsn -> Wal.force wal lsn) in
       let put_and_flush value =
         let lsn =
           Wal.append wal
@@ -1245,7 +1245,7 @@ let cleaner_cleans_dirty_pages () =
   let dev = Storage.Ssd.create sim Storage.Ssd.default in
   let pool =
     Buffer_pool.create sim Buffer_pool.default_config ~device:dev
-      ~wal_force:(fun _ -> ())
+      ~wal_force:(fun ~page:_ _ -> ())
   in
   let domain = Hypervisor.Domain.create sim ~name:"g" ~kind:Hypervisor.Domain.Guest in
   ignore (Buffer_pool.spawn_cleaner pool domain ~interval:(Time.ms 5) ~batch:8);
@@ -1267,7 +1267,7 @@ let cleaner_dies_with_guest () =
   let dev = Storage.Ssd.create sim Storage.Ssd.default in
   let pool =
     Buffer_pool.create sim Buffer_pool.default_config ~device:dev
-      ~wal_force:(fun _ -> ())
+      ~wal_force:(fun ~page:_ _ -> ())
   in
   let domain = Hypervisor.Domain.create sim ~name:"g" ~kind:Hypervisor.Domain.Guest in
   ignore (Buffer_pool.spawn_cleaner pool domain ~interval:(Time.ms 5) ~batch:8);

@@ -29,6 +29,16 @@ let record_gen =
         (fun lsn -> Dbms.Log_record.Checkpoint { redo_lsn = Dbms.Lsn.of_int lsn })
         (int_range 0 0xFF_FFFF);
       map (fun filler -> Dbms.Log_record.Noop { filler }) (int_range 0 64);
+      map2
+        (fun txid deps ->
+          Dbms.Log_record.Commit_multi { txid; deps = Array.of_list deps })
+        txid
+        (list_size (int_range 0 8) (int_range 0 0xFF_FFFF));
+      map2
+        (fun txid deps ->
+          Dbms.Log_record.Abort_multi { txid; deps = Array.of_list deps })
+        txid
+        (list_size (int_range 0 8) (int_range 0 0xFF_FFFF));
     ]
 
 let roundtrip =
@@ -40,6 +50,17 @@ let roundtrip =
       | Some (decoded, size) ->
           decoded = record && size = String.length encoded
       | None -> false)
+
+(* The streaming encoder is the one the WAL append path uses; it must
+   produce the same bytes as the one-shot [encode] — including the CRC,
+   which it computes incrementally as the fields go into the buffer. *)
+let encode_into_matches_encode =
+  prop "encode_into is byte-identical to encode" ~count:500 record_gen
+    (fun record ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf "prefix";
+      Dbms.Log_record.encode_into record buf;
+      Buffer.contents buf = "prefix" ^ Dbms.Log_record.encode record)
 
 (* Flip one byte anywhere in the frame (all 256 alternative values at a
    generated position): the decoder must either reject the record or —
@@ -92,5 +113,11 @@ let truncation_rejected =
 let suites =
   [
     ( "dbms.log_record_prop",
-      [ roundtrip; single_byte_flip; trailing_garbage; truncation_rejected ] );
+      [
+        roundtrip;
+        encode_into_matches_encode;
+        single_byte_flip;
+        trailing_garbage;
+        truncation_rejected;
+      ] );
   ]

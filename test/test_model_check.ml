@@ -50,32 +50,51 @@ let model_push model ~lba ~sectors ~fill ~accepted =
 let model_bytes model =
   List.fold_left (fun acc (_, sectors, _) -> acc + (sectors * sector)) 0 model.queued
 
-(* Drain entries from the model in order while they belong to the batch
-   the implementation would coalesce: start at the head, keep merging
-   entries that begin within or adjacent to the accumulated range, within
-   the byte budget. *)
+(* Drain one coalesced batch from the model: start at the head, take
+   followers that begin within or adjacent to the accumulated range and
+   fit the byte budget. Entries outside the range are *skipped over*
+   (they stay queued, in order) rather than ending the batch — that is
+   the region-aware drain — but a later entry overlapping a skipped
+   one is never taken, so writes to any given sector stay in push
+   order. An in-range entry over the byte budget ends the batch —
+   mirroring [Ring_buffer.pop_coalesced]. *)
 let model_drain_batch model ~max_bytes =
   match model.queued with
   | [] -> false
   | (lba0, sectors0, fill0) :: rest ->
-      (* The head is always taken; followers merge while they start
-         within or adjacent to the accumulated range and fit the byte
-         budget — mirroring [Ring_buffer.pop_coalesced]. *)
       model_apply model (lba0, sectors0, fill0);
       let base = lba0 in
       let end_lba = ref (lba0 + sectors0) in
       let budget = ref (sectors0 * sector) in
-      let rec take_more = function
-        | (lba, sectors, fill) :: rest
-          when lba >= base && lba <= !end_lba
-               && !budget + (sectors * sector) <= max_bytes ->
-            model_apply model (lba, sectors, fill);
-            end_lba := max !end_lba (lba + sectors);
-            budget := !budget + (sectors * sector);
-            take_more rest
-        | rest -> model.queued <- rest
+      let skipped = ref [] in
+      let overlaps_skipped lba stop =
+        List.exists (fun (lo, hi) -> lba < hi && lo < stop) !skipped
       in
-      take_more rest;
+      let stopped = ref false in
+      let kept = ref [] in
+      List.iter
+        (fun ((lba, sectors, _) as entry) ->
+          let stop = lba + sectors in
+          if
+            (not !stopped)
+            && lba >= base && lba <= !end_lba
+            && not (overlaps_skipped lba stop)
+          then
+            if !budget + (sectors * sector) <= max_bytes then begin
+              model_apply model entry;
+              end_lba := max !end_lba stop;
+              budget := !budget + (sectors * sector)
+            end
+            else begin
+              stopped := true;
+              kept := entry :: !kept
+            end
+          else begin
+            skipped := (lba, stop) :: !skipped;
+            kept := entry :: !kept
+          end)
+        rest;
+      model.queued <- List.rev !kept;
       true
 
 let media_of_impl impl_media =
