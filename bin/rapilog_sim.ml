@@ -66,6 +66,21 @@ let log_streams_arg =
     & info [ "log-streams" ] ~docv:"N"
         ~doc:"Parallel WAL streams (requires the dedicated-log-device layout).")
 
+let replicas_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "replicas" ] ~docv:"N"
+        ~doc:"Replica machines in the rapilog-quorum cluster.")
+
+let quorum_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "quorum" ] ~docv:"K"
+        ~doc:
+          "Replica acks required to commit in rapilog-quorum mode \
+           (default: a majority of the replicas).")
+
 let parse_device s =
   match String.split_on_char ':' s with
   | [ "hdd" ] -> Ok (Scenario.Disk Storage.Hdd.default_7200rpm)
@@ -98,7 +113,7 @@ let parse_engine s =
   | None -> Error (Printf.sprintf "unknown engine profile %S" s)
 
 let build_config mode clients seed duration device workload engine buffer_kib holdup_ms
-    single_disk data_spindles log_streams =
+    single_disk data_spindles log_streams replicas quorum =
   let ( let* ) = Result.bind in
   let* device = parse_device device in
   let* workload = parse_workload workload in
@@ -109,6 +124,14 @@ let build_config mode clients seed duration device workload engine buffer_kib ho
       Error "log-streams requires a dedicated log device (drop --single-disk)"
     else Ok ()
   in
+  let* () = if replicas >= 1 then Ok () else Error "replicas must be at least 1" in
+  let quorum_k =
+    match quorum with Some k -> k | None -> Net.Quorum.majority replicas
+  in
+  let* () =
+    if quorum_k >= 1 && quorum_k <= replicas then Ok ()
+    else Error "quorum must satisfy 1 <= K <= replicas"
+  in
   Ok
     {
       Scenario.default with
@@ -116,6 +139,7 @@ let build_config mode clients seed duration device workload engine buffer_kib ho
       single_disk;
       data_spindles;
       log_streams;
+      quorum = { Net.Quorum.default with Net.Quorum.replicas; quorum = quorum_k };
       clients;
       seed;
       duration = Desim.Time.span_of_float_sec duration;
@@ -134,7 +158,8 @@ let config_term =
   let open Term in
   const build_config $ mode_arg $ clients_arg $ seed_arg $ duration_arg
   $ device_arg $ workload_arg $ engine_arg $ buffer_kib_arg $ holdup_ms_arg
-  $ single_disk_arg $ data_spindles_arg $ log_streams_arg
+  $ single_disk_arg $ data_spindles_arg $ log_streams_arg $ replicas_arg
+  $ quorum_arg
 
 let or_exit = function
   | Ok v -> v
@@ -235,6 +260,9 @@ let modes_cmd =
                | `Always -> "survives OS crashes and power cuts"
                | `Machine_loss_too ->
                    "survives OS crashes, power cuts and primary machine loss"
+               | `Minority_loss_too ->
+                   "survives OS crashes, power cuts, partitions, and loss of \
+                    the primary plus any minority of replicas"
                | `Os_crash_only -> "survives OS crashes; loses on power cuts"
                | `Never -> "can lose recent commits on any crash");
              ])

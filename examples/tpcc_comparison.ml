@@ -48,6 +48,7 @@ let () =
              (match Scenario.mode_is_durable mode with
              | `Always -> "yes"
              | `Machine_loss_too -> "yes + machine loss"
+             | `Minority_loss_too -> "yes + minority loss"
              | `Os_crash_only -> "power-unsafe"
              | `Never -> "no");
            ])

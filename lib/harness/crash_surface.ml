@@ -210,6 +210,12 @@ let run_point config kind ~event_index ~at_ns =
          whatever was already on the wire to it. *)
       Hypervisor.Vmm.crash_guest built.Scenario.vmm;
       Power.Power_domain.lose built.Scenario.power;
+      (* A dead machine is also a dead network endpoint: sever every
+         quorum link so in-flight appends and acks die on the wire
+         instead of delivering post-mortem. Without this the Quorum 1
+         control cell could never lose — entries still in flight to the
+         slow replicas would land after the "loss". *)
+      Option.iter Net.Quorum.primary_lost built.Scenario.quorum;
       Sim.schedule_at sim (Time.add (Sim.now sim) (Time.ms 2)) stop_monitor
   | Power_cut | Power_cut_tight ->
       Power.Power_domain.cut built.Scenario.power;
@@ -337,6 +343,240 @@ let sweep ?jobs config =
   assemble config
     ~boundaries_by_kind:(List.map (fun e -> (e.e_kind, e.e_boundaries)) enums)
     verdicts
+
+(* {2 Crash pairs and partition schedules}
+
+   The quorum promise is stronger than machine loss: the acknowledged
+   prefix must survive the primary {e plus} any (quorum - 1) replicas,
+   and must not care whether a replica was partitioned off while commits
+   were in flight. So the sweep gets a second axis: for every (strided)
+   pair of boundary candidates (i, j) with t_i <= t_j, a schedule kills
+   or partitions two things — the first action exactly at event boundary
+   i (with the same replay-determinism clock cross-check as the single
+   sweep), the second at the enumerated clock instant t_j.
+
+   The second action is time-targeted, not event-targeted, on purpose:
+   the first injection perturbs the world, so event index j no longer
+   names the same instant — but the instant itself is still a
+   well-defined point of the perturbed run. Pair points always run as
+   full replays; the journal engine reconstructs a single machine's
+   durable state and cannot synthesize the cluster's network. *)
+
+type pair_schedule =
+  | Primary_then_node  (* primary dies at t_i, replica r at t_j *)
+  | Node_then_primary  (* replica r dies at t_i, primary at t_j *)
+  | Partition_commit  (* r partitioned at t_i, primary dies at t_j *)
+  | Partition_heal  (* r partitioned at t_i, healed midway, primary dies at t_j *)
+
+let pair_schedule_name = function
+  | Primary_then_node -> "primary-then-node"
+  | Node_then_primary -> "node-then-primary"
+  | Partition_commit -> "partition-commit"
+  | Partition_heal -> "partition-heal"
+
+let all_pair_schedules =
+  [ Primary_then_node; Node_then_primary; Partition_commit; Partition_heal ]
+
+let pair_schedule_of_name name =
+  List.find_opt
+    (fun s -> String.equal (pair_schedule_name s) name)
+    all_pair_schedules
+
+type pair_verdict = {
+  pv_schedule : pair_schedule;
+  pv_first_event : int;
+  pv_first_ns : int;
+  pv_second_ns : int;
+  pv_node : int;
+  pv_acked : int;
+  pv_lost : int;
+  pv_extra : int;
+  pv_state_exact : bool;
+  pv_invariant_violations : int;
+  pv_elected : int;  (* leader of the recovery election; -1 if none *)
+  pv_term : int;
+  pv_election_quorate : bool;
+  pv_contract_ok : bool;
+}
+
+let run_pair_point config ~schedule ~first_event ~first_ns ~second_ns ~node =
+  let built = Scenario.build (effective_scenario config Machine_loss) in
+  let quorum =
+    match built.Scenario.quorum with
+    | Some quorum -> quorum
+    | None ->
+        invalid_arg "Crash_surface: pair sweep requires the rapilog-quorum mode"
+  in
+  let sim = built.Scenario.sim in
+  let track = Driver.make_tracking () in
+  let monitor = Option.map (Rapilog.Invariants.attach sim) built.Scenario.logger in
+  let stop_monitor () = Option.iter Rapilog.Invariants.stop monitor in
+  Driver.spawn_loader built track ~after_load:(fun () ->
+      Driver.spawn_clients built track);
+  if not (Sim.run_to_event sim first_event) then
+    failwith
+      (Printf.sprintf "Crash_surface: event boundary %d beyond simulation end"
+         first_event);
+  let now_ns = Time.to_ns (Sim.now sim) in
+  if now_ns <> first_ns then
+    failwith
+      (Printf.sprintf
+         "Crash_surface: replay diverged at event %d: enumerated %d ns, \
+          replayed %d ns"
+         first_event first_ns now_ns);
+  let kill_primary () =
+    Hypervisor.Vmm.crash_guest built.Scenario.vmm;
+    Power.Power_domain.lose built.Scenario.power;
+    Net.Quorum.primary_lost quorum
+  in
+  let at ns fn = Sim.schedule_at sim (Time.of_ns ns) fn in
+  (match schedule with
+  | Primary_then_node ->
+      kill_primary ();
+      at second_ns (fun () -> Net.Quorum.node_lost quorum node)
+  | Node_then_primary ->
+      Net.Quorum.node_lost quorum node;
+      at second_ns kill_primary
+  | Partition_commit ->
+      (* Partition during commit: the cluster keeps committing with the
+         partitioned replica's appends held on the wire, then the
+         primary dies with the partition still up. *)
+      Net.Quorum.partition_node quorum node;
+      at second_ns kill_primary
+  | Partition_heal ->
+      Net.Quorum.partition_node quorum node;
+      at ((first_ns + second_ns) / 2) (fun () -> Net.Quorum.heal_node quorum node);
+      at second_ns kill_primary);
+  at (second_ns + Time.span_to_ns (Time.ms 2)) stop_monitor;
+  Sim.run sim;
+  let recovery =
+    Dbms.Recovery.run
+      ~log_device:(Scenario.recovery_log_device built)
+      ~data_device:built.Scenario.data_physical
+      ~wal_config:built.Scenario.wal_config
+      ~pool_config:built.Scenario.config.Scenario.pool
+  in
+  let audit =
+    Audit.check ~model:track.Driver.model ~acked:track.Driver.acked ~recovery
+  in
+  let invariant_violations =
+    match monitor with
+    | Some monitor -> List.length (Rapilog.Invariants.violations monitor)
+    | None -> 0
+  in
+  let elected, term, quorate =
+    match Net.Quorum.last_election quorum with
+    | Some e ->
+        (e.Net.Quorum.el_leader, e.Net.Quorum.el_term, e.Net.Quorum.el_quorum)
+    | None -> (-1, 0, false)
+  in
+  {
+    pv_schedule = schedule;
+    pv_first_event = first_event;
+    pv_first_ns = first_ns;
+    pv_second_ns = second_ns;
+    pv_node = node;
+    pv_acked = List.length track.Driver.acked;
+    pv_lost = List.length audit.Audit.durability.Rapilog.Durability.lost;
+    pv_extra = List.length audit.Audit.durability.Rapilog.Durability.extra;
+    pv_state_exact = audit.Audit.state_exact;
+    pv_invariant_violations = invariant_violations;
+    pv_elected = elected;
+    pv_term = term;
+    pv_election_quorate = quorate;
+    pv_contract_ok =
+      Rapilog.Durability.holds audit.Audit.durability
+      && audit.Audit.state_exact
+      && invariant_violations = 0;
+  }
+
+type pair_summary = {
+  ps_schedule : pair_schedule;
+  ps_points : int;
+  ps_breaks : int;
+  ps_lost : int;
+}
+
+type pair_result = {
+  pr_mode : Scenario.mode;
+  pr_candidates : int;  (* boundary candidates on each axis *)
+  pr_pairs : int;  (* ordered pairs available before pruning *)
+  pr_points : int;
+  pr_breaks : int;
+  pr_lost_total : int;
+  pr_schedules : pair_summary list;
+  pr_verdicts : pair_verdict list;
+}
+
+let sweep_pairs ?jobs config ~schedules ~target =
+  if config.scenario.Scenario.mode <> Scenario.Rapilog_quorum then
+    invalid_arg "Crash_surface.sweep_pairs: requires the rapilog-quorum mode";
+  if target < 1 then invalid_arg "Crash_surface.sweep_pairs: target must be >= 1";
+  let replicas = config.scenario.Scenario.quorum.Net.Quorum.replicas in
+  let enum = enumerate config Machine_loss in
+  let cands = enum.e_candidates in
+  let n = Array.length cands in
+  let pairs = ref [] in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i do
+      pairs := (i, j) :: !pairs
+    done
+  done;
+  let pairs = Array.of_list !pairs in
+  let total = Array.length pairs in
+  (* Prune to ~[target] pairs per schedule, strided over the flattened
+     (i, j) grid so both axes stay covered. Every schedule sweeps the
+     same pair set; the killed/partitioned replica rotates as
+     (i + j) mod replicas so each node id gets hit across the grid. *)
+  let stride = max 1 (total / target) in
+  let selected = ref [] in
+  let k = ref 0 in
+  while !k < total do
+    selected := pairs.(!k) :: !selected;
+    k := !k + stride
+  done;
+  let selected = List.rev !selected in
+  let tasks =
+    List.concat_map
+      (fun schedule ->
+        List.map
+          (fun (i, j) ->
+            let first_event, first_ns = cands.(i) in
+            let _, second_ns = cands.(j) in
+            (schedule, first_event, first_ns, second_ns, (i + j) mod replicas))
+          selected)
+      schedules
+  in
+  let verdicts =
+    Parallel.map ?jobs
+      (fun (schedule, first_event, first_ns, second_ns, node) ->
+        run_pair_point config ~schedule ~first_event ~first_ns ~second_ns ~node)
+      tasks
+  in
+  let summary_of schedule =
+    let of_schedule =
+      List.filter (fun v -> v.pv_schedule = schedule) verdicts
+    in
+    {
+      ps_schedule = schedule;
+      ps_points = List.length of_schedule;
+      ps_breaks =
+        List.length (List.filter (fun v -> not v.pv_contract_ok) of_schedule);
+      ps_lost = List.fold_left (fun acc v -> acc + v.pv_lost) 0 of_schedule;
+    }
+  in
+  let summaries = List.map summary_of schedules in
+  {
+    pr_mode = config.scenario.Scenario.mode;
+    pr_candidates = n;
+    pr_pairs = total;
+    pr_points = List.length verdicts;
+    pr_breaks =
+      List.fold_left (fun acc s -> acc + s.ps_breaks) 0 summaries;
+    pr_lost_total = List.fold_left (fun acc s -> acc + s.ps_lost) 0 summaries;
+    pr_schedules = summaries;
+    pr_verdicts = verdicts;
+  }
 
 (* {2 Journal-based incremental reconstruction}
 

@@ -140,6 +140,104 @@ val sweep : ?jobs:int -> config -> result
     deterministic kind-major boundary order and bit-identical to
     [~jobs:1]. *)
 
+(** {2 Crash pairs and partition schedules}
+
+    The quorum scenario ([Rapilog_quorum], {!Net.Quorum}) promises more
+    than single-machine loss: the acknowledged prefix survives the
+    primary {e plus} any [quorum - 1] replicas, partitions included. The
+    pair sweep tests exactly that surface: for every (strided) ordered
+    pair of boundary candidates [(t_i, t_j)] with [t_i <= t_j] and every
+    schedule below, the first action lands {e exactly} at event boundary
+    [i] (same replay-determinism clock cross-check as {!run_point}) and
+    the second at clock instant [t_j] — time-targeted, because the first
+    injection perturbs the event sequence, while the enumerated instant
+    remains a well-defined point of the perturbed run. The
+    killed/partitioned replica rotates over the pair grid as
+    [(i + j) mod replicas]. Pair points always run as full replays: the
+    journal engine reconstructs one machine's durable state and cannot
+    synthesize the cluster's network. *)
+
+type pair_schedule =
+  | Primary_then_node
+      (** primary machine-loss at [t_i], replica loss at [t_j] *)
+  | Node_then_primary
+      (** replica loss at [t_i], primary machine-loss at [t_j] *)
+  | Partition_commit
+      (** replica partitioned at [t_i], primary machine-loss at [t_j]
+          with the partition still up — commits must have kept flowing
+          through the rest of the quorum *)
+  | Partition_heal
+      (** replica partitioned at [t_i], healed at the midpoint, primary
+          machine-loss at [t_j] — the flushed backlog must merge back
+          deterministically *)
+
+val pair_schedule_name : pair_schedule -> string
+val pair_schedule_of_name : string -> pair_schedule option
+val all_pair_schedules : pair_schedule list
+
+type pair_verdict = {
+  pv_schedule : pair_schedule;
+  pv_first_event : int;
+  pv_first_ns : int;
+  pv_second_ns : int;
+  pv_node : int;  (** the replica killed or partitioned *)
+  pv_acked : int;
+  pv_lost : int;
+  pv_extra : int;
+  pv_state_exact : bool;
+  pv_invariant_violations : int;
+  pv_elected : int;
+      (** leader chosen by the recovery election; -1 if none was live *)
+  pv_term : int;
+  pv_election_quorate : bool;
+      (** the election reached its adoption quorum — guaranteed at
+          majority quorum under any single-replica loss, and exactly
+          what an under-replicated cell forfeits *)
+  pv_contract_ok : bool;
+}
+
+val run_pair_point :
+  config ->
+  schedule:pair_schedule ->
+  first_event:int ->
+  first_ns:int ->
+  second_ns:int ->
+  node:int ->
+  pair_verdict
+(** One pair point: replay to [first_event] (clock must equal
+    [first_ns]), apply the schedule's first action there and its second
+    at [second_ns], settle, recover through
+    {!Scenario.recovery_log_device} (which runs the quorum election) and
+    audit. Raises [Invalid_argument] unless the scenario is
+    [Rapilog_quorum]. *)
+
+type pair_summary = {
+  ps_schedule : pair_schedule;
+  ps_points : int;
+  ps_breaks : int;
+  ps_lost : int;
+}
+
+type pair_result = {
+  pr_mode : Scenario.mode;
+  pr_candidates : int;  (** boundary candidates on each axis *)
+  pr_pairs : int;  (** ordered pairs available before pruning *)
+  pr_points : int;  (** pair points actually run, all schedules *)
+  pr_breaks : int;
+  pr_lost_total : int;
+  pr_schedules : pair_summary list;
+  pr_verdicts : pair_verdict list;  (** schedule-major, grid order *)
+}
+
+val sweep_pairs :
+  ?jobs:int -> config -> schedules:pair_schedule list -> target:int -> pair_result
+(** Enumerate machine-loss boundaries once, form every ordered candidate
+    pair, prune to ~[target] pairs by striding the flattened grid (both
+    axes stay covered), and run every schedule over the same pair set on
+    the {!Parallel} pool — deterministic order, bit-identical to
+    [~jobs:1]. Raises [Invalid_argument] unless the scenario mode is
+    [Rapilog_quorum]. *)
+
 (** {2 Journal-based incremental sweep}
 
     {!sweep} costs one full scenario replay per crash point. The journal

@@ -5,6 +5,7 @@ type mode =
   | Virt_sync
   | Rapilog
   | Rapilog_replicated
+  | Rapilog_quorum
   | Wcache_flush
   | Unsafe_wcache
   | Async_commit
@@ -14,6 +15,7 @@ let mode_name = function
   | Virt_sync -> "virt-sync"
   | Rapilog -> "rapilog"
   | Rapilog_replicated -> "rapilog-replicated"
+  | Rapilog_quorum -> "rapilog-quorum"
   | Wcache_flush -> "wcache-flush"
   | Unsafe_wcache -> "unsafe-wcache"
   | Async_commit -> "async-commit"
@@ -24,6 +26,7 @@ let all_modes =
     Virt_sync;
     Rapilog;
     Rapilog_replicated;
+    Rapilog_quorum;
     Wcache_flush;
     Unsafe_wcache;
     Async_commit;
@@ -35,6 +38,7 @@ let mode_of_name name =
 let mode_is_durable = function
   | Native_sync | Virt_sync | Rapilog | Wcache_flush -> `Always
   | Rapilog_replicated -> `Machine_loss_too
+  | Rapilog_quorum -> `Minority_loss_too
   | Unsafe_wcache -> `Os_crash_only
   | Async_commit -> `Never
 
@@ -67,6 +71,7 @@ type config = {
   seed : int64;
   logger : Rapilog.Trusted_logger.config;
   net : Net.Replication.config;
+  quorum : Net.Quorum.config;
   psu : Power.Psu.config;
   checkpoint_interval : Time.span option;
   pool : Dbms.Buffer_pool.config;
@@ -89,6 +94,7 @@ let default =
     seed = 42L;
     logger = Rapilog.Trusted_logger.default_config;
     net = Net.Replication.default;
+    quorum = Net.Quorum.default;
     psu = Power.Psu.default;
     checkpoint_interval = Some Time.(sec 1);
     pool = { Dbms.Buffer_pool.default_config with capacity_pages = 4096 };
@@ -118,6 +124,7 @@ type built = {
   data_chunk_sectors : int;
   logger : Rapilog.Trusted_logger.t option;
   replication : Net.Replication.t option;
+  quorum : Net.Quorum.t option;
   generator : generator;
 }
 
@@ -163,7 +170,8 @@ let build config =
   let vmm_config =
     match config.mode with
     | Native_sync | Wcache_flush | Unsafe_wcache | Async_commit -> Hypervisor.Vmm.native
-    | Virt_sync | Rapilog | Rapilog_replicated -> Hypervisor.Vmm.default_sel4
+    | Virt_sync | Rapilog | Rapilog_replicated | Rapilog_quorum ->
+        Hypervisor.Vmm.default_sel4
   in
   let vmm = Hypervisor.Vmm.create sim vmm_config in
   let power = Power.Power_domain.create sim config.psu in
@@ -200,15 +208,15 @@ let build config =
   let virtio_of device =
     Hypervisor.Vmm.attach_virtio_disk vmm (Hypervisor.Virtio_blk.backend_of_block device)
   in
-  let log_attached, data_attached, logger, replication =
+  let log_attached, data_attached, logger, replication, quorum =
     match config.mode with
     | Native_sync | Async_commit ->
         Power.Power_domain.register_device power log_physical;
-        (log_physical, data_physical, None, None)
+        (log_physical, data_physical, None, None, None)
     | Virt_sync ->
         Power.Power_domain.register_device power log_physical;
-        (virtio_of log_physical, virtio_of data_physical, None, None)
-    | Rapilog | Rapilog_replicated ->
+        (virtio_of log_physical, virtio_of data_physical, None, None, None)
+    | Rapilog | Rapilog_replicated | Rapilog_quorum ->
         (* The logger registers the physical device itself. *)
         let frontend, logger =
           Rapilog.attach ~vmm ~power ~config:config.logger ~device:log_physical ()
@@ -222,14 +230,24 @@ let build config =
             Some (Net.Replication.attach sim config.net ~logger ~replica_device)
           else None
         in
-        (frontend, virtio_of data_physical, Some logger, replication)
+        let quorum =
+          if config.mode = Rapilog_quorum then
+            (* Each replica is its own machine, its own failure domain:
+               none of the replica devices join the primary's power
+               domain. *)
+            Some
+              (Net.Quorum.attach sim config.quorum ~logger
+                 ~make_device:(fun _ -> make_device sim config.device))
+          else None
+        in
+        (frontend, virtio_of data_physical, Some logger, replication, quorum)
     | Wcache_flush | Unsafe_wcache ->
         (* Same hardware; the modes differ in whether the WAL issues a
            flush barrier after every force (safe) or trusts the volatile
            cache (fast and lossy on power cuts). *)
         let cached = Storage.Write_cache.wrap sim Storage.Write_cache.default log_physical in
         Power.Power_domain.register_device power cached;
-        (cached, data_physical, None, None)
+        (cached, data_physical, None, None, None)
   in
   assert (config.log_streams >= 1);
   (* The single-disk layout reserves the low addresses for one log
@@ -290,6 +308,7 @@ let build config =
     data_chunk_sectors;
     logger;
     replication;
+    quorum;
     generator = make_generator sim config;
   }
 
@@ -299,7 +318,9 @@ let build config =
    fatal to survivable; for single-machine crash kinds it only ever
    adds durable-but-unacked extras, which the audit tolerates. *)
 let recovery_log_device built =
-  match built.replication with
-  | Some replication ->
+  match (built.quorum, built.replication) with
+  | Some quorum, _ ->
+      Net.Quorum.recovery_log_device quorum ~primary:built.log_physical
+  | None, Some replication ->
       Net.Replication.recovery_log_device replication ~primary:built.log_physical
-  | None -> built.log_physical
+  | None, None -> built.log_physical

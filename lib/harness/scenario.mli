@@ -16,6 +16,12 @@
       {!config.net}). Under the default replica-ack policy, commits
       acknowledge only once the remote copy is held too, so even losing
       the whole primary machine loses nothing acknowledged.
+    - [Rapilog_quorum]: RapiLog-Q — the trusted logger streams admitted
+      entries to [n] replica machines and commits acknowledge only once
+      [k] of them hold the entry ({!Net.Quorum}, cluster shape from
+      {!config.quorum}). At majority quorum the acknowledged prefix
+      survives losing the primary plus any minority of replicas, with
+      an explicit leader election at recovery.
     - [Wcache_flush]: bare metal with the disk's volatile write cache
       enabled and a flush barrier after every log force. Safe — and the
       barrier largely negates the cache, which is why the cache gets
@@ -31,6 +37,7 @@ type mode =
   | Virt_sync
   | Rapilog
   | Rapilog_replicated
+  | Rapilog_quorum
   | Wcache_flush
   | Unsafe_wcache
   | Async_commit
@@ -40,13 +47,17 @@ val mode_of_name : string -> mode option
 val all_modes : mode list
 
 val mode_is_durable :
-  mode -> [ `Always | `Machine_loss_too | `Os_crash_only | `Never ]
+  mode ->
+  [ `Always | `Machine_loss_too | `Minority_loss_too | `Os_crash_only | `Never ]
 (** The durability each mode promises: [`Always] covers OS crashes and
     power cuts, [`Machine_loss_too] additionally survives the whole
     primary machine vanishing (replica-ack replication — the promise
     assumes the default {!Net.Replication.config.policy}),
-    [`Os_crash_only] survives OS crashes but not power cuts, [`Never]
-    can lose acknowledged commits on any failure. *)
+    [`Minority_loss_too] survives the primary plus any [quorum - 1]
+    replicas vanishing, partitions included (quorum replication — the
+    promise assumes [quorum] is a majority of {!Net.Quorum.config}'s
+    replicas), [`Os_crash_only] survives OS crashes but not power cuts,
+    [`Never] can lose acknowledged commits on any failure. *)
 
 type device_kind =
   | Disk of Storage.Hdd.config  (** rotational disk ({!Storage.Hdd}) *)
@@ -83,6 +94,9 @@ type config = {
   logger : Rapilog.Trusted_logger.config;
   net : Net.Replication.config;
       (** replication policy and link shapes, for [Rapilog_replicated] *)
+  quorum : Net.Quorum.config;
+      (** cluster size, quorum and per-replica link shapes, for
+          [Rapilog_quorum] *)
   psu : Power.Psu.config;
   checkpoint_interval : Desim.Time.span option;
   pool : Dbms.Buffer_pool.config;
@@ -123,8 +137,9 @@ type built = {
   data_chunk_sectors : int;
       (** stripe chunk size; 0 when the data volume is not striped *)
   logger : Rapilog.Trusted_logger.t option;
-      (** in [Rapilog] and [Rapilog_replicated] modes *)
+      (** in [Rapilog], [Rapilog_replicated] and [Rapilog_quorum] modes *)
   replication : Net.Replication.t option;  (** in [Rapilog_replicated] mode *)
+  quorum : Net.Quorum.t option;  (** in [Rapilog_quorum] mode *)
   generator : generator;
 }
 
@@ -134,9 +149,12 @@ val build : config -> built
 
 val recovery_log_device : built -> Storage.Block.t
 (** The log device recovery should read after a crash: [log_physical],
-    or — when the scenario has a replica — a frozen merge of the
-    primary's durable media with the replica's received entry prefix
-    ({!Net.Replication.recovery_log_device}). *)
+    or — when the scenario has replicas — a frozen merge of the
+    primary's durable media with the replicas' received entry prefixes
+    ({!Net.Quorum.recovery_log_device} for [Rapilog_quorum], which also
+    runs the leader election when the primary is dead;
+    {!Net.Replication.recovery_log_device} for
+    [Rapilog_replicated]). *)
 
 val hdd_streaming_bandwidth : Storage.Hdd.config -> float
 (** Sequential write bandwidth in bytes/s — the drain rate available to

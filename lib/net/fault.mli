@@ -19,7 +19,13 @@ val outage_between :
     [\[min_outage, max_outage)] (both degenerate deterministically when
     empty; reversed bounds raise [Invalid_argument]). [partition] and
     [heal] typically call {!Link.partition} / {!Link.heal} on the links
-    crossing the cut. Returns [(partition_at, heal_at)]. *)
+    crossing the cut. Returns [(partition_at, heal_at)].
+
+    Machine loss inside an active outage: if the peer behind the cut is
+    lost ({!Link.sever}) before [heal] fires, loss wins — the severed
+    link drops its partition state along with the held backlog, and the
+    late [heal] callback is a harmless no-op on a dead link. Fault
+    schedules therefore never resurrect traffic to a lost machine. *)
 
 val machine_loss_at : Sim.t -> Power.Power_domain.t -> at:Time.t -> unit
 (** Schedule {!Power.Power_domain.lose} — the whole machine vanishing,

@@ -224,6 +224,11 @@ let partitioned t = t.is_partitioned
 let sever t =
   if not t.severed then begin
     t.severed <- true;
+    (* Loss wins over partition: a dead peer has no held backlog waiting
+       for a heal, so the partition state is dropped with the queue. A
+       heal scheduled before the loss was known finds nothing to flush
+       and [partitioned] reports false from here on. *)
+    t.is_partitioned <- false;
     t.n_dropped <- t.n_dropped + t.count;
     (* Release payload references for the collector. *)
     for i = 0 to t.count - 1 do

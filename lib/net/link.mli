@@ -77,7 +77,14 @@ val partitioned : _ t -> bool
 
 val sever : _ t -> unit
 (** The peer is gone: discard everything queued and drop all future
-    sends. Used for machine loss. Irreversible. *)
+    sends. Used for machine loss. Irreversible.
+
+    Loss wins over partition: severing a link that is currently
+    partitioned drops the partition state along with the held backlog —
+    {!partitioned} reports [false] afterwards and a late {!heal} is a
+    no-op. A machine loss scheduled inside an active outage therefore
+    has one defined outcome: the dead node's links are severed, full
+    stop. *)
 
 (** {1 Counters} *)
 

@@ -67,6 +67,14 @@ let receive t ~seq ~lba ~data =
   Resource.Condition.signal t.arrived
 
 let entries t = List.rev t.entries_rev
+
+let prefix t =
+  (* Longest consecutive prefix 1..m of the arrived sequence numbers.
+     On a FIFO data link arrivals are already in order, so this is just
+     a guarded count, but the walk stays correct either way. *)
+  let next = ref 1 in
+  List.iter (fun (seq, _, _) -> if seq = !next then incr next) (entries t);
+  !next - 1
 let received t = t.received
 let received_bytes t = t.received_bytes
 let drained_writes t = t.drained_writes

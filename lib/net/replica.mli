@@ -34,6 +34,11 @@ val receive : t -> seq:int -> lba:int -> data:string -> unit
 val entries : t -> (int * int * string) list
 (** All received entries as [(seq, lba, data)] in arrival order. *)
 
+val prefix : t -> int
+(** Length [m] of the longest consecutive prefix [1..m] of the received
+    sequence numbers — this replica's durable watermark, the quantity a
+    quorum election compares across live nodes. *)
+
 val received : t -> int
 
 val received_bytes : t -> int

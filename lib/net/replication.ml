@@ -155,13 +155,9 @@ let recovery_log_device t ~primary =
      prefix (admission order, seq from 1), applied in order so a later
      rewrite of the same sectors wins, exactly as on the primary. Links
      are FIFO so a gap means loss; anything after a gap cannot be
-     trusted to reflect a prefix of the admitted stream. *)
-  let next = ref 1 in
+     trusted to reflect a prefix of the admitted stream. The one-replica
+     case is the quorum merge over a singleton cluster. *)
   List.iter
-    (fun (seq, lba, data) ->
-      if seq = !next then begin
-        Storage.Block.Media.write media ~lba ~data;
-        incr next
-      end)
-    (Replica.entries t.replica);
+    (fun (_seq, lba, data) -> Storage.Block.Media.write media ~lba ~data)
+    (Quorum.merge_prefix [ Replica.entries t.replica ]);
   Storage.Block.of_media ~model:"replicated-log" media

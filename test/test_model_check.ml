@@ -312,10 +312,122 @@ let pc_exhaustive () =
   (* 4 + 16 + 64 + 256 sequences, each against the real logger. *)
   Alcotest.(check int) "sequences explored" 340 !count
 
+(* -- Quorum replication protocol, exhaustive ------------------------------
+
+   RapiLog-Q's commit/election state machine (Net.Quorum.Protocol) is
+   the component whose safety argument carries the multi-node claim, so
+   it gets the same treatment as the ring buffer: exhaustive enumeration
+   of every operation interleaving up to a bounded depth, checking
+   committed-prefix monotonicity after every step. The fault envelope is
+   the protocol's own contract — the primary plus at most k - 1 replicas
+   may die. Two cells share the same envelope (one replica loss):
+
+   - quorum 2 of 3 must show zero violations over the whole space —
+     a quorum-acked entry survives the primary plus one replica, through
+     any election;
+   - quorum 1 of 3 must show violations — one acked copy plus the
+     primary is the entire durability domain, and the checker's job is
+     to prove it can find that hole (the teeth check for the checker).
+
+   Deliver is composed eagerly with the leader's collect of that node's
+   responses: each [Q_deliver r] processes one inbound message and then
+   drains [r]'s outbox. Per-link FIFO cannot produce the response
+   interleavings this collapses, so no reachable commit/adoption
+   ordering is lost, and the state space stays tractable. *)
+
+module QP = Net.Quorum.Protocol
+
+type q_op =
+  | Q_append
+  | Q_deliver of int
+  | Q_lose_primary
+  | Q_lose of int
+  | Q_campaign of int
+
+let q_replicas = 3
+let q_max_depth = 11
+let q_max_appends = 3
+let q_max_campaigns = 2
+let q_max_replica_losses = 1  (* the k = 2 envelope: primary + k - 1 *)
+
+let q_apply t = function
+  | Q_append -> ignore (QP.append t)
+  | Q_deliver r ->
+      QP.deliver t r;
+      while QP.can_collect t r do
+        QP.collect t r
+      done
+  | Q_lose_primary -> QP.lose_primary t
+  | Q_lose r -> QP.lose t r
+  | Q_campaign r -> QP.campaign t r
+
+let q_enabled t ~appends ~rlosses ~campaigns =
+  let ops = ref [] in
+  let add op = ops := op :: !ops in
+  if campaigns < q_max_campaigns then
+    for r = q_replicas - 1 downto 0 do
+      if QP.can_campaign t r then add (Q_campaign r)
+    done;
+  if rlosses < q_max_replica_losses then
+    for r = q_replicas - 1 downto 0 do
+      if QP.can_lose t r then add (Q_lose r)
+    done;
+  if QP.can_lose_primary t then add Q_lose_primary;
+  for r = q_replicas - 1 downto 0 do
+    if QP.can_deliver t r then add (Q_deliver r)
+  done;
+  if appends < q_max_appends && QP.can_append t then add Q_append;
+  !ops
+
+(* Explore every schedule; returns (states visited, violating states). *)
+let q_explore ~quorum =
+  let states = ref 0 and violations = ref 0 in
+  let rec go t depth appends rlosses campaigns =
+    incr states;
+    if QP.check t <> [] then incr violations;
+    if depth < q_max_depth then
+      List.iter
+        (fun op ->
+          let t' = QP.copy t in
+          let commit_before = QP.commit_watermark t' in
+          q_apply t' op;
+          if QP.commit_watermark t' < commit_before then begin
+            (* Monotonicity is also what [check] defends, but assert the
+               watermark itself so a regression cannot hide behind a
+               log-presence argument. *)
+            incr violations
+          end;
+          go t' (depth + 1)
+            (appends + match op with Q_append -> 1 | _ -> 0)
+            (rlosses + match op with Q_lose _ -> 1 | _ -> 0)
+            (campaigns + match op with Q_campaign _ -> 1 | _ -> 0))
+        (q_enabled t ~appends ~rlosses ~campaigns)
+  in
+  go (QP.create ~replicas:q_replicas ~quorum) 0 0 0 0;
+  (!states, !violations)
+
+let q_exhaustive_majority () =
+  let states, violations = q_explore ~quorum:2 in
+  Alcotest.(check int) "no state violates committed-prefix monotonicity" 0
+    violations;
+  Alcotest.(check int) "states explored" 940664 states
+
+let q_exhaustive_quorum_one () =
+  let _, violations = q_explore ~quorum:1 in
+  Alcotest.(check bool) "quorum 1 demonstrably loses committed entries" true
+    (violations > 0)
+
 let suites =
   suites
   @ [
       ("rapilog.model_check_random", [ random_deep_sequences ]);
       ( "rapilog.model_check_power",
         [ case "post-cut regime, exhaustive to depth 4" pc_exhaustive ] );
+      ( "rapilog.model_check_quorum",
+        [
+          case "committed prefix monotone, exhaustive to depth 11"
+            q_exhaustive_majority;
+          case "quorum of one violates within the same envelope"
+            q_exhaustive_quorum_one;
+        ] );
     ]

@@ -107,6 +107,26 @@ let sever_discards () =
   Alcotest.(check int) "post-sever send not accepted" 3 (Net.Link.sent link);
   Alcotest.(check int) "post-sever send counted dropped" 4 (Net.Link.dropped link)
 
+(* Loss wins over partition: severing a partitioned link drops the
+   partition state with the backlog, and a late heal is a no-op — it
+   must not resurrect traffic to a dead peer. *)
+let sever_clears_partition () =
+  let link, trace =
+    run_link { Net.Link.default with drop_probability = 0. }
+      [ (0, 512); (1, 512) ]
+      ~setup:(fun sim link ->
+        Net.Link.partition link;
+        Sim.schedule_at sim (Time.of_ns 400_000_000) (fun () ->
+            Net.Link.sever link;
+            Alcotest.(check bool) "partition state dropped at sever" false
+              (Net.Link.partitioned link)))
+  in
+  Alcotest.(check (list (pair int int))) "nothing delivered" [] trace;
+  Net.Link.heal link;
+  Alcotest.(check bool) "late heal leaves the link unpartitioned" false
+    (Net.Link.partitioned link);
+  Alcotest.(check int) "late heal flushes nothing" 0 (Net.Link.delivered link)
+
 let constant_latency_exact () =
   let config =
     {
@@ -269,6 +289,102 @@ let replicated_steady_deterministic () =
   let c, _registry = Harness.Experiment.run_steady_metrics config in
   Alcotest.(check bool) "metrics recording does not perturb the run" true (a = c)
 
+(* -- quorum scenario ------------------------------------------------------- *)
+
+let quorum_scenario ?(replicas = 3) ?(quorum = 2) () =
+  {
+    (replicated_scenario ()) with
+    Harness.Scenario.mode = Harness.Scenario.Rapilog_quorum;
+    quorum = { Net.Quorum.default with Net.Quorum.replicas; quorum };
+  }
+
+let quorum_steady_deterministic () =
+  let config = quorum_scenario () in
+  let a = Harness.Experiment.run_steady config in
+  Alcotest.(check bool) "commits in window" true
+    (a.Harness.Experiment.committed_in_window > 0);
+  let b = Harness.Experiment.run_steady config in
+  Alcotest.(check bool) "rerun bit-identical" true (a = b);
+  let c, _registry = Harness.Experiment.run_steady_metrics config in
+  Alcotest.(check bool) "metrics recording does not perturb the run" true (a = c)
+
+(* Partition + heal under quorum: the same seed must reproduce the
+   whole delivery schedule — same audit verdict *and* the same elected
+   leader at the same term. *)
+let quorum_partition_heal_deterministic () =
+  let sweep_config =
+    {
+      (Harness.Crash_surface.default (quorum_scenario ())) with
+      Harness.Crash_surface.window_start = Time.ms 2;
+      window_length = Time.ms 2;
+      kinds = [ Harness.Crash_surface.Machine_loss ];
+    }
+  in
+  let enum =
+    Harness.Crash_surface.enumerate sweep_config Harness.Crash_surface.Machine_loss
+  in
+  let count = Array.length enum.Harness.Crash_surface.e_candidates in
+  Alcotest.(check bool) "boundaries found" true (count >= 2);
+  let first_event, first_ns = enum.Harness.Crash_surface.e_candidates.(0) in
+  let _, second_ns = enum.Harness.Crash_surface.e_candidates.(count - 1) in
+  let run () =
+    Harness.Crash_surface.run_pair_point sweep_config
+      ~schedule:Harness.Crash_surface.Partition_heal ~first_event ~first_ns
+      ~second_ns ~node:1
+  in
+  let a = run () in
+  Alcotest.(check bool) "verdict bit-identical on rerun" true (a = run ());
+  Alcotest.(check bool) "an election concluded" true
+    (a.Harness.Crash_surface.pv_elected >= 0);
+  Alcotest.(check bool) "election quorate" true
+    a.Harness.Crash_surface.pv_election_quorate;
+  Alcotest.(check int) "no quorum-acked commit lost" 0
+    a.Harness.Crash_surface.pv_lost;
+  Alcotest.(check bool) "contract holds through partition and heal" true
+    a.Harness.Crash_surface.pv_contract_ok
+
+(* A small slice of the pair sweep: zero breaks at majority quorum, and
+   the parallel sweep is bit-identical to the serial one. *)
+let quorum_pair_sweep_tiny () =
+  let sweep_config =
+    {
+      (Harness.Crash_surface.default (quorum_scenario ())) with
+      Harness.Crash_surface.window_start = Time.ms 2;
+      window_length = Time.ms 2;
+      kinds = [ Harness.Crash_surface.Machine_loss ];
+    }
+  in
+  let schedules =
+    [
+      Harness.Crash_surface.Primary_then_node;
+      Harness.Crash_surface.Partition_commit;
+    ]
+  in
+  let serial =
+    Harness.Crash_surface.sweep_pairs ~jobs:1 sweep_config ~schedules ~target:3
+  in
+  Alcotest.(check bool) "pair points explored" true
+    (serial.Harness.Crash_surface.pr_points >= 4);
+  Alcotest.(check int) "zero contract breaks" 0
+    serial.Harness.Crash_surface.pr_breaks;
+  Alcotest.(check int) "zero quorum-acked commits lost" 0
+    serial.Harness.Crash_surface.pr_lost_total;
+  let parallel =
+    Harness.Crash_surface.sweep_pairs ~jobs:4 sweep_config ~schedules ~target:3
+  in
+  Alcotest.(check bool) "jobs=1 equals jobs=4" true (serial = parallel)
+
+let pair_schedule_names_roundtrip () =
+  List.iter
+    (fun schedule ->
+      Alcotest.(check bool)
+        (Harness.Crash_surface.pair_schedule_name schedule ^ " roundtrips")
+        true
+        (Harness.Crash_surface.pair_schedule_of_name
+           (Harness.Crash_surface.pair_schedule_name schedule)
+        = Some schedule))
+    Harness.Crash_surface.all_pair_schedules
+
 (* -- machine loss --------------------------------------------------------- *)
 
 let local_scenario () =
@@ -354,6 +470,8 @@ let suites =
           QCheck2.Gen.(triple gen_config gen_sends gen_seed)
           partition_heal_law;
         case "sever discards backlog and future sends" sever_discards;
+        case "sever drops partition state; late heal is a no-op"
+          sever_clears_partition;
         case "constant latency is exact" constant_latency_exact;
         case "bandwidth serialises back-to-back sends" bandwidth_serialises;
       ] );
@@ -368,6 +486,15 @@ let suites =
         case "datapath counters line up" replication_counters;
         case "all policies commit" replicated_steady_commits;
         case "replicated steady run deterministic" replicated_steady_deterministic;
+      ] );
+    ( "net.quorum-scenario",
+      [
+        case "quorum steady run deterministic" quorum_steady_deterministic;
+        case "partition+heal deterministic, same elected leader"
+          quorum_partition_heal_deterministic;
+        case "tiny pair sweep: zero breaks, parallel bit-identical"
+          quorum_pair_sweep_tiny;
+        case "pair schedule names roundtrip" pair_schedule_names_roundtrip;
       ] );
     ( "net.machine-loss",
       [
