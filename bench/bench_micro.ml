@@ -40,7 +40,16 @@ let test_event_queue =
     (Staged.stage (fun () ->
          incr t;
          Desim.Event_queue.add q ~time:(Desim.Time.of_ns !t) ();
-         ignore (Desim.Event_queue.pop q)))
+         ignore (Desim.Event_queue.pop_min q)))
+
+let test_binary_heap =
+  let q = Desim.Binary_heap.create () in
+  let t = ref 0 in
+  Test.make ~name:"binary-heap-add-pop"
+    (Staged.stage (fun () ->
+         incr t;
+         Desim.Binary_heap.add q ~time:(Desim.Time.of_ns !t) ();
+         ignore (Desim.Binary_heap.pop_min q)))
 
 let test_rng =
   let rng = Desim.Rng.create 1L in
@@ -72,6 +81,7 @@ let tests =
     test_record_decode;
     test_ring_push_pop;
     test_event_queue;
+    test_binary_heap;
     test_rng;
     test_page_serialize;
     test_sim_event_throughput;

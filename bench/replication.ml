@@ -318,6 +318,21 @@ let quorum_main ~quick ~check ~jobs ~output =
               ("pair_sweep_parallel_bit_identical", Bool pairs_identical);
               ("metrics_missing", Arr (List.map (fun n -> Str n) missing_metrics));
             ] );
+        (* PR 8 reference point: the multi-node pair sweeps replay every
+           pair over the page-granular COW media store — writes blit
+           into owned 4 KiB pages instead of allocating per-sector
+           strings — so these wall-clocks are the ones EXPERIMENTS.md
+           quotes for the engine-scale comparison. *)
+        ( "bench_pr8",
+          Obj
+            [
+              ("media", Str "cow-pages");
+              ("pair_sweep_seconds", Num pairs_s);
+              ("pair_points", Num (float_of_int pairs.Crash_surface.pr_points));
+              ("control_seconds", Num control_s);
+              ( "control_points",
+                Num (float_of_int control.Crash_surface.pr_points) );
+            ] );
       ]
   in
   let text = Json.to_string report in

@@ -1,23 +1,32 @@
 (** Priority queue of simulation events.
 
-    A binary min-heap ordered by (time, sequence number). The sequence
-    number is assigned on insertion, so two events scheduled for the same
-    instant fire in insertion order — this is what makes simulation runs
-    deterministic.
+    Ordered by (time, sequence number); the sequence number is assigned
+    on insertion, so two events scheduled for the same instant fire in
+    insertion order — this is what makes simulation runs deterministic.
 
-    The heap is stored as unboxed parallel arrays, so {!add},
-    {!pop_min} and {!drain_one} perform no per-event heap allocation
-    (array growth amortises away); only the option-returning
-    conveniences {!pop} and {!peek_time} allocate. *)
+    Since PR 8 the implementation is the hierarchical {!Timer_wheel}
+    (amortised O(1) add/pop over flat unboxed arrays) rather than the
+    O(log n) binary heap, which survives as {!Binary_heap} — the oracle
+    the wheel is model-tested against. The pop order of the two backends
+    is identical by construction and by test. {!add}, {!pop_min} and
+    {!drain_one} perform no per-event heap allocation (pool growth
+    amortises away); only the deprecated option-returning conveniences
+    {!pop} and {!peek_time} allocate.
+
+    Inserts must be monotone — at or after the last popped time — which
+    {!Sim} guarantees by construction ([Sim.schedule_at] refuses the
+    simulated past). For arbitrary-order insertion use {!Binary_heap}. *)
 
 type 'a t
 
 val create : unit -> 'a t
-(** An empty queue with a small preallocated heap. *)
+(** An empty queue. *)
 
 val add : 'a t -> time:Time.t -> 'a -> unit
 (** Insert an event payload to fire at [time]. Allocation-free except
-    when the heap has to grow. *)
+    when the backing arrays have to grow. Raises [Invalid_argument] if
+    [time] precedes the last popped time (see the monotone contract
+    above). *)
 
 val is_empty : 'a t -> bool
 
@@ -26,8 +35,8 @@ val length : 'a t -> int
 
 val max_length : 'a t -> int
 (** High-water mark of {!length} over the queue's lifetime — the
-    simultaneity the run actually exercised; free to maintain (one
-    compare per insert) and surfaced by the metrics report. *)
+    simultaneity the run actually exercised; free to maintain and
+    surfaced by the metrics report. *)
 
 val scheduled : 'a t -> int
 (** Total events ever inserted (the next sequence number). *)
@@ -48,8 +57,13 @@ val drain_one : 'a t -> f:(Time.t -> 'a -> unit) -> bool
     allocation-free provided [f] is a pre-existing closure. *)
 
 val pop : 'a t -> (Time.t * 'a) option
+[@@deprecated "allocates a tuple and a Some per event; use drain_one"]
 (** Remove and return the earliest event, or [None] if empty.
-    Convenience form; allocates the tuple and the [Some]. *)
+    @deprecated Allocates the tuple and the [Some] on every call; use
+    {!drain_one} (or {!is_empty} + {!min_time} + {!pop_min}). *)
 
 val peek_time : 'a t -> Time.t option
-(** Time of the earliest event without removing it. *)
+[@@deprecated "allocates a Some per call; use is_empty + min_time"]
+(** Time of the earliest event without removing it.
+    @deprecated Allocates the [Some] on every call; use {!is_empty} and
+    {!min_time}. *)

@@ -45,13 +45,37 @@ let sectors_of_bytes t bytes =
   (bytes + t.info.sector_size - 1) / t.info.sector_size
 
 module Media = struct
+  (* Page-level copy-on-write store (PR 8). Sectors group into pages of
+     [page_sectors]; a page is a flat [Bytes.t] plus the epoch token of
+     the media that owns it. A media may mutate a page in place only
+     while the page's epoch is physically its own current epoch; any
+     other page is shared — with a {!fork} sibling or a pre-fork
+     ancestor image — and the first write copies it. {!fork} is
+     therefore O(pages-in-table): copy the table, hand BOTH sides fresh
+     epoch tokens (every pre-fork page becomes shared), and let
+     subsequent writes diverge page by page. Shared pages are replaced,
+     never mutated, so a fork can be handed to another domain while the
+     parent keeps writing — the crash sweep's fork engine does exactly
+     that.
+
+     Compared to the PR 3 sector-granular table this also removes the
+     String.sub-per-sector allocation from every write: steady-state
+     writes blit into an owned page and allocate nothing, which benefits
+     every live replay — the pair sweep's full replays most of all. *)
+
+  let page_sectors = 8
+
+  type page = { data : Bytes.t; epoch : unit ref }
+
   type t = {
     sector_size : int;
     capacity_sectors : int;
-    sectors : (int, string) Hashtbl.t;
+    pages : (int, page) Hashtbl.t;
+    mutable epoch : unit ref;
+        (* pages stamped with this exact token are exclusively ours *)
     mutable extent : int;
     base : t option;
-        (* an overlay reads through to [base] where it has no sector of
+        (* an overlay reads through to [base] where it has no page of
            its own; see {!overlay} *)
   }
 
@@ -60,7 +84,8 @@ module Media = struct
     {
       sector_size;
       capacity_sectors;
-      sectors = Hashtbl.create 4096;
+      pages = Hashtbl.create 1024;
+      epoch = ref ();
       extent = 0;
       base = None;
     }
@@ -69,32 +94,79 @@ module Media = struct
     {
       sector_size = base.sector_size;
       capacity_sectors = base.capacity_sectors;
-      sectors = Hashtbl.create 64;
+      pages = Hashtbl.create 64;
+      epoch = ref ();
       extent = base.extent;
       base = Some base;
     }
 
+  let fork t =
+    if t.base <> None then
+      invalid_arg "Media.fork: fork a root image, not an overlay";
+    let child = { t with pages = Hashtbl.copy t.pages; epoch = ref () } in
+    (* the parent's own epoch is retired too: every pre-fork page is now
+       shared with the child, so the parent must also copy-on-write *)
+    t.epoch <- ref ();
+    child
+
   let sector_size t = t.sector_size
   let capacity_sectors t = t.capacity_sectors
 
-  let rec find t lba =
-    match Hashtbl.find_opt t.sectors lba with
+  let rec find_page t pidx =
+    match Hashtbl.find_opt t.pages pidx with
     | Some _ as hit -> hit
-    | None -> ( match t.base with Some base -> find base lba | None -> None)
+    | None -> (
+        match t.base with Some base -> find_page base pidx | None -> None)
 
   let read t ~lba ~sectors =
-    let buf = Bytes.make (sectors * t.sector_size) '\000' in
-    for i = 0 to sectors - 1 do
-      match find t (lba + i) with
-      | Some s -> Bytes.blit_string s 0 buf (i * t.sector_size) t.sector_size
-      | None -> ()
+    let ss = t.sector_size in
+    let buf = Bytes.make (sectors * ss) '\000' in
+    let i = ref 0 in
+    while !i < sectors do
+      let s = lba + !i in
+      let pidx = s / page_sectors in
+      let off = s mod page_sectors in
+      let n = min (page_sectors - off) (sectors - !i) in
+      (match find_page t pidx with
+      | Some p -> Bytes.blit p.data (off * ss) buf (!i * ss) (n * ss)
+      | None -> ());
+      i := !i + n
     done;
     Bytes.unsafe_to_string buf
 
+  (* The page [pidx] as in-place-writable bytes: an owned page directly;
+     a shared or read-through page via copy-up (read-modify-write at
+     page granularity); an absent page as zeroes. *)
+  let writable_page t pidx =
+    match Hashtbl.find_opt t.pages pidx with
+    | Some p when p.epoch == t.epoch -> p.data
+    | Some p ->
+        let data = Bytes.copy p.data in
+        Hashtbl.replace t.pages pidx { data; epoch = t.epoch };
+        data
+    | None ->
+        let data =
+          match t.base with
+          | Some base -> (
+              match find_page base pidx with
+              | Some p -> Bytes.copy p.data
+              | None -> Bytes.make (page_sectors * t.sector_size) '\000')
+          | None -> Bytes.make (page_sectors * t.sector_size) '\000'
+        in
+        Hashtbl.replace t.pages pidx { data; epoch = t.epoch };
+        data
+
   let write_sectors t ~lba ~data ~count =
-    for i = 0 to count - 1 do
-      Hashtbl.replace t.sectors (lba + i)
-        (String.sub data (i * t.sector_size) t.sector_size)
+    let ss = t.sector_size in
+    let i = ref 0 in
+    while !i < count do
+      let s = lba + !i in
+      let pidx = s / page_sectors in
+      let off = s mod page_sectors in
+      let n = min (page_sectors - off) (count - !i) in
+      let page = writable_page t pidx in
+      Bytes.blit_string data (!i * ss) page (off * ss) (n * ss);
+      i := !i + n
     done;
     if lba + count > t.extent then t.extent <- lba + count
 

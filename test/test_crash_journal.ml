@@ -63,13 +63,17 @@ let check_verdicts_identical name expected actual =
 let check_config name config =
   let replay = Crash_surface.sweep ~jobs:1 config in
   let journal = Crash_surface.sweep_journal ~jobs:1 config in
+  let fork = Crash_surface.sweep_fork ~jobs:1 config in
   Alcotest.(check bool)
     (Printf.sprintf "%s: points explored (%d)" name replay.Crash_surface.r_explored)
     true
     (replay.Crash_surface.r_explored >= 6);
   check_verdicts_identical (name ^ ": journal vs replay")
     replay.Crash_surface.r_verdicts journal.Crash_surface.r_verdicts;
-  Alcotest.(check bool) (name ^ ": summaries identical") true (replay = journal)
+  Alcotest.(check bool) (name ^ ": summaries identical") true (replay = journal);
+  check_verdicts_identical (name ^ ": fork vs replay")
+    replay.Crash_surface.r_verdicts fork.Crash_surface.r_verdicts;
+  Alcotest.(check bool) (name ^ ": fork summary identical") true (replay = fork)
 
 let journal_matches_replay () = check_config "hdd" tiny
 
@@ -92,6 +96,35 @@ let journal_matches_replay_nvme () =
 let journal_matches_replay_streams () =
   check_config "hdd-s2"
     { tiny with Crash_surface.scenario = { scenario with Scenario.log_streams = 2 } }
+
+(* The fork engine at oracle scale: every boundary in the window
+   (stride 1) for each kind, media digest per point — the full-replay
+   oracle would take minutes here, but the two reconstruction engines
+   check each other: same candidates, same folded state per point, so
+   every verdict including the media CRC must be bit-identical. *)
+let fork_oracle_vs_journal () =
+  let oracle = { tiny with Crash_surface.stride = 1 } in
+  let journal = Crash_surface.sweep_journal ~jobs:1 oracle in
+  let fork = Crash_surface.sweep_fork ~jobs:4 oracle in
+  List.iter
+    (fun ks ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: oracle scale (%d points)"
+           (Crash_surface.kind_name ks.Crash_surface.k_kind)
+           ks.Crash_surface.k_explored)
+        true
+        (ks.Crash_surface.k_explored >= 150))
+    fork.Crash_surface.r_kinds;
+  check_verdicts_identical "fork vs journal at stride 1"
+    journal.Crash_surface.r_verdicts fork.Crash_surface.r_verdicts;
+  Alcotest.(check bool) "results identical" true (journal = fork)
+
+let fork_parallel_equals_serial () =
+  let serial = Crash_surface.sweep_fork ~jobs:1 tiny in
+  let parallel = Crash_surface.sweep_fork ~jobs:4 tiny in
+  Alcotest.(check bool) "verdicts bit-identical" true
+    (serial.Crash_surface.r_verdicts = parallel.Crash_surface.r_verdicts);
+  Alcotest.(check bool) "results identical" true (serial = parallel)
 
 let journal_parallel_equals_serial () =
   let serial = Crash_surface.sweep_journal ~jobs:1 tiny in
@@ -128,6 +161,9 @@ let suites =
         case "journal sweep matches replay with 2 streams"
           journal_matches_replay_streams;
         case "journal parallel equals serial" journal_parallel_equals_serial;
+        case "fork sweep matches journal at every boundary"
+          fork_oracle_vs_journal;
+        case "fork parallel equals serial" fork_parallel_equals_serial;
         case "journal support is gated" journal_support_is_gated;
       ] );
   ]

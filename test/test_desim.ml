@@ -39,38 +39,71 @@ let time_pp () =
   Alcotest.(check string) "ms" "2.000ms" (show (Time.ms 2));
   Alcotest.(check string) "s" "3.000s" (show (Time.sec 3))
 
-(* -- Event queue ---------------------------------------------------- *)
+(* -- Event queue ----------------------------------------------------
+
+   [Event_queue] is the hierarchical timer wheel since PR 8;
+   [Binary_heap] is the O(log n) reference backend it must agree with.
+   Directed cases run against the wheel. Arbitrary-order interleavings
+   run against the heap — the wheel's contract is monotone adds (at or
+   after the last popped time, which [Sim] guarantees) — and the
+   model-equivalence property drives both backends with one monotone op
+   stream and demands identical pop order, same-instant bursts and
+   far-future overflow cascades included. *)
+
+let drain_queue q =
+  let rec go acc =
+    if Event_queue.is_empty q then List.rev acc
+    else
+      let t = Time.to_ns (Event_queue.min_time q) in
+      go ((t, Event_queue.pop_min q) :: acc)
+  in
+  go []
 
 let queue_ordering () =
   let q = Event_queue.create () in
   Event_queue.add q ~time:(Time.of_ns 30) 3;
   Event_queue.add q ~time:(Time.of_ns 10) 1;
   Event_queue.add q ~time:(Time.of_ns 20) 2;
-  let pop () =
-    match Event_queue.pop q with Some (_, v) -> v | None -> Alcotest.fail "empty"
-  in
-  let first = pop () in
-  let second = pop () in
-  let third = pop () in
-  Alcotest.(check (list int)) "sorted" [ 1; 2; 3 ] [ first; second; third ];
+  Alcotest.(check (list (pair int int)))
+    "sorted"
+    [ (10, 1); (20, 2); (30, 3) ]
+    (drain_queue q);
   Alcotest.(check bool) "drained" true (Event_queue.is_empty q)
 
 let queue_fifo_same_time () =
   let q = Event_queue.create () in
   List.iter (fun v -> Event_queue.add q ~time:(Time.of_ns 5) v) [ 1; 2; 3; 4 ];
-  let order = List.init 4 (fun _ -> snd (Option.get (Event_queue.pop q))) in
-  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4 ] order
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3; 4 ]
+    (List.map snd (drain_queue q))
 
 let queue_peek_and_length () =
   let q = Event_queue.create () in
-  Alcotest.(check (option reject)) "peek empty" None
-    (Option.map ignore (Event_queue.peek_time q));
+  Alcotest.(check bool) "starts empty" true (Event_queue.is_empty q);
   Event_queue.add q ~time:(Time.of_ns 42) ();
   Alcotest.(check int) "len" 1 (Event_queue.length q);
-  (match Event_queue.peek_time q with
-  | Some t -> Alcotest.(check int) "peek time" 42 (Time.to_ns t)
-  | None -> Alcotest.fail "expected event");
+  Alcotest.(check int) "peek time" 42 (Time.to_ns (Event_queue.min_time q));
   Alcotest.(check int) "peek does not pop" 1 (Event_queue.length q)
+
+(* Deliberate coverage of the deprecated conveniences: they must stay
+   functional (and ordered) until removed, even though new callers get a
+   deprecation alert. *)
+let queue_deprecated_conveniences () =
+  let q = Event_queue.create () in
+  Alcotest.(check (option reject)) "peek empty" None
+    (Option.map ignore (Event_queue.peek_time q));
+  Alcotest.(check bool) "pop empty" true (Event_queue.pop q = None);
+  Event_queue.add q ~time:(Time.of_ns 7) "a";
+  Event_queue.add q ~time:(Time.of_ns 7) "b";
+  (match Event_queue.peek_time q with
+  | Some t -> Alcotest.(check int) "peek time" 7 (Time.to_ns t)
+  | None -> Alcotest.fail "expected event");
+  (match Event_queue.pop q with
+  | Some (t, v) ->
+      Alcotest.(check int) "pop time" 7 (Time.to_ns t);
+      Alcotest.(check string) "pop fifo" "a" v
+  | None -> Alcotest.fail "expected event");
+  Alcotest.(check int) "one left" 1 (Event_queue.length q)
+[@@alert "-deprecated"]
 
 let queue_growth () =
   let q = Event_queue.create () in
@@ -79,12 +112,36 @@ let queue_growth () =
   done;
   Alcotest.(check int) "length" 1000 (Event_queue.length q);
   let sorted = ref true and prev = ref (-1) in
-  for _ = 1 to 1000 do
-    let _, v = Option.get (Event_queue.pop q) in
-    if v < !prev then sorted := false;
-    prev := v
-  done;
-  Alcotest.(check bool) "heap order maintained across growth" true !sorted
+  List.iter
+    (fun (_, v) ->
+      if v < !prev then sorted := false;
+      prev := v)
+    (drain_queue q);
+  Alcotest.(check bool) "order maintained across growth" true !sorted
+
+(* Far-future events take the overflow path (they differ from the wheel
+   clock beyond the wheel span) and must still interleave exactly with
+   near events, insertion order preserved at equal instants. *)
+let queue_far_future_overflow () =
+  let far = 3 * Timer_wheel.wheel_span in
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:(Time.of_ns far) 10;
+  Event_queue.add q ~time:(Time.of_ns 5) 1;
+  Event_queue.add q ~time:(Time.of_ns far) 11;
+  Event_queue.add q ~time:(Time.of_ns (far + 1)) 12;
+  Event_queue.add q ~time:(Time.of_ns 6) 2;
+  Alcotest.(check (list (pair int int)))
+    "near events first, far events in insertion order"
+    [ (5, 1); (6, 2); (far, 10); (far, 11); (far + 1, 12) ]
+    (drain_queue q)
+
+let queue_monotone_contract () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:(Time.of_ns 1000) ();
+  ignore (Event_queue.pop_min q);
+  Alcotest.check_raises "below-horizon add refused"
+    (Invalid_argument "Timer_wheel.add: time precedes the last popped time")
+    (fun () -> Event_queue.add q ~time:(Time.of_ns 10) ())
 
 let queue_pop_sorted_prop =
   prop "event queue pops in nondecreasing time order"
@@ -92,12 +149,11 @@ let queue_pop_sorted_prop =
     (fun times ->
       let q = Event_queue.create () in
       List.iter (fun t -> Event_queue.add q ~time:(Time.of_ns t) t) times;
-      let rec drain prev =
-        match Event_queue.pop q with
-        | None -> true
-        | Some (t, _) -> Time.to_ns t >= prev && drain (Time.to_ns t)
+      let rec check prev = function
+        | [] -> true
+        | (t, _) :: rest -> t >= prev && check t rest
       in
-      drain (-1))
+      check (-1) (drain_queue q))
 
 (* The full determinism contract: pop order is exactly the stable sort
    of the inserted events by time — ties resolved by insertion order. *)
@@ -112,22 +168,19 @@ let queue_stable_sort_prop =
           (fun (t1, _) (t2, _) -> compare t1 t2)
           (List.mapi (fun i t -> (t, i)) times)
       in
-      let rec drain acc =
-        if Event_queue.is_empty q then List.rev acc
-        else drain (Event_queue.pop_min q :: acc)
-      in
-      drain [] = expected)
+      List.map snd (drain_queue q) = expected)
 
-(* Interleaved add/pop against a sorted-list reference model: whatever
-   the heap's internal layout after arbitrary interleavings, it must
-   keep serving the (time, seq) minimum. *)
-let queue_interleaved_model_prop =
-  prop "interleaved add/pop matches a reference model"
+(* Interleaved add/pop against a sorted-list reference model, on the
+   backend that accepts arbitrary-order inserts: whatever the heap's
+   internal layout after arbitrary interleavings, it must keep serving
+   the (time, seq) minimum. *)
+let heap_interleaved_model_prop =
+  prop "binary heap: interleaved add/pop matches a reference model"
     QCheck2.Gen.(
       list_size (int_range 0 300)
         (oneof [ map (fun t -> `Add t) (int_range 0 50); return `Pop ]))
     (fun ops ->
-      let q = Event_queue.create () in
+      let q = Binary_heap.create () in
       let model = ref [] in
       let seq = ref 0 in
       let ok = ref true in
@@ -135,7 +188,7 @@ let queue_interleaved_model_prop =
         (fun op ->
           match op with
           | `Add t ->
-              Event_queue.add q ~time:(Time.of_ns t) (t, !seq);
+              Binary_heap.add q ~time:(Time.of_ns t) (t, !seq);
               model :=
                 List.merge
                   (fun (t1, s1) (t2, s2) -> compare (t1, s1) (t2, s2))
@@ -143,22 +196,86 @@ let queue_interleaved_model_prop =
                   [ (t, !seq) ];
               incr seq
           | `Pop -> (
-              match (Event_queue.is_empty q, !model) with
+              match (Binary_heap.is_empty q, !model) with
               | true, [] -> ()
               | true, _ :: _ | false, [] -> ok := false
               | false, expected :: rest ->
-                  if Event_queue.min_time q <> Time.of_ns (fst expected) then
+                  if Binary_heap.min_time q <> Time.of_ns (fst expected) then
                     ok := false;
-                  if Event_queue.pop_min q <> expected then ok := false;
+                  if Binary_heap.pop_min q <> expected then ok := false;
                   model := rest))
         ops;
       !ok
-      && List.length !model = Event_queue.length q
+      && List.length !model = Binary_heap.length q
       && (let rec drain acc =
-            if Event_queue.is_empty q then List.rev acc
-            else drain (Event_queue.pop_min q :: acc)
+            if Binary_heap.is_empty q then List.rev acc
+            else drain (Binary_heap.pop_min q :: acc)
           in
           drain [] = !model))
+
+(* The PR 8 model-equivalence gate: the timer wheel and the binary heap,
+   driven by one monotone op stream, must agree on every observation —
+   emptiness, length, minimum time and the exact (time, seq) pop order.
+   The delta generator mixes same-instant bursts (delta 0), everyday
+   short and medium horizons (level 0-2 slots), multi-ms jumps that
+   force multi-level cascades, and beyond-span jumps that exercise the
+   overflow heap and its re-merge with the wheel. *)
+let wheel_vs_heap_prop =
+  let delta_gen =
+    QCheck2.Gen.(
+      frequency
+        [
+          (3, return 0);
+          (4, int_range 1 255);
+          (3, int_range 256 65_535);
+          (2, int_range 65_536 16_777_215);
+          (2, int_range 16_777_216 (1 lsl 33));
+          (1, int_range (2 * Timer_wheel.wheel_span) (8 * Timer_wheel.wheel_span));
+        ])
+  in
+  prop "timer wheel pops identically to the binary heap" ~count:300
+    QCheck2.Gen.(
+      list_size (int_range 0 400)
+        (frequency [ (3, map (fun d -> `Add d) delta_gen); (2, return `Pop) ]))
+    (fun ops ->
+      let wheel = Event_queue.create () in
+      let heap = Binary_heap.create () in
+      let low = ref 0 in
+      (* adds are relative to the last popped time, so both backends see
+         a stream the wheel's monotone contract admits *)
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Add d ->
+              let t = Time.of_ns (!low + d) in
+              Event_queue.add wheel ~time:t !seq;
+              Binary_heap.add heap ~time:t !seq;
+              incr seq
+          | `Pop ->
+              if Event_queue.is_empty wheel <> Binary_heap.is_empty heap then
+                ok := false
+              else if not (Binary_heap.is_empty heap) then begin
+                let wt = Time.to_ns (Event_queue.min_time wheel) in
+                let ht = Time.to_ns (Binary_heap.min_time heap) in
+                if wt <> ht then ok := false;
+                if Event_queue.pop_min wheel <> Binary_heap.pop_min heap then
+                  ok := false;
+                low := ht
+              end)
+        ops;
+      !ok
+      && Event_queue.length wheel = Binary_heap.length heap
+      && (let rec drain acc =
+            if Binary_heap.is_empty heap then List.rev acc
+            else begin
+              let t = Time.to_ns (Binary_heap.min_time heap) in
+              let v = Binary_heap.pop_min heap in
+              drain ((t, v) :: acc)
+            end
+          in
+          drain [] = drain_queue wheel))
 
 (* -- Sim ------------------------------------------------------------ *)
 
@@ -856,10 +973,15 @@ let suites =
         case "pops in time order" queue_ordering;
         case "same-time events are FIFO" queue_fifo_same_time;
         case "peek and length" queue_peek_and_length;
+        case "deprecated conveniences still function"
+          queue_deprecated_conveniences;
         case "growth beyond initial capacity" queue_growth;
+        case "far-future events via overflow" queue_far_future_overflow;
+        case "monotone-add contract enforced" queue_monotone_contract;
         queue_pop_sorted_prop;
         queue_stable_sort_prop;
-        queue_interleaved_model_prop;
+        heap_interleaved_model_prop;
+        wheel_vs_heap_prop;
       ] );
     ( "desim.sim",
       [

@@ -60,6 +60,110 @@ let media_torn_prefix_prop =
       in
       scan 0 false)
 
+(* -- Media copy-on-write fork (PR 8) ---------------------------------- *)
+
+let media_fork_isolation () =
+  let m = Storage.Block.Media.create ~sector_size:sector ~capacity_sectors:64 in
+  Storage.Block.Media.write m ~lba:3 ~data:(data_of 'p' 2);
+  let child = Storage.Block.Media.fork m in
+  (* Pre-fork state is visible on both sides... *)
+  Alcotest.(check string) "child sees pre-fork" (data_of 'p' 2)
+    (Storage.Block.Media.read child ~lba:3 ~sectors:2);
+  (* ...and post-fork writes stay on their own side, including writes
+     landing inside the same (shared) page. *)
+  Storage.Block.Media.write m ~lba:4 ~data:(data_of 'P' 1);
+  Storage.Block.Media.write child ~lba:3 ~data:(data_of 'c' 1);
+  Alcotest.(check string) "parent diverged" (data_of 'p' 1 ^ data_of 'P' 1)
+    (Storage.Block.Media.read m ~lba:3 ~sectors:2);
+  Alcotest.(check string) "child diverged" (data_of 'c' 1 ^ data_of 'p' 1)
+    (Storage.Block.Media.read child ~lba:3 ~sectors:2);
+  (* A second fork of the parent sees the parent's divergence only. *)
+  let child2 = Storage.Block.Media.fork m in
+  Alcotest.(check string) "second fork tracks parent" (data_of 'p' 1 ^ data_of 'P' 1)
+    (Storage.Block.Media.read child2 ~lba:3 ~sectors:2)
+
+let media_fork_rejects_overlay () =
+  let m = Storage.Block.Media.create ~sector_size:sector ~capacity_sectors:64 in
+  let ov = Storage.Block.Media.overlay m in
+  Alcotest.check_raises "overlay fork rejected"
+    (Invalid_argument "Media.fork: fork a root image, not an overlay")
+    (fun () -> ignore (Storage.Block.Media.fork ov))
+
+let media_overlay_over_fork () =
+  let m = Storage.Block.Media.create ~sector_size:sector ~capacity_sectors:64 in
+  Storage.Block.Media.write m ~lba:0 ~data:(data_of 'a' 1);
+  let child = Storage.Block.Media.fork m in
+  let ov = Storage.Block.Media.overlay child in
+  Storage.Block.Media.write ov ~lba:0 ~data:(data_of 'o' 1);
+  Storage.Block.Media.write ov ~lba:9 ~data:(data_of 'O' 1);
+  (* The overlay captured its writes; the fork underneath is untouched
+     and still isolated from the original. *)
+  Alcotest.(check string) "overlay write wins" (data_of 'o' 1)
+    (Storage.Block.Media.read ov ~lba:0 ~sectors:1);
+  Alcotest.(check string) "fork untouched" (data_of 'a' 1)
+    (Storage.Block.Media.read child ~lba:0 ~sectors:1);
+  Alcotest.(check string) "fork lba 9 untouched" (String.make sector '\000')
+    (Storage.Block.Media.read child ~lba:9 ~sectors:1);
+  (* Post-overlay writes to the fork show through where the overlay has
+     not diverged — the overlay is a live view, exactly as over a
+     plain image. *)
+  Storage.Block.Media.write child ~lba:20 ~data:(data_of 'n' 1);
+  Alcotest.(check string) "overlay reads through" (data_of 'n' 1)
+    (Storage.Block.Media.read ov ~lba:20 ~sectors:1)
+
+(* Model check of the COW page store: a family of images produced by
+   random interleaved writes and forks must each read back exactly like
+   an isolated sector-map reference copied at the same fork points —
+   any page-sharing bug (a write leaking through a shared page, a fork
+   missing state, an overwrite resurrecting stale bytes) shows up as a
+   sector mismatch. Writes use 1-8 sectors at arbitrary alignment, so
+   they split across the 8-sector COW pages in every way. *)
+let media_fork_model_prop =
+  let cap = 64 in
+  prop "fork family matches sector-map reference" ~count:120
+    QCheck2.Gen.(small_list (triple (int_bound 2) small_nat small_nat))
+    (fun ops ->
+      let images = ref [| Storage.Block.Media.create ~sector_size:sector ~capacity_sectors:cap |] in
+      let refs = ref [| Hashtbl.create 64 |] in
+      let ref_write tbl ~lba ~data =
+        for s = 0 to (String.length data / sector) - 1 do
+          Hashtbl.replace tbl (lba + s) (String.sub data (s * sector) sector)
+        done
+      in
+      let ref_read tbl ~lba ~sectors =
+        String.concat ""
+          (List.init sectors (fun s ->
+               Option.value
+                 (Hashtbl.find_opt tbl (lba + s))
+                 ~default:(String.make sector '\000')))
+      in
+      List.iter
+        (fun (op, a, b) ->
+          let n = Array.length !images in
+          let i = a mod n in
+          if op = 1 && n < 6 then begin
+            images :=
+              Array.append !images [| Storage.Block.Media.fork !images.(i) |];
+            refs := Array.append !refs [| Hashtbl.copy !refs.(i) |]
+          end
+          else begin
+            (* Write 1-8 sectors of a salted fill char at any alignment. *)
+            let sectors = 1 + (b mod 8) in
+            let lba = a mod (cap - sectors) in
+            let data = data_of (Char.chr (Char.code 'a' + (b mod 26))) sectors in
+            Storage.Block.Media.write !images.(i) ~lba ~data;
+            ref_write !refs.(i) ~lba ~data
+          end)
+        ops;
+      Array.iteri
+        (fun i m ->
+          let got = Storage.Block.Media.read m ~lba:0 ~sectors:cap in
+          let want = ref_read !refs.(i) ~lba:0 ~sectors:cap in
+          if not (String.equal got want) then
+            QCheck2.Test.fail_reportf "image %d diverged from reference" i)
+        !images;
+      true)
+
 (* -- Block wrapper ---------------------------------------------------- *)
 
 let block_sectors_of_bytes () =
@@ -420,7 +524,11 @@ let suites =
         case "unwritten sectors read as zeros" media_reads_zero;
         case "write/read roundtrip and extent" media_roundtrip;
         case "overwrite is sector granular" media_overwrite;
+        case "fork isolates both directions" media_fork_isolation;
+        case "fork of an overlay is rejected" media_fork_rejects_overlay;
+        case "overlay over a fork stays live" media_overlay_over_fork;
         media_torn_prefix_prop;
+        media_fork_model_prop;
       ] );
     ( "storage.block",
       [
