@@ -17,7 +17,8 @@ let experiments =
   @ Bench_ycsb.experiments @ Bench_consolidation.experiments
   @ Bench_restart.experiments @ Bench_commit_delay.experiments
   @ Bench_metrics.experiments @ Bench_replication.experiments
-  @ Bench_commit_path.experiments @ [ Bench_micro.experiment ]
+  @ Bench_commit_path.experiments @ Bench_sharded.experiments
+  @ [ Bench_micro.experiment ]
 
 let usage () =
   print_endline "usage: main.exe [--quick] [--list] [--metrics] [--only ID]...";
@@ -62,7 +63,26 @@ let () =
           (fun id ->
             if not (List.exists (fun e -> e.Bench_support.id = id) experiments)
             then begin
-              Printf.eprintf "unknown experiment id: %s (try --list)\n" id;
+              (* A prefix of a real id (say "fig12" for
+                 "fig12-replication") is still an error — ids are exact —
+                 but earn a suggestion instead of a bare rejection. *)
+              (match
+                 List.filter
+                   (fun e ->
+                     String.length id > 0
+                     && String.length e.Bench_support.id >= String.length id
+                     && String.sub e.Bench_support.id 0 (String.length id) = id)
+                   experiments
+               with
+              | [] ->
+                  Printf.eprintf "unknown experiment id: %s (try --list)\n" id
+              | matches ->
+                  Printf.eprintf
+                    "unknown experiment id: %s (did you mean %s? ids are \
+                     exact — try --list)\n"
+                    id
+                    (String.concat " or "
+                       (List.map (fun e -> e.Bench_support.id) matches)));
               exit 2
             end)
           ids;

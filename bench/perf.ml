@@ -361,7 +361,10 @@ let sweep_grid ~quick =
   let clients = if quick then [ 1; 4 ] else [ 1; 4; 16 ] in
   let modes =
     if quick then
-      [ Scenario.Native_sync; Scenario.Rapilog; Scenario.Rapilog_replicated ]
+      [
+        Scenario.Native_sync; Scenario.Rapilog; Scenario.Rapilog_replicated;
+        Scenario.Rapilog_sharded;
+      ]
     else Scenario.all_modes
   in
   let classic =

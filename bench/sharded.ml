@@ -1,0 +1,525 @@
+(* RapiLog-S: machine-readable evidence for the sharded multi-tenant
+   logger tier (PR 9).
+
+   The tentpole claims, with teeth:
+
+   - scale: a 10k-tenant / 100k-open-loop-client cell on 8 shards
+     against a single-shard control carrying the identical load. The
+     control's aggregate byte rate deliberately exceeds one 7200 rpm
+     disk's streaming bandwidth, so its p99 blows up under
+     backpressure; the sharded tier keeps every shard's rate well
+     under the disk and its p99 must not regress past the control —
+     that asymmetry is the scale argument, and the per-tenant audit
+     must find zero contract breaks on both cells.
+   - noisy-neighbor: extra clients overload one hot tenant's shard.
+     Latency pain must stay confined to the hot shard (its p99 above
+     every other shard's) and durability must not degrade anywhere —
+     overload shows up as queue wait, never as a lost ack.
+   - rebalance: a mid-run registry split moves half a shard's buckets
+     to another shard while traffic flows; every tenant's recovered
+     prefix must still be complete after the move.
+   - crash sweep: the full-replay crash-surface sweep over a sharded
+     scenario (os-crash, power-cut, tight power-cut at every strided
+     event boundary) must hold every per-tenant contract at every
+     explored point. (The journal-reconstruction engine models a
+     single trusted logger; the sharded tier runs S of them, so this
+     sweep uses full replay per point.)
+   - determinism: the cell grid fanned over {!Harness.Parallel} at
+     jobs=4 must be digest-identical to jobs=1, and a cell run with
+     {!Desim.Metrics} recording on must be digest-identical to one
+     with it off while populating the shard.* registry entries.
+
+   Writes a JSON report (default BENCH_PR9.json). With --check it
+   self-validates so `dune runtest` keeps the harness honest.
+
+   Usage: sharded.exe [--quick] [--check] [--jobs N] [--output PATH] *)
+
+open Desim
+open Harness
+open Harness.Json
+
+(* -- the cell grid ----------------------------------------------------- *)
+
+let scale_tier ~quick ~shards ~tenants =
+  {
+    Shard.Tier.default_config with
+    Shard.Tier.shards;
+    tenants;
+    clients = 10 * tenants;  (* 100k open-loop clients at the full 10k *)
+    mean_interval = (if quick then Time.ms 8 else Time.ms 100);
+    payload_bytes = (if quick then 1024 else 128);
+    horizon = (if quick then Time.ms 60 else Time.ms 150);
+  }
+
+let scale_cells ~quick ~shards ~tenants =
+  [
+    {
+      Shard.Cell.c_name = "scale-sharded";
+      c_tier = scale_tier ~quick ~shards ~tenants;
+      c_seed = 90_0901L;
+      c_fault = Shard.Cell.no_fault;
+    };
+    {
+      Shard.Cell.c_name = "scale-control";
+      c_tier = scale_tier ~quick ~shards:1 ~tenants;
+      c_seed = 90_0901L;
+      c_fault = Shard.Cell.no_fault;
+    };
+  ]
+
+let noisy_cell ~quick =
+  {
+    Shard.Cell.c_name = "noisy-neighbor";
+    c_tier =
+      {
+        Shard.Tier.default_config with
+        Shard.Tier.shards = 4;
+        tenants = 64;
+        clients = 128;
+        mean_interval = Time.ms 4;
+        payload_bytes = 128;
+        horizon = (if quick then Time.ms 60 else Time.ms 150);
+        hot_tenant = 1;
+        hot_clients = 64;
+        hot_interval = Time.us 200;
+      };
+    c_seed = 90_0902L;
+    c_fault = Shard.Cell.no_fault;
+  }
+
+let rebalance_cell ~quick =
+  let horizon = if quick then Time.ms 80 else Time.ms 200 in
+  let split_at = if quick then Time.ms 40 else Time.ms 100 in
+  {
+    Shard.Cell.c_name = "rebalance-split";
+    c_tier =
+      {
+        Shard.Tier.default_config with
+        Shard.Tier.shards = 2;
+        tenants = 64;
+        clients = 256;
+        mean_interval = Time.ms 2;
+        payload_bytes = 128;
+        horizon;
+      };
+    c_seed = 90_0903L;
+    c_fault =
+      {
+        Shard.Cell.no_fault with
+        Shard.Cell.f_split_at = Some (split_at, 0, 1);
+      };
+  }
+
+let cell_grid ~quick ~shards ~tenants =
+  scale_cells ~quick ~shards ~tenants
+  @ [ noisy_cell ~quick; rebalance_cell ~quick ]
+
+let cell_json (r : Shard.Cell.result) =
+  let s = r.Shard.Cell.r_stats in
+  let a = r.Shard.Cell.r_audit in
+  Obj
+    [
+      ("name", Str r.Shard.Cell.r_name);
+      ("seed", Num (Int64.to_float r.Shard.Cell.r_seed));
+      ("submitted", Num (float_of_int r.Shard.Cell.r_submitted));
+      ("acked", Num (float_of_int r.Shard.Cell.r_acked));
+      ("p50_us", Num s.Shard.Tier.st_p50_us);
+      ("p99_us", Num s.Shard.Tier.st_p99_us);
+      ( "shard_acked",
+        Arr
+          (Array.to_list
+             (Array.map (fun n -> Num (float_of_int n)) s.Shard.Tier.st_shard_acked))
+      );
+      ( "shard_p99_us",
+        Arr
+          (Array.to_list
+             (Array.map (fun v -> Num v) s.Shard.Tier.st_shard_p99_us)) );
+      ("active_tenants", Num (float_of_int s.Shard.Tier.st_active_tenants));
+      ("tenant_p99_med_us", Num s.Shard.Tier.st_tenant_p99_med_us);
+      ("tenant_p99_max_us", Num s.Shard.Tier.st_tenant_p99_max_us);
+      ("recovered", Num (float_of_int a.Shard.Recover.a_recovered));
+      ("lost", Num (float_of_int a.Shard.Recover.a_lost));
+      ("extra", Num (float_of_int a.Shard.Recover.a_extra));
+      ("tenant_breaks", Num (float_of_int a.Shard.Recover.a_breaks));
+      ("min_prefix_ratio", Num a.Shard.Recover.a_min_prefix_ratio);
+      ("buckets_moved", Num (float_of_int r.Shard.Cell.r_buckets_moved));
+      ("events", Num (float_of_int r.Shard.Cell.r_events));
+      ("sim_clock_ms", Num (float_of_int r.Shard.Cell.r_clock_ns /. 1e6));
+    ]
+
+(* -- the sharded crash sweep ------------------------------------------- *)
+
+let sweep_scenario ~quick =
+  {
+    Scenario.default with
+    Scenario.mode = Scenario.Rapilog_sharded;
+    workload =
+      Scenario.Micro
+        {
+          Workload.Microbench.default_config with
+          Workload.Microbench.keys = 64;
+          value_bytes = 32;
+        };
+    clients = 2;
+    seed = 90_3301L;
+    warmup = Time.ms 1;
+    duration = (if quick then Time.ms 10 else Time.ms 30);
+    shard =
+      {
+        Shard.Tier.default_config with
+        Shard.Tier.shards = 2;
+        tenants = 8;
+        clients = 12;
+        mean_interval = Time.ms 1;
+        payload_bytes = 96;
+      };
+  }
+
+let sweep_config ~quick scenario =
+  {
+    (Crash_surface.default scenario) with
+    Crash_surface.window_start = Time.ms 2;
+    window_length = (if quick then Time.ms 3 else Time.ms 12);
+  }
+
+let autostride config ~target =
+  let total =
+    List.fold_left
+      (fun acc kind ->
+        acc + (Crash_surface.enumerate config kind).Crash_surface.e_boundaries)
+      0 config.Crash_surface.kinds
+  in
+  (total, max 1 (total / target))
+
+let sweep_json (r : Crash_surface.result) ~tenant_acked ~tenant_lost
+    ~tenant_breaks =
+  Obj
+    [
+      ("mode", Str (Scenario.mode_name r.Crash_surface.r_mode));
+      ("stride", Num (float_of_int r.Crash_surface.r_stride));
+      ("total_boundaries", Num (float_of_int r.Crash_surface.r_total_boundaries));
+      ("explored", Num (float_of_int r.Crash_surface.r_explored));
+      ("contract_breaks", Num (float_of_int r.Crash_surface.r_contract_breaks));
+      ("lost_total", Num (float_of_int r.Crash_surface.r_lost_total));
+      ("tenant_acked_total", Num (float_of_int tenant_acked));
+      ("tenant_lost_total", Num (float_of_int tenant_lost));
+      ("tenant_breaks_total", Num (float_of_int tenant_breaks));
+      ( "kinds",
+        Arr
+          (List.map
+             (fun (k : Crash_surface.kind_summary) ->
+               Obj
+                 [
+                   ("kind", Str (Crash_surface.kind_name k.Crash_surface.k_kind));
+                   ("boundaries", Num (float_of_int k.Crash_surface.k_boundaries));
+                   ("explored", Num (float_of_int k.Crash_surface.k_explored));
+                   ( "contract_breaks",
+                     Num (float_of_int k.Crash_surface.k_contract_breaks) );
+                 ])
+             r.Crash_surface.r_kinds) );
+    ]
+
+(* -- main --------------------------------------------------------------- *)
+
+let usage () =
+  print_endline
+    "usage: sharded.exe [--quick] [--check] [--jobs N] [--shards S] \
+     [--tenants T] [--output PATH]";
+  exit 2
+
+let () =
+  let quick = ref false in
+  let check = ref false in
+  let jobs = ref (Parallel.default_jobs ()) in
+  let shards = ref 8 in
+  let tenants = ref None in
+  let output = ref "BENCH_PR9.json" in
+  let pos_int r n =
+    match int_of_string_opt n with
+    | Some n when n >= 1 -> r := n
+    | _ -> usage ()
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest -> quick := true; parse rest
+    | "--check" :: rest -> check := true; parse rest
+    | "--jobs" :: n :: rest -> pos_int jobs n; parse rest
+    | "--shards" :: n :: rest -> pos_int shards n; parse rest
+    | "--tenants" :: n :: rest ->
+        let r = ref 0 in
+        pos_int r n;
+        tenants := Some !r;
+        parse rest
+    | "--output" :: path :: rest -> output := path; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let quick = !quick in
+  let shards = !shards in
+  let tenants =
+    match !tenants with Some t -> t | None -> if quick then 200 else 10_000
+  in
+  let failures = ref [] in
+  let fail msg = failures := msg :: !failures in
+
+  (* -- the cell grid, serial then fanned over the worker pool --------- *)
+  let grid = cell_grid ~quick ~shards ~tenants in
+  let t0 = Unix.gettimeofday () in
+  let serial = Parallel.map ~jobs:1 Shard.Cell.run grid in
+  let serial_s = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let parallel = Parallel.map ~jobs:4 Shard.Cell.run grid in
+  let parallel_s = Unix.gettimeofday () -. t1 in
+  let digests = List.map Shard.Cell.digest in
+  let jobs_identical = digests serial = digests parallel in
+  let find name =
+    List.find (fun r -> r.Shard.Cell.r_name = name) serial
+  in
+  let sharded = find "scale-sharded" in
+  let control = find "scale-control" in
+  let noisy = find "noisy-neighbor" in
+  let rebalance = find "rebalance-split" in
+  List.iter
+    (fun (r : Shard.Cell.result) ->
+      let s = r.Shard.Cell.r_stats in
+      Printf.printf
+        "sharded: %-16s %7d submitted, %7d acked, p99 %8.0f us, tenant-p99 \
+         med %8.0f max %8.0f us, %d active tenants, %d lost, %d breaks\n%!"
+        r.Shard.Cell.r_name r.Shard.Cell.r_submitted r.Shard.Cell.r_acked
+        s.Shard.Tier.st_p99_us s.Shard.Tier.st_tenant_p99_med_us
+        s.Shard.Tier.st_tenant_p99_max_us s.Shard.Tier.st_active_tenants
+        r.Shard.Cell.r_audit.Shard.Recover.a_lost
+        r.Shard.Cell.r_audit.Shard.Recover.a_breaks)
+    serial;
+  Printf.printf
+    "sharded: grid of %d cells: jobs=1 %.2fs, jobs=4 %.2fs, digest-identical: \
+     %b\n%!"
+    (List.length grid) serial_s parallel_s jobs_identical;
+
+  (* The overload arithmetic behind the control cell: its aggregate
+     arrival byte rate (encoded Update+Commit pairs) must exceed one
+     disk's streaming bandwidth, while the 8-shard tier's per-shard
+     share stays well under — otherwise the p99 comparison proves
+     nothing about sharding. *)
+  let tier = (List.hd (scale_cells ~quick ~shards ~tenants)).Shard.Cell.c_tier in
+  let pair_bytes =
+    let txid = Rapilog.Tenant.pack ~tenant:1 ~seq:1 in
+    let payload = String.make tier.Shard.Tier.payload_bytes 's' in
+    Dbms.Log_record.encoded_size
+      (Dbms.Log_record.Update { txid; key = 1; before = ""; after = payload })
+    + Dbms.Log_record.encoded_size (Dbms.Log_record.Commit { txid })
+  in
+  let arrival_rate =
+    float_of_int tier.Shard.Tier.clients
+    /. Time.span_to_float_sec tier.Shard.Tier.mean_interval
+  in
+  let aggregate_mb_s = arrival_rate *. float_of_int pair_bytes /. 1e6 in
+  let disk_mb_s =
+    Scenario.hdd_streaming_bandwidth Storage.Hdd.default_7200rpm /. 1e6
+  in
+  let per_shard_mb_s = aggregate_mb_s /. float_of_int shards in
+  Printf.printf
+    "sharded: offered load %.1f MB/s aggregate (%.1f MB/s per shard of %d) vs \
+     %.1f MB/s disk streaming bandwidth\n%!"
+    aggregate_mb_s per_shard_mb_s shards disk_mb_s;
+
+  (* -- metrics determinism -------------------------------------------- *)
+  let det_cell = noisy_cell ~quick in
+  let plain = Shard.Cell.run det_cell in
+  let registry = Metrics.create () in
+  let with_metrics =
+    Metrics.with_recording registry (fun () -> Shard.Cell.run det_cell)
+  in
+  let metrics_identical =
+    Shard.Cell.digest plain = Shard.Cell.digest with_metrics
+  in
+  let metric_names = Metrics.names registry in
+  let required_metrics =
+    [ "shard.append_us"; "shard.submitted"; "shard.acked"; "shard.tenant_p99_us" ]
+  in
+  let missing_metrics =
+    List.filter (fun n -> not (List.mem n metric_names)) required_metrics
+  in
+  Printf.printf
+    "sharded: metrics-on digest-identical: %b; shard spans recorded: %s\n%!"
+    metrics_identical
+    (String.concat ", "
+       (List.filter (fun n -> List.mem n metric_names) required_metrics));
+
+  (* -- the sharded crash-surface sweep --------------------------------- *)
+  let scenario = sweep_scenario ~quick in
+  let surface = sweep_config ~quick scenario in
+  let boundaries, stride =
+    autostride surface ~target:(if quick then 9 else 36)
+  in
+  let surface = { surface with Crash_surface.stride } in
+  Printf.printf "sharded: crash surface has %d boundaries, stride %d...\n%!"
+    boundaries stride;
+  let t2 = Unix.gettimeofday () in
+  let sweep = Crash_surface.sweep ~jobs:!jobs surface in
+  let sweep_s = Unix.gettimeofday () -. t2 in
+  let tenant_acked, tenant_lost, tenant_breaks =
+    List.fold_left
+      (fun (a, l, b) v ->
+        ( a + v.Crash_surface.v_tenant_acked,
+          l + v.Crash_surface.v_tenant_lost,
+          b + v.Crash_surface.v_tenant_breaks ))
+      (0, 0, 0) sweep.Crash_surface.r_verdicts
+  in
+  Printf.printf
+    "sharded: crash sweep: %d/%d boundaries, %d contract breaks, %d tenant \
+     entries lost across %d tenant acks (%.2fs)\n%!"
+    sweep.Crash_surface.r_explored sweep.Crash_surface.r_total_boundaries
+    sweep.Crash_surface.r_contract_breaks tenant_lost tenant_acked sweep_s;
+
+  let report =
+    Obj
+      [
+        ("pr", Num 9.);
+        ("harness", Str "sharded.exe");
+        ("quick", Bool quick);
+        ("jobs", Num (float_of_int !jobs));
+        ( "scale",
+          Obj
+            [
+              ("shards", Num (float_of_int shards));
+              ("tenants", Num (float_of_int tier.Shard.Tier.tenants));
+              ("clients", Num (float_of_int tier.Shard.Tier.clients));
+              ("offered_mb_s", Num aggregate_mb_s);
+              ("per_shard_mb_s", Num per_shard_mb_s);
+              ("disk_streaming_mb_s", Num disk_mb_s);
+              ("sharded", cell_json sharded);
+              ("control", cell_json control);
+            ] );
+        ("noisy_neighbor", cell_json noisy);
+        ("rebalance", cell_json rebalance);
+        ( "crash_sweep",
+          Obj
+            [
+              ("result", sweep_json sweep ~tenant_acked ~tenant_lost ~tenant_breaks);
+              ("seconds", Num sweep_s);
+            ] );
+        ( "determinism",
+          Obj
+            [
+              ("cells_jobs_digest_identical", Bool jobs_identical);
+              ("metrics_digest_identical", Bool metrics_identical);
+              ("metrics_missing", Arr (List.map (fun n -> Str n) missing_metrics));
+              ("serial_seconds", Num serial_s);
+              ("parallel_seconds", Num parallel_s);
+            ] );
+      ]
+  in
+  let text = Json.to_string report in
+  let oc = open_out !output in
+  output_string oc text;
+  close_out oc;
+  Printf.printf "sharded: wrote %s\n%!" !output;
+
+  if !check then begin
+    (match Json.of_string text with
+    | exception Json.Parse_error msg ->
+        fail (Printf.sprintf "report is not valid JSON: %s" msg)
+    | Obj _ -> ()
+    | _ -> fail "report is not a JSON object");
+    (* Per-tenant contracts: nothing acknowledged may be missing from
+       any cell's merged per-shard recovery. *)
+    List.iter
+      (fun (r : Shard.Cell.result) ->
+        let a = r.Shard.Cell.r_audit in
+        if a.Shard.Recover.a_lost <> 0 || a.Shard.Recover.a_breaks <> 0 then
+          fail
+            (Printf.sprintf "%s: %d tenant entries lost across %d tenants (want 0)"
+               r.Shard.Cell.r_name a.Shard.Recover.a_lost a.Shard.Recover.a_breaks);
+        if r.Shard.Cell.r_acked <= 0 then
+          fail (Printf.sprintf "%s: acknowledged nothing" r.Shard.Cell.r_name))
+      serial;
+    (* Scale: every tenant active, the control genuinely overloaded, and
+       the sharded p99 not regressed past the single-shard control. *)
+    if
+      sharded.Shard.Cell.r_stats.Shard.Tier.st_active_tenants
+      < tier.Shard.Tier.tenants
+    then
+      fail
+        (Printf.sprintf "scale-sharded: only %d of %d tenants saw an ack"
+           sharded.Shard.Cell.r_stats.Shard.Tier.st_active_tenants
+           tier.Shard.Tier.tenants);
+    if aggregate_mb_s <= disk_mb_s then
+      fail
+        (Printf.sprintf
+           "control cell is not overloaded (%.1f MB/s offered <= %.1f MB/s \
+            disk): the p99 comparison proves nothing"
+           aggregate_mb_s disk_mb_s);
+    if per_shard_mb_s >= disk_mb_s then
+      fail
+        (Printf.sprintf
+           "sharded cell is overloaded per shard (%.1f MB/s >= %.1f MB/s)"
+           per_shard_mb_s disk_mb_s);
+    let sharded_p99 = sharded.Shard.Cell.r_stats.Shard.Tier.st_p99_us in
+    let control_p99 = control.Shard.Cell.r_stats.Shard.Tier.st_p99_us in
+    if not (sharded_p99 < control_p99) then
+      fail
+        (Printf.sprintf
+           "sharded p99 %.0f us regressed vs single-shard control %.0f us"
+           sharded_p99 control_p99);
+    (* Noisy neighbor: the hot shard hurts, the others do not. *)
+    let ns = noisy.Shard.Cell.r_stats in
+    let hot = ref 0 in
+    Array.iteri
+      (fun i acked ->
+        if acked > ns.Shard.Tier.st_shard_acked.(!hot) then hot := i
+        else ignore acked)
+      ns.Shard.Tier.st_shard_acked;
+    Array.iteri
+      (fun i p99 ->
+        if i <> !hot && not (p99 < ns.Shard.Tier.st_shard_p99_us.(!hot)) then
+          fail
+            (Printf.sprintf
+               "noisy-neighbor: shard %d p99 %.0f us not below hot shard %d \
+                p99 %.0f us — overload leaked across shards"
+               i p99 !hot ns.Shard.Tier.st_shard_p99_us.(!hot)))
+      ns.Shard.Tier.st_shard_p99_us;
+    (* Rebalance: the split actually moved buckets, and hurt no tenant. *)
+    if rebalance.Shard.Cell.r_buckets_moved < 1 then
+      fail "rebalance-split moved no buckets";
+    if rebalance.Shard.Cell.r_audit.Shard.Recover.a_min_prefix_ratio < 1.0 then
+      fail
+        (Printf.sprintf
+           "rebalance-split: a tenant's recovered prefix covers only %.2f of \
+            its submissions"
+           rebalance.Shard.Cell.r_audit.Shard.Recover.a_min_prefix_ratio);
+    (* The crash sweep: per-tenant contracts at every explored boundary,
+       with enough boundaries and real tenant traffic to mean it. *)
+    if sweep.Crash_surface.r_contract_breaks <> 0 then
+      fail
+        (Printf.sprintf "crash sweep found %d contract breaks (want 0)"
+           sweep.Crash_surface.r_contract_breaks);
+    if tenant_lost <> 0 || tenant_breaks <> 0 then
+      fail
+        (Printf.sprintf "crash sweep lost %d tenant entries (%d tenant breaks)"
+           tenant_lost tenant_breaks);
+    if tenant_acked <= 0 then
+      fail "crash sweep saw no tenant acks (teeth are missing)";
+    if sweep.Crash_surface.r_explored < (if quick then 6 else 24) then
+      fail
+        (Printf.sprintf "crash sweep explored only %d points"
+           sweep.Crash_surface.r_explored);
+    if not jobs_identical then
+      fail "cell grid differs between jobs=1 and jobs=4";
+    if not metrics_identical then
+      fail "metrics recording perturbed a cell run";
+    if missing_metrics <> [] then
+      fail
+        (Printf.sprintf "shard spans missing from the registry: %s"
+           (String.concat ", " missing_metrics));
+    match !failures with
+    | [] -> print_endline "sharded: check OK"
+    | msgs ->
+        List.iter (fun m -> Printf.eprintf "sharded: CHECK FAILED: %s\n" m) msgs;
+        exit 1
+  end
+  else
+    match !failures with
+    | [] -> ()
+    | msgs ->
+        List.iter (fun m -> Printf.eprintf "sharded: WARNING: %s\n" m) msgs

@@ -2,6 +2,7 @@ module Ring_buffer = Ring_buffer
 module Trusted_logger = Trusted_logger
 module Durability = Durability
 module Invariants = Invariants
+module Tenant = Tenant
 
 let attach ~vmm ?power ?trace ?(config = Trusted_logger.default_config) ~device () =
   let sim = Hypervisor.Vmm.sim vmm in

@@ -11,12 +11,15 @@
     - {!Durability} — the guarantee, stated as checkable predicates;
     - {!Invariants} — a runtime monitor of the properties verification
       would establish;
+    - {!Tenant} — tenant-tagged transaction identifiers for the sharded
+      multi-tenant logger tier;
     - {!attach} — wire a logger between a guest VM and a physical disk. *)
 
 module Ring_buffer = Ring_buffer
 module Trusted_logger = Trusted_logger
 module Durability = Durability
 module Invariants = Invariants
+module Tenant = Tenant
 
 val attach :
   vmm:Hypervisor.Vmm.t ->

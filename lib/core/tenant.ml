@@ -1,0 +1,13 @@
+let seq_bits = 20
+let max_seq = (1 lsl seq_bits) - 1
+let max_tenant = (max_int lsr seq_bits) - 1
+
+let pack ~tenant ~seq =
+  if tenant < 1 || tenant > max_tenant then
+    invalid_arg "Tenant.pack: tenant out of range";
+  if seq < 1 || seq > max_seq then invalid_arg "Tenant.pack: seq out of range";
+  (tenant lsl seq_bits) lor seq
+
+let tenant_of txid = txid lsr seq_bits
+let seq_of txid = txid land max_seq
+let is_tagged txid = txid >= 1 lsl seq_bits

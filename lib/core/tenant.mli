@@ -1,0 +1,41 @@
+(** Tenant-tagged transaction identifiers.
+
+    The sharded logger tier ({!module:Shard} in [rapilog.shard])
+    multiplexes many tenants' log streams over the same
+    {!Log_record.t} wire format the single-tenant DBMS uses. A tenant
+    append is an ordinary [Update]/[Commit] record pair whose [txid]
+    packs the tenant id and the tenant's own append sequence number
+    into one integer, so per-tenant recovery needs no new record kinds:
+    the committed txids of a standard recovery pass unpack directly
+    into per-tenant sequence sets.
+
+    The packing reserves the low {!seq_bits} bits for the sequence
+    number; tenant ids start at 1, so every packed txid is at least
+    [2^seq_bits] — far above the small consecutive txids a co-resident
+    DBMS allocates, which is what lets one device region hold both
+    without ambiguity (tenant 0 names the embedded DBMS in the tier's
+    accounting). *)
+
+val seq_bits : int
+(** Bits reserved for the per-tenant sequence number (20). *)
+
+val max_seq : int
+(** Largest packable sequence number, [2^seq_bits - 1]. *)
+
+val max_tenant : int
+(** Largest packable tenant id. *)
+
+val pack : tenant:int -> seq:int -> int
+(** [pack ~tenant ~seq] builds the tagged txid. Requires
+    [1 <= tenant <= max_tenant] and [1 <= seq <= max_seq]. *)
+
+val tenant_of : int -> int
+(** The tenant id a packed txid carries. *)
+
+val seq_of : int -> int
+(** The sequence number a packed txid carries. *)
+
+val is_tagged : int -> bool
+(** Whether a txid was produced by {!pack} — i.e. it is at least
+    [2^seq_bits]. Plain DBMS txids (small consecutive integers) are
+    not. *)

@@ -80,8 +80,8 @@ let enumerate config kind =
      must carry it too, or event indices would name different instants
      in the two replays. The monitor is simply abandoned with the rest
      of the simulation when enumeration stops. *)
-  let (_ : Rapilog.Invariants.t option) =
-    Option.map (Rapilog.Invariants.attach sim) built.Scenario.logger
+  let (_ : Rapilog.Invariants.t list) =
+    List.map (Rapilog.Invariants.attach sim) (Scenario.all_loggers built)
   in
   let window = ref None in
   Driver.spawn_loader built track ~after_load:(fun () ->
@@ -134,6 +134,10 @@ type verdict = {
   v_buffered_at_cut : int;
   v_media_crc : int;
   v_stats : Dbms.Recovery.replay_stats;
+  v_tenant_acked : int;
+  v_tenant_lost : int;
+  v_tenant_extra : int;
+  v_tenant_breaks : int;
   v_contract_ok : bool;
 }
 
@@ -164,11 +168,14 @@ let run_point config kind ~event_index ~at_ns =
   let built = Scenario.build (effective_scenario config kind) in
   let sim = built.Scenario.sim in
   let track = Driver.make_tracking () in
-  (* The runtime monitor rides along exactly as in the sampled failure
-     experiments; it must be stopped once the failure settles or its
-     self-rescheduling would keep the event loop alive forever. *)
-  let monitor = Option.map (Rapilog.Invariants.attach sim) built.Scenario.logger in
-  let stop_monitor () = Option.iter Rapilog.Invariants.stop monitor in
+  (* The runtime monitors ride along exactly as in the sampled failure
+     experiments — one per trusted logger on the machine (several in the
+     sharded mode); they must be stopped once the failure settles or
+     their self-rescheduling would keep the event loop alive forever. *)
+  let monitors =
+    List.map (Rapilog.Invariants.attach sim) (Scenario.all_loggers built)
+  in
+  let stop_monitor () = List.iter Rapilog.Invariants.stop monitors in
   Driver.spawn_loader built track ~after_load:(fun () ->
       Driver.spawn_clients built track);
   if not (Sim.run_to_event sim event_index) then
@@ -185,21 +192,24 @@ let run_point config kind ~event_index ~at_ns =
           replayed %d ns"
          event_index at_ns now_ns);
   let buffered_at_cut =
-    match built.Scenario.logger with
-    | Some logger -> Rapilog.Trusted_logger.buffered_bytes logger
-    | None -> -1
+    match Scenario.all_loggers built with
+    | [] -> -1
+    | loggers ->
+        List.fold_left
+          (fun acc logger -> acc + Rapilog.Trusted_logger.buffered_bytes logger)
+          0 loggers
   in
   (match kind with
   | Os_crash -> (
       Hypervisor.Vmm.crash_guest built.Scenario.vmm;
-      (* The logger outlives the guest: wait for its drain. *)
-      match built.Scenario.logger with
-      | Some logger ->
+      (* The loggers outlive the guest: wait for every drain. *)
+      match Scenario.all_loggers built with
+      | [] -> stop_monitor ()
+      | loggers ->
           ignore
             (Process.spawn sim ~name:"quiesce" (fun () ->
-                 Rapilog.Trusted_logger.quiesce logger;
-                 stop_monitor ()))
-      | None -> stop_monitor ())
+                 List.iter Rapilog.Trusted_logger.quiesce loggers;
+                 stop_monitor ())))
   | Machine_loss ->
       (* The primary vanishes this instant: guest, trusted buffer, PSU
          residual energy and all. The guest halts first (nothing executes
@@ -248,9 +258,23 @@ let run_point config kind ~event_index ~at_ns =
   in
   let audit = Audit.check ~model:track.Driver.model ~acked:track.Driver.acked ~recovery in
   let invariant_violations =
-    match monitor with
-    | Some monitor -> List.length (Rapilog.Invariants.violations monitor)
-    | None -> 0
+    List.fold_left
+      (fun acc monitor -> acc + List.length (Rapilog.Invariants.violations monitor))
+      0 monitors
+  in
+  (* The sharded tier gets its own audit: every tenant's acknowledged
+     sequence numbers re-read from the shard devices, exactly as the
+     DBMS audit re-reads the log device. A single lost tenant entry is
+     a contract break on par with a lost commit. *)
+  let tenant_acked, tenant_lost, tenant_extra, tenant_breaks =
+    match built.Scenario.shard with
+    | Some tier ->
+        let t = Shard.Recover.audit tier in
+        ( t.Shard.Recover.a_acked,
+          t.Shard.Recover.a_lost,
+          t.Shard.Recover.a_extra,
+          t.Shard.Recover.a_breaks )
+    | None -> (0, 0, 0, 0)
   in
   let lost = List.length audit.Audit.durability.Rapilog.Durability.lost in
   {
@@ -270,10 +294,15 @@ let run_point config kind ~event_index ~at_ns =
            ~data:built.Scenario.data_physical
        else -1);
     v_stats = Dbms.Recovery.stats recovery;
+    v_tenant_acked = tenant_acked;
+    v_tenant_lost = tenant_lost;
+    v_tenant_extra = tenant_extra;
+    v_tenant_breaks = tenant_breaks;
     v_contract_ok =
       Rapilog.Durability.holds audit.Audit.durability
       && audit.Audit.state_exact
-      && invariant_violations = 0;
+      && invariant_violations = 0
+      && tenant_breaks = 0;
   }
 
 type kind_summary = {
@@ -1581,6 +1610,11 @@ let reconstruct_point config prep cur ~event_index ~at_ns =
       (if config.media_digests then media_digest ~log:frozen_log ~data:frozen_data
        else -1);
     v_stats = Dbms.Recovery.stats recovery;
+    (* Journal sweeps support only the plain Rapilog mode: no tier. *)
+    v_tenant_acked = 0;
+    v_tenant_lost = 0;
+    v_tenant_extra = 0;
+    v_tenant_breaks = 0;
     v_contract_ok =
       Rapilog.Durability.holds audit.Audit.durability
       && audit.Audit.state_exact

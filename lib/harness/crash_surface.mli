@@ -101,11 +101,22 @@ type verdict = {
           whichever path produced the state — full replay or journal
           reconstruction; -1 when [media_digests] is off *)
   v_stats : Dbms.Recovery.replay_stats;
+  v_tenant_acked : int;
+      (** tenant entries acknowledged by the sharded tier over the whole
+          run; 0 outside [Rapilog_sharded] mode *)
+  v_tenant_lost : int;
+      (** tenant entries acknowledged but absent from the merged
+          per-shard recovery — per-tenant durability breaks *)
+  v_tenant_extra : int;
+      (** tenant entries durable but never acknowledged — permitted *)
+  v_tenant_breaks : int;  (** tenants with at least one lost entry *)
   v_contract_ok : bool;
       (** the always-durable contract: nothing lost, state exact, zero
-          runtime invariant violations. Expected true at {e every} point
-          for RapiLog; expected false somewhere for the unprotected
-          baselines — that asymmetry is the sweep's teeth. *)
+          runtime invariant violations — and, in [Rapilog_sharded] mode,
+          zero tenants with lost entries. Expected true at {e every}
+          point for RapiLog; expected false somewhere for the
+          unprotected baselines — that asymmetry is the sweep's
+          teeth. *)
 }
 
 val run_point : config -> kind -> event_index:int -> at_ns:int -> verdict

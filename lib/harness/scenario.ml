@@ -6,6 +6,7 @@ type mode =
   | Rapilog
   | Rapilog_replicated
   | Rapilog_quorum
+  | Rapilog_sharded
   | Wcache_flush
   | Unsafe_wcache
   | Async_commit
@@ -16,6 +17,7 @@ let mode_name = function
   | Rapilog -> "rapilog"
   | Rapilog_replicated -> "rapilog-replicated"
   | Rapilog_quorum -> "rapilog-quorum"
+  | Rapilog_sharded -> "rapilog-sharded"
   | Wcache_flush -> "wcache-flush"
   | Unsafe_wcache -> "unsafe-wcache"
   | Async_commit -> "async-commit"
@@ -27,6 +29,7 @@ let all_modes =
     Rapilog;
     Rapilog_replicated;
     Rapilog_quorum;
+    Rapilog_sharded;
     Wcache_flush;
     Unsafe_wcache;
     Async_commit;
@@ -36,7 +39,7 @@ let mode_of_name name =
   List.find_opt (fun mode -> String.equal (mode_name mode) name) all_modes
 
 let mode_is_durable = function
-  | Native_sync | Virt_sync | Rapilog | Wcache_flush -> `Always
+  | Native_sync | Virt_sync | Rapilog | Rapilog_sharded | Wcache_flush -> `Always
   | Rapilog_replicated -> `Machine_loss_too
   | Rapilog_quorum -> `Minority_loss_too
   | Unsafe_wcache -> `Os_crash_only
@@ -77,6 +80,7 @@ type config = {
   pool : Dbms.Buffer_pool.config;
   wal_writer_interval : Time.span;
   log_streams : int;
+  shard : Shard.Tier.config;
 }
 
 let default =
@@ -100,6 +104,7 @@ let default =
     pool = { Dbms.Buffer_pool.default_config with capacity_pages = 4096 };
     wal_writer_interval = Time.ms 10;
     log_streams = 1;
+    shard = Shard.Tier.default_config;
   }
 
 type generator = {
@@ -125,6 +130,7 @@ type built = {
   logger : Rapilog.Trusted_logger.t option;
   replication : Net.Replication.t option;
   quorum : Net.Quorum.t option;
+  shard : Shard.Tier.t option;
   generator : generator;
 }
 
@@ -170,7 +176,7 @@ let build config =
   let vmm_config =
     match config.mode with
     | Native_sync | Wcache_flush | Unsafe_wcache | Async_commit -> Hypervisor.Vmm.native
-    | Virt_sync | Rapilog | Rapilog_replicated | Rapilog_quorum ->
+    | Virt_sync | Rapilog | Rapilog_replicated | Rapilog_quorum | Rapilog_sharded ->
         Hypervisor.Vmm.default_sel4
   in
   let vmm = Hypervisor.Vmm.create sim vmm_config in
@@ -208,14 +214,41 @@ let build config =
   let virtio_of device =
     Hypervisor.Vmm.attach_virtio_disk vmm (Hypervisor.Virtio_blk.backend_of_block device)
   in
-  let log_attached, data_attached, logger, replication, quorum =
+  let log_attached, data_attached, logger, replication, quorum, shard_tier =
     match config.mode with
     | Native_sync | Async_commit ->
         Power.Power_domain.register_device power log_physical;
-        (log_physical, data_physical, None, None, None)
+        (log_physical, data_physical, None, None, None, None)
     | Virt_sync ->
         Power.Power_domain.register_device power log_physical;
-        (virtio_of log_physical, virtio_of data_physical, None, None, None)
+        (virtio_of log_physical, virtio_of data_physical, None, None, None, None)
+    | Rapilog_sharded ->
+        (* A multi-tenant logger tier shares the machine with the
+           benchmark's embedded DBMS: shard 0's first device doubles as
+           the DBMS log device. The tier's WAL regions sit above the
+           embedded layout, so the two sets of streams are mutually
+           invisible to recovery. *)
+        assert (not config.single_disk);
+        assert (config.log_streams = 1);
+        let tier_config =
+          {
+            config.shard with
+            Shard.Tier.logger = config.logger;
+            horizon = Time.add_span config.warmup config.duration;
+          }
+        in
+        let tier =
+          Shard.Tier.attach sim ~vmm ~power ~config:tier_config
+            ~first_device:log_physical
+            ~make_device:(fun () -> make_device sim config.device)
+            ()
+        in
+        ( Shard.Tier.shard_frontend tier 0,
+          virtio_of data_physical,
+          Some (Shard.Tier.shard_logger tier 0),
+          None,
+          None,
+          Some tier )
     | Rapilog | Rapilog_replicated | Rapilog_quorum ->
         (* The logger registers the physical device itself. *)
         let frontend, logger =
@@ -240,14 +273,21 @@ let build config =
                  ~make_device:(fun _ -> make_device sim config.device))
           else None
         in
-        (frontend, virtio_of data_physical, Some logger, replication, quorum)
+        (frontend, virtio_of data_physical, Some logger, replication, quorum, None)
     | Wcache_flush | Unsafe_wcache ->
         (* Same hardware; the modes differ in whether the WAL issues a
            flush barrier after every force (safe) or trusts the volatile
            cache (fast and lossy on power cuts). *)
         let cached = Storage.Write_cache.wrap sim Storage.Write_cache.default log_physical in
         Power.Power_domain.register_device power cached;
-        (cached, data_physical, None, None, None)
+        (cached, data_physical, None, None, None, None)
+  in
+  (* With devices_per_shard > 1 the tier stripes shard 0 across members;
+     recovery must read the striped view, not the bare first member. *)
+  let log_physical =
+    match shard_tier with
+    | Some tier -> Shard.Tier.shard_physical tier 0
+    | None -> log_physical
   in
   assert (config.log_streams >= 1);
   (* The single-disk layout reserves the low addresses for one log
@@ -309,8 +349,18 @@ let build config =
     logger;
     replication;
     quorum;
+    shard = shard_tier;
     generator = make_generator sim config;
   }
+
+(* Every trusted logger on the machine: one for the plain rapilog
+   modes, one per shard for the tier, none for the native modes.
+   Crash-surface monitors and quiesce walk this list so the sharded
+   mode gets the same scrutiny per logger as the single-logger modes. *)
+let all_loggers built =
+  match built.shard with
+  | Some tier -> Shard.Tier.loggers tier
+  | None -> Option.to_list built.logger
 
 (* What recovery reads after a crash: the bare log device, or — when a
    replica exists — the primary's durable media merged with the

@@ -22,6 +22,14 @@
       {!config.quorum}). At majority quorum the acknowledged prefix
       survives losing the primary plus any minority of replicas, with
       an explicit leader election at recovery.
+    - [Rapilog_sharded]: RapiLog-S — the machine additionally hosts a
+      sharded multi-tenant logger tier ({!Shard.Tier}): per-tenant log
+      streams hash-partitioned across several trusted-logger shards,
+      each shard with its own device (or stripe) and WAL regions. The
+      benchmark's embedded DBMS shares shard 0's device, so the usual
+      commit-path measurements still apply while the tier absorbs the
+      multi-tenant open-loop load. Per-tenant durability contracts are
+      audited by {!Shard.Recover}.
     - [Wcache_flush]: bare metal with the disk's volatile write cache
       enabled and a flush barrier after every log force. Safe — and the
       barrier largely negates the cache, which is why the cache gets
@@ -38,6 +46,7 @@ type mode =
   | Rapilog
   | Rapilog_replicated
   | Rapilog_quorum
+  | Rapilog_sharded
   | Wcache_flush
   | Unsafe_wcache
   | Async_commit
@@ -107,6 +116,13 @@ type config = {
           dependency vectors, and checkpointing is disabled (recovery
           repeats history from each stream's start). Requires the
           dedicated-log-device layout (not [single_disk]). *)
+  shard : Shard.Tier.config;
+      (** tier shape and load for [Rapilog_sharded] (shards, devices
+          per shard, tenants, open-loop clients). [build] overrides the
+          tier's [logger] with {!config.logger} and its [horizon] with
+          [warmup + duration] so the tier's arrivals stop with the
+          benchmark. [Rapilog_sharded] requires the dedicated-log-device
+          layout (not [single_disk]) and [log_streams = 1]. *)
 }
 
 val default : config
@@ -137,15 +153,23 @@ type built = {
   data_chunk_sectors : int;
       (** stripe chunk size; 0 when the data volume is not striped *)
   logger : Rapilog.Trusted_logger.t option;
-      (** in [Rapilog], [Rapilog_replicated] and [Rapilog_quorum] modes *)
+      (** in [Rapilog], [Rapilog_replicated], [Rapilog_quorum] and
+          [Rapilog_sharded] modes (shard 0's logger for the latter) *)
   replication : Net.Replication.t option;  (** in [Rapilog_replicated] mode *)
   quorum : Net.Quorum.t option;  (** in [Rapilog_quorum] mode *)
+  shard : Shard.Tier.t option;  (** in [Rapilog_sharded] mode *)
   generator : generator;
 }
 
 val build : config -> built
 (** Assemble the machine; nothing is running yet except device-internal
     and logger processes. *)
+
+val all_loggers : built -> Rapilog.Trusted_logger.t list
+(** Every trusted logger on the machine: one per shard in
+    [Rapilog_sharded] mode, the single logger in the other rapilog
+    modes, empty for the native modes. Crash-surface monitors and
+    quiesce walk this list. *)
 
 val recovery_log_device : built -> Storage.Block.t
 (** The log device recovery should read after a crash: [log_physical],

@@ -1,0 +1,48 @@
+(** Self-contained tier cells: one simulated machine running one
+    {!Tier} to completion, then auditing every tenant.
+
+    This is the unit the scale benches fan out over a worker pool
+    ([Harness.Parallel] at the bench layer): each cell owns its
+    simulation, so cells are independent and a parallel sweep is
+    bit-identical to a serial one. A cell builds VMM + power domain +
+    tier over fresh 7200 rpm disks, runs until the arrival horizon and
+    every queue drains, optionally injects a mid-run power cut and/or a
+    shard split, quiesces (when power survived) and audits. *)
+
+type fault = {
+  f_cut_at : Desim.Time.span option;
+      (** mains power cut at this simulated time *)
+  f_split_at : (Desim.Time.span * int * int) option;
+      (** rebalance: at the given time, split shard [source] into
+          [target] — [(at, source, target)] *)
+}
+
+val no_fault : fault
+
+type config = {
+  c_name : string;
+  c_tier : Tier.config;
+  c_seed : int64;
+  c_fault : fault;
+}
+
+type result = {
+  r_name : string;
+  r_seed : int64;
+  r_submitted : int;
+  r_acked : int;
+  r_stats : Tier.stats;
+  r_audit : Recover.tenant_audit;
+  r_buckets_moved : int;  (** 0 unless the fault schedule split a shard *)
+  r_events : int;  (** simulation events executed — the determinism witness *)
+  r_clock_ns : int;  (** final simulated clock *)
+}
+
+val run : config -> result
+(** Build, run to quiescence, audit. Deterministic: the result is a
+    pure function of the config (fan it out over any number of jobs
+    and the records compare equal). *)
+
+val digest : result -> string
+(** A compact fingerprint of every deterministic field — what the
+    jobs=1 ≡ jobs=N identity gate compares. *)

@@ -1,0 +1,108 @@
+type tenant_audit = {
+  a_tenants : int;
+  a_acked : int;
+  a_recovered : int;
+  a_lost : int;
+  a_extra : int;
+  a_breaks : int;
+  a_min_prefix_ratio : float;
+}
+
+let pp_audit fmt a =
+  Format.fprintf fmt
+    "tenants=%d acked=%d recovered=%d lost=%d extra=%d breaks=%d min_prefix=%.3f"
+    a.a_tenants a.a_acked a.a_recovered a.a_lost a.a_extra a.a_breaks
+    a.a_min_prefix_ratio
+
+(* The tier keeps no data pages: every key would map far past the
+   devices' durable extent, so recovery's page loads all skip and the
+   pass reduces to scan + analysis — which is all the audit needs. *)
+let inert_pool =
+  {
+    Dbms.Buffer_pool.default_config with
+    Dbms.Buffer_pool.data_start_lba = max_int / 2;
+  }
+
+let shard_result tier shard =
+  let device = Tier.shard_physical tier shard in
+  Dbms.Recovery.run ~log_device:device ~data_device:device
+    ~wal_config:(Tier.wal_config tier) ~pool_config:inert_pool
+
+let tenant_seqs results =
+  let seqs = Hashtbl.create 256 in
+  List.iter
+    (fun result ->
+      List.iter
+        (fun txid ->
+          if Rapilog.Tenant.is_tagged txid then begin
+            let tenant = Rapilog.Tenant.tenant_of txid in
+            let seq = Rapilog.Tenant.seq_of txid in
+            let prev =
+              match Hashtbl.find_opt seqs tenant with Some l -> l | None -> []
+            in
+            Hashtbl.replace seqs tenant (seq :: prev)
+          end)
+        result.Dbms.Recovery.committed)
+    results;
+  Hashtbl.iter
+    (fun tenant l -> Hashtbl.replace seqs tenant (List.sort_uniq Int.compare l))
+    (Hashtbl.copy seqs);
+  seqs
+
+let prefix_length seqs =
+  let rec go expect = function
+    | seq :: rest when seq = expect -> go (expect + 1) rest
+    | _ -> expect - 1
+  in
+  go 1 seqs
+
+let audit tier =
+  let results =
+    List.init (Tier.shard_count tier) (fun s -> shard_result tier s)
+  in
+  let recovered = tenant_seqs results in
+  let tenants = ref 0 in
+  let acked_total = ref 0 in
+  let recovered_total = ref 0 in
+  let lost = ref 0 in
+  let extra = ref 0 in
+  let breaks = ref 0 in
+  let min_ratio = ref nan in
+  for tenant = 1 to Tier.tenant_count tier do
+    let submitted = Tier.tenant_submitted tier ~tenant in
+    let seqs =
+      match Hashtbl.find_opt recovered tenant with Some l -> l | None -> []
+    in
+    if submitted > 0 || seqs <> [] then begin
+      incr tenants;
+      let acked = Tier.tenant_acked_count tier ~tenant in
+      acked_total := !acked_total + acked;
+      recovered_total := !recovered_total + List.length seqs;
+      let in_recovered = Hashtbl.create (List.length seqs) in
+      List.iter (fun s -> Hashtbl.replace in_recovered s ()) seqs;
+      let tenant_lost = ref 0 in
+      for seq = 1 to submitted do
+        let was_acked = Tier.tenant_is_acked tier ~tenant ~seq in
+        let durable = Hashtbl.mem in_recovered seq in
+        if was_acked && not durable then incr tenant_lost;
+        if durable && not was_acked then incr extra
+      done;
+      lost := !lost + !tenant_lost;
+      if !tenant_lost > 0 then incr breaks;
+      if submitted > 0 then begin
+        let ratio =
+          float_of_int (prefix_length seqs) /. float_of_int submitted
+        in
+        if Float.is_nan !min_ratio || ratio < !min_ratio then min_ratio := ratio
+      end
+    end
+  done;
+  {
+    a_tenants = !tenants;
+    a_acked = !acked_total;
+    a_recovered = !recovered_total;
+    a_lost = !lost;
+    a_extra = !extra;
+    a_breaks = !breaks;
+    a_min_prefix_ratio = !min_ratio;
+  }

@@ -1,0 +1,54 @@
+(** Per-tenant recovery and the per-tenant durability audit.
+
+    A shard's durable state recovers with the {e same} machinery the
+    single-tenant DBMS uses: {!Dbms.Recovery.run} over the shard's raw
+    device with the tier's WAL layout ({!Tier.wal_config}) — per-stream
+    region-bounded scans, durable prefixes, dependency-valid commits.
+    The committed txids then unpack through {!Rapilog.Tenant} into
+    per-tenant sequence sets, and a tenant's recovered state is the
+    {e union} of its sets across every shard (rebalancing may leave a
+    tenant's history split across the source and destination of a
+    bucket move).
+
+    The contract audited per tenant: {b every acknowledged sequence
+    number is recovered}. Gaps among {e unacknowledged} sequence
+    numbers are permitted (an unacked append may or may not have
+    reached media — same as the single-tenant audit's "extra"
+    category); an acknowledged one missing is a durability break. *)
+
+type tenant_audit = {
+  a_tenants : int;  (** tenants that submitted anything *)
+  a_acked : int;  (** acknowledged appends, all tenants *)
+  a_recovered : int;  (** recovered (durably committed) appends *)
+  a_lost : int;  (** acknowledged but not recovered — contract breaks *)
+  a_extra : int;  (** recovered but never acknowledged — permitted *)
+  a_breaks : int;  (** tenants with [a_lost > 0] *)
+  a_min_prefix_ratio : float;
+      (** min over active tenants of
+          [recovered consecutive prefix / submitted]; 1.0 when every
+          tenant's whole history survived, [nan] with no active
+          tenants *)
+}
+
+val pp_audit : Format.formatter -> tenant_audit -> unit
+
+val shard_result : Tier.t -> int -> Dbms.Recovery.result
+(** Post-crash recovery of one shard's device, untimed and pure:
+    {!Dbms.Recovery.run} with the tier's WAL layout and an inert pool
+    config (the tier stores no data pages — the log {e is} the
+    store). *)
+
+val tenant_seqs : Dbms.Recovery.result list -> (int, int list) Hashtbl.t
+(** Merge recovery results (one per shard) into tenant → sorted list
+    of recovered sequence numbers. Only {!Rapilog.Tenant.is_tagged}
+    txids count; a co-resident DBMS's plain txids are ignored. *)
+
+val prefix_length : int list -> int
+(** Length of the longest consecutive prefix [1, 2, ..] of an
+    ascending list. *)
+
+val audit : Tier.t -> tenant_audit
+(** Recover every shard ({!shard_result}), merge ({!tenant_seqs}), and
+    check each tenant's acknowledged set against its recovered set.
+    Callable from any context at any simulated time — normally after a
+    crash, or after {!Tier.quiesce} at the end of a steady run. *)

@@ -1,0 +1,61 @@
+type t = {
+  table : int array; (* bucket -> shard *)
+  shard_count : int;
+  mutable epoch : int;
+  mutable moves : int;
+}
+
+(* splitmix64 finalizer: a well-mixed, seedless hash of the tenant id.
+   Deterministic across runs and domains — the mapping is part of the
+   tier's on-media contract, so it must never depend on runtime
+   hashing. *)
+let mix64 x =
+  let open Int64 in
+  let z = add (of_int x) 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  to_int (logxor z (shift_right_logical z 31))
+
+let create ~shards ?(buckets = 1024) () =
+  if buckets <= 0 || buckets land (buckets - 1) <> 0 then
+    invalid_arg "Registry.create: buckets must be a positive power of two";
+  if shards < 1 || shards > buckets then
+    invalid_arg "Registry.create: need 1 <= shards <= buckets";
+  {
+    table = Array.init buckets (fun b -> b mod shards);
+    shard_count = shards;
+    epoch = 0;
+    moves = 0;
+  }
+
+let shards t = t.shard_count
+let bucket_count t = Array.length t.table
+
+let bucket_of_tenant t ~tenant =
+  mix64 tenant land (Array.length t.table - 1)
+
+let shard_of_tenant t ~tenant = t.table.(bucket_of_tenant t ~tenant)
+
+let owned t shard =
+  Array.fold_left (fun acc s -> if s = shard then acc + 1 else acc) 0 t.table
+
+let split t ~source ~target =
+  let n = t.shard_count in
+  if source < 0 || source >= n || target < 0 || target >= n || source = target
+  then invalid_arg "Registry.split: bad shard index";
+  let mine = ref [] in
+  Array.iteri (fun b s -> if s = source then mine := b :: !mine) t.table;
+  let mine = Array.of_list (List.rev !mine) in
+  let keep = Array.length mine / 2 in
+  let moved = Array.length mine - keep in
+  for i = keep to Array.length mine - 1 do
+    t.table.(mine.(i)) <- target
+  done;
+  if moved > 0 then begin
+    t.epoch <- t.epoch + 1;
+    t.moves <- t.moves + moved
+  end;
+  moved
+
+let epoch t = t.epoch
+let moves t = t.moves

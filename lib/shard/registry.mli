@@ -1,0 +1,50 @@
+(** The tenant registry: who owns which tenant.
+
+    Tenants map to shards through a fixed-size bucket table — the
+    classic consistent-bucket layout: [bucket = mix64 tenant mod
+    buckets] never changes for a tenant, while the bucket → shard
+    assignment is the mutable part that rebalancing edits. Moving a
+    bucket moves every tenant hashing into it and nothing else, so a
+    {!split} is O(buckets moved) with no per-tenant state to migrate:
+    per-tenant sequence numbers live with the tenant, not the shard,
+    and recovery merges a tenant's appends across every shard that ever
+    held its bucket ({!Recover.audit}). *)
+
+type t
+
+val create : shards:int -> ?buckets:int -> unit -> t
+(** [create ~shards ()] assigns [buckets] (default 1024, must be a
+    power of two) round-robin across [shards]; requires
+    [1 <= shards <= buckets]. *)
+
+val shards : t -> int
+(** Number of shards the table was created over. *)
+
+val bucket_count : t -> int
+(** Size of the bucket table. *)
+
+val bucket_of_tenant : t -> tenant:int -> int
+(** The bucket a tenant hashes into — a pure function of the tenant id
+    and table size, unaffected by rebalancing. *)
+
+val shard_of_tenant : t -> tenant:int -> int
+(** The shard currently owning the tenant's bucket. *)
+
+val owned : t -> int -> int
+(** [owned t shard] is the number of buckets the shard currently
+    owns. *)
+
+val split : t -> source:int -> target:int -> int
+(** Reassign the upper half (by bucket index) of [source]'s buckets to
+    [target], bump the {!epoch}, and return how many buckets moved.
+    In-flight appends already routed to [source] complete there; new
+    arrivals for the moved tenants route to [target] with their
+    sequence numbers continuing — the rebalance protocol needs no
+    quiesce because per-tenant recovery takes the union of both shards'
+    durable prefixes (see [docs/SHARDING.md]). *)
+
+val epoch : t -> int
+(** Rebalance epoch: 0 at creation, +1 per {!split}. *)
+
+val moves : t -> int
+(** Total buckets moved by all splits so far. *)

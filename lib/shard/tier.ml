@@ -1,0 +1,433 @@
+open Desim
+
+type config = {
+  shards : int;
+  devices_per_shard : int;
+  streams_per_shard : int;
+  buckets : int;
+  tenants : int;
+  clients : int;
+  mean_interval : Time.span;
+  payload_bytes : int;
+  horizon : Time.span;
+  batch_max_bytes : int;
+  logger : Rapilog.Trusted_logger.config;
+  hot_tenant : int;
+  hot_clients : int;
+  hot_interval : Time.span;
+  chunk_sectors : int;
+}
+
+let default_config =
+  {
+    shards = 2;
+    devices_per_shard = 1;
+    streams_per_shard = 1;
+    buckets = 1024;
+    tenants = 16;
+    clients = 32;
+    mean_interval = Time.ms 20;
+    payload_bytes = 128;
+    horizon = Time.sec 1;
+    batch_max_bytes = 64 * 1024;
+    logger = Rapilog.Trusted_logger.default_config;
+    hot_tenant = 0;
+    hot_clients = 0;
+    hot_interval = Time.ms 1;
+    chunk_sectors = 64;
+  }
+
+(* The tier's on-device layout: one {!Dbms.Wal.default_config} region
+   above the default single-tenant layout, so shard 0's device can host
+   an embedded DBMS (master at 0, log from sector 8, region 0) and the
+   tier (master just past region 0, streams from there) side by side.
+   Region boundaries make the two scans mutually blind: each stops at
+   the first invalid record inside its own region. *)
+let wal_layout (config : config) =
+  let base = Dbms.Wal.default_config in
+  let region = base.Dbms.Wal.stream_stride_sectors in
+  {
+    base with
+    Dbms.Wal.master_lba = base.Dbms.Wal.log_start_lba + region;
+    log_start_lba = base.Dbms.Wal.log_start_lba + region + 8;
+    streams = config.streams_per_shard;
+  }
+
+type stream_state = {
+  ss_queue : (int * int * int) Queue.t; (* tenant, seq, submit ns *)
+  ss_cond : Resource.Condition.t;
+}
+
+type shard_state = {
+  s_index : int;
+  s_members : Storage.Block.t array;
+  s_physical : Storage.Block.t;
+  s_logger : Rapilog.Trusted_logger.t;
+  s_frontend : Storage.Block.t;
+  s_wal : Dbms.Wal.t;
+  s_streams : stream_state array;
+  mutable s_submitted : int;
+  mutable s_acked : int;
+  s_hist : Metrics.Histogram.t;
+}
+
+type tenant_state = {
+  mutable t_next_seq : int;
+  mutable t_acked : Bytes.t;
+  mutable t_acked_count : int;
+  t_lat : Stats.Sample.t;
+}
+
+type ambient = {
+  a_hist : Metrics.Histogram.t;
+  a_submitted : Metrics.Counter.t;
+  a_acked : Metrics.Counter.t;
+  a_tenant_p99 : Metrics.Histogram.t;
+}
+
+type t = {
+  sim : Sim.t;
+  config : config;
+  registry : Registry.t;
+  shards : shard_state array;
+  tenants : tenant_state array; (* index 1..tenants *)
+  wal_config : Dbms.Wal.config;
+  payload : string;
+  horizon : Time.t;
+  mutable stopped : bool;
+  mutable submitted : int;
+  mutable acked : int;
+  mutable pending : int;
+  agg_hist : Metrics.Histogram.t;
+  ambient : ambient option;
+  mutable tenant_p99_folded : bool;
+}
+
+let config t = t.config
+let registry t = t.registry
+let wal_config t = t.wal_config
+let shard_count t = Array.length t.shards
+let shard_physical t i = t.shards.(i).s_physical
+let shard_frontend t i = t.shards.(i).s_frontend
+let shard_members t i = t.shards.(i).s_members
+let shard_logger t i = t.shards.(i).s_logger
+let loggers t = Array.to_list (Array.map (fun sh -> sh.s_logger) t.shards)
+let stopped t = t.stopped
+let pending t = t.pending
+let submitted t = t.submitted
+let acked t = t.acked
+let tenant_count t = t.config.tenants
+let tenant_submitted t ~tenant = t.tenants.(tenant).t_next_seq - 1
+let tenant_acked_count t ~tenant = t.tenants.(tenant).t_acked_count
+
+let tenant_is_acked t ~tenant ~seq =
+  let ts = t.tenants.(tenant) in
+  let byte = (seq - 1) lsr 3 in
+  byte < Bytes.length ts.t_acked
+  && Char.code (Bytes.get ts.t_acked byte) land (1 lsl ((seq - 1) land 7)) <> 0
+
+let mark_acked_seq ts ~seq =
+  let byte = (seq - 1) lsr 3 in
+  let len = Bytes.length ts.t_acked in
+  if byte >= len then begin
+    let grown = Bytes.make (max (byte + 1) (2 * len)) '\000' in
+    Bytes.blit ts.t_acked 0 grown 0 len;
+    ts.t_acked <- grown
+  end;
+  Bytes.set ts.t_acked byte
+    (Char.chr
+       (Char.code (Bytes.get ts.t_acked byte) lor (1 lsl ((seq - 1) land 7))));
+  ts.t_acked_count <- ts.t_acked_count + 1
+
+let tenant_percentile t ~tenant ~p =
+  let ts = t.tenants.(tenant) in
+  if Stats.Sample.count ts.t_lat = 0 then nan
+  else Stats.Sample.percentile ts.t_lat p
+
+(* Routing: the tenant's bucket (stable) picks the shard (mutable, via
+   the registry) and, within the shard, the WAL stream. The stream
+   choice is a pure function of the bucket, so a tenant's appends ride
+   one stream per shard and its device order is its sequence order. *)
+let route t ~tenant =
+  let shard = Registry.shard_of_tenant t.registry ~tenant in
+  let bucket = Registry.bucket_of_tenant t.registry ~tenant in
+  (shard, bucket mod t.config.streams_per_shard)
+
+let submit t ~tenant =
+  if (not t.stopped) && tenant >= 1 && tenant <= t.config.tenants then begin
+    let ts = t.tenants.(tenant) in
+    let seq = ts.t_next_seq in
+    if seq <= Rapilog.Tenant.max_seq then begin
+      ts.t_next_seq <- seq + 1;
+      let shard, stream = route t ~tenant in
+      let sh = t.shards.(shard) in
+      let ss = sh.s_streams.(stream) in
+      Queue.push (tenant, seq, Time.to_ns (Sim.now t.sim)) ss.ss_queue;
+      sh.s_submitted <- sh.s_submitted + 1;
+      t.submitted <- t.submitted + 1;
+      t.pending <- t.pending + 1;
+      (match t.ambient with
+      | Some a -> Metrics.Counter.incr a.a_submitted
+      | None -> ());
+      Resource.Condition.signal ss.ss_cond
+    end
+  end
+
+let ack t sh ~tenant ~seq ~lat_ns =
+  let ts = t.tenants.(tenant) in
+  mark_acked_seq ts ~seq;
+  sh.s_acked <- sh.s_acked + 1;
+  t.acked <- t.acked + 1;
+  t.pending <- t.pending - 1;
+  let us = float_of_int lat_ns /. 1e3 in
+  Metrics.Histogram.observe t.agg_hist us;
+  Metrics.Histogram.observe sh.s_hist us;
+  Stats.Sample.add ts.t_lat us;
+  match t.ambient with
+  | Some a ->
+      Metrics.Histogram.observe a.a_hist us;
+      Metrics.Counter.incr a.a_acked
+  | None -> ()
+
+let park () = Process.suspend (fun (_ : unit Process.resumer) -> ())
+
+(* One writer per (shard, stream): drain the queue in bounded batches —
+   encode the batch into the WAL, one force, then acknowledge every
+   entry. The force returning means the trusted logger admitted the
+   covering write (or an earlier force already had), which is exactly
+   the durability the ack promises. The batch bound keeps a backlogged
+   stream's single force write well below the trusted ring's capacity;
+   latency under overload then shows up as queue wait, i.e.
+   backpressure, not as an unadmittable giant write. *)
+let spawn_writer t sh stream =
+  let ss = sh.s_streams.(stream) in
+  let pair_bytes =
+    let txid = Rapilog.Tenant.pack ~tenant:1 ~seq:1 in
+    Dbms.Log_record.encoded_size
+      (Dbms.Log_record.Update
+         { txid; key = 1; before = ""; after = t.payload })
+    + Dbms.Log_record.encoded_size (Dbms.Log_record.Commit { txid })
+  in
+  let batch_max = max 1 (t.config.batch_max_bytes / pair_bytes) in
+  ignore
+    (Process.spawn t.sim
+       ~name:(Printf.sprintf "shard%d.writer%d" sh.s_index stream)
+       (fun () ->
+         let batch = ref [] in
+         let rec loop () =
+           if t.stopped then park ();
+           if Queue.is_empty ss.ss_queue then begin
+             Resource.Condition.wait ss.ss_cond;
+             loop ()
+           end
+           else begin
+             batch := [];
+             let n = ref 0 in
+             while (not (Queue.is_empty ss.ss_queue)) && !n < batch_max do
+               batch := Queue.pop ss.ss_queue :: !batch;
+               incr n
+             done;
+             let entries = List.rev !batch in
+             let last_lsn =
+               List.fold_left
+                 (fun _ (tenant, seq, _) ->
+                   let txid = Rapilog.Tenant.pack ~tenant ~seq in
+                   let (_ : Dbms.Lsn.t) =
+                     Dbms.Wal.append ~stream sh.s_wal
+                       (Dbms.Log_record.Update
+                          { txid; key = tenant; before = ""; after = t.payload })
+                   in
+                   Dbms.Wal.append ~stream sh.s_wal
+                     (Dbms.Log_record.Commit { txid }))
+                 Dbms.Lsn.zero entries
+             in
+             Dbms.Wal.force ~stream sh.s_wal last_lsn;
+             let now_ns = Time.to_ns (Sim.now t.sim) in
+             List.iter
+               (fun (tenant, seq, t0) ->
+                 ack t sh ~tenant ~seq ~lat_ns:(now_ns - t0))
+               entries;
+             loop ()
+           end
+         in
+         loop ()))
+
+let spawn_client t ~tenant ~interval =
+  let rng = Rng.split (Sim.rng t.sim) in
+  ignore
+    (Process.spawn t.sim (fun () ->
+         let rec loop () =
+           Process.sleep (Rng.exponential_span rng ~mean:interval);
+           if (not t.stopped) && Time.(Sim.now t.sim < t.horizon) then begin
+             submit t ~tenant;
+             loop ()
+           end
+         in
+         loop ()))
+
+let validate (config : config) =
+  if config.shards < 1 then invalid_arg "Tier: shards must be >= 1";
+  if config.devices_per_shard < 1 then
+    invalid_arg "Tier: devices_per_shard must be >= 1";
+  if config.streams_per_shard < 1 then
+    invalid_arg "Tier: streams_per_shard must be >= 1";
+  if config.tenants < 1 || config.tenants > Rapilog.Tenant.max_tenant then
+    invalid_arg "Tier: tenants out of range";
+  if config.clients < 0 then invalid_arg "Tier: clients must be >= 0";
+  if config.payload_bytes < 0 then invalid_arg "Tier: negative payload";
+  if config.batch_max_bytes < 1 then invalid_arg "Tier: batch_max_bytes";
+  if
+    config.hot_clients > 0
+    && (config.hot_tenant < 1 || config.hot_tenant > config.tenants)
+  then invalid_arg "Tier: hot_tenant out of range"
+
+let attach sim ~vmm ~power ~(config : config) ?first_device ~make_device () =
+  validate config;
+  let wal_config = wal_layout config in
+  let registry = Registry.create ~shards:config.shards ~buckets:config.buckets () in
+  let shards =
+    Array.init config.shards (fun i ->
+        let members =
+          Array.init config.devices_per_shard (fun d ->
+              match first_device with
+              | Some device when i = 0 && d = 0 -> device
+              | Some _ | None -> make_device ())
+        in
+        let physical =
+          if config.devices_per_shard = 1 then members.(0)
+          else Storage.Stripe.create sim ~chunk_sectors:config.chunk_sectors members
+        in
+        let frontend, logger =
+          Rapilog.attach ~vmm ~power ~config:config.logger ~device:physical ()
+        in
+        let wal = Dbms.Wal.create sim wal_config ~device:frontend in
+        {
+          s_index = i;
+          s_members = members;
+          s_physical = physical;
+          s_logger = logger;
+          s_frontend = frontend;
+          s_wal = wal;
+          s_streams =
+            Array.init config.streams_per_shard (fun _ ->
+                {
+                  ss_queue = Queue.create ();
+                  ss_cond = Resource.Condition.create sim;
+                });
+          s_submitted = 0;
+          s_acked = 0;
+          s_hist = Metrics.Histogram.create ();
+        })
+  in
+  let ambient =
+    Option.map
+      (fun reg ->
+        {
+          a_hist = Metrics.histogram reg "shard.append_us";
+          a_submitted = Metrics.counter reg "shard.submitted";
+          a_acked = Metrics.counter reg "shard.acked";
+          a_tenant_p99 = Metrics.histogram reg "shard.tenant_p99_us";
+        })
+      (Metrics.recording ())
+  in
+  let t =
+    {
+      sim;
+      config;
+      registry;
+      shards;
+      tenants =
+        Array.init (config.tenants + 1) (fun _ ->
+            {
+              t_next_seq = 1;
+              t_acked = Bytes.make 8 '\000';
+              t_acked_count = 0;
+              t_lat = Stats.Sample.create ();
+            });
+      wal_config;
+      payload = String.make config.payload_bytes 's';
+      horizon = Time.add (Sim.now sim) config.horizon;
+      stopped = false;
+      submitted = 0;
+      acked = 0;
+      pending = 0;
+      agg_hist = Metrics.Histogram.create ();
+      ambient;
+      tenant_p99_folded = false;
+    }
+  in
+  Power.Power_domain.on_power_fail power (fun ~window:_ -> t.stopped <- true);
+  Array.iter
+    (fun sh ->
+      for s = 0 to config.streams_per_shard - 1 do
+        spawn_writer t sh s
+      done)
+    shards;
+  for c = 0 to config.clients - 1 do
+    spawn_client t ~tenant:(1 + (c mod config.tenants)) ~interval:config.mean_interval
+  done;
+  for _ = 1 to config.hot_clients do
+    spawn_client t ~tenant:config.hot_tenant ~interval:config.hot_interval
+  done;
+  t
+
+let split_shard t ~source ~target = Registry.split t.registry ~source ~target
+
+let quiesce t =
+  if not t.stopped then begin
+    while t.pending > 0 do
+      Process.sleep (Time.ms 1)
+    done;
+    Array.iter (fun sh -> Rapilog.Trusted_logger.quiesce sh.s_logger) t.shards
+  end
+
+type stats = {
+  st_submitted : int;
+  st_acked : int;
+  st_p50_us : float;
+  st_p99_us : float;
+  st_shard_acked : int array;
+  st_shard_p99_us : float array;
+  st_active_tenants : int;
+  st_tenant_p99_med_us : float;
+  st_tenant_p99_max_us : float;
+}
+
+let stats t =
+  let p99s = ref [] in
+  let active = ref 0 in
+  for tenant = 1 to t.config.tenants do
+    let ts = t.tenants.(tenant) in
+    if Stats.Sample.count ts.t_lat > 0 then begin
+      incr active;
+      let p99 = Stats.Sample.percentile ts.t_lat 99. in
+      p99s := p99 :: !p99s;
+      match t.ambient with
+      | Some a when not t.tenant_p99_folded ->
+          Metrics.Histogram.observe a.a_tenant_p99 p99
+      | Some _ | None -> ()
+    end
+  done;
+  if t.ambient <> None then t.tenant_p99_folded <- true;
+  let p99s = Array.of_list !p99s in
+  Array.sort compare p99s;
+  let med =
+    if Array.length p99s = 0 then nan else p99s.(Array.length p99s / 2)
+  in
+  let worst =
+    if Array.length p99s = 0 then nan else p99s.(Array.length p99s - 1)
+  in
+  let quant h q =
+    if Metrics.Histogram.count h = 0 then nan else Metrics.Histogram.quantile h q
+  in
+  {
+    st_submitted = t.submitted;
+    st_acked = t.acked;
+    st_p50_us = quant t.agg_hist 0.5;
+    st_p99_us = quant t.agg_hist 0.99;
+    st_shard_acked = Array.map (fun sh -> sh.s_acked) t.shards;
+    st_shard_p99_us = Array.map (fun sh -> quant sh.s_hist 0.99) t.shards;
+    st_active_tenants = !active;
+    st_tenant_p99_med_us = med;
+    st_tenant_p99_max_us = worst;
+  }

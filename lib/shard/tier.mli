@@ -1,0 +1,171 @@
+(** RapiLog-S: the sharded multi-tenant logger tier.
+
+    One tier is [S] independent trusted loggers ({!Rapilog.attach}),
+    each over its own device — or a RAID-0 stripe of
+    [devices_per_shard] devices — with a per-shard multi-stream WAL
+    ({!Dbms.Wal}) laid out one region {e above} the layout a
+    co-resident single-tenant DBMS uses, so shard 0's device can host
+    both without ambiguity. Tenants hash-partition across shards
+    through the {!Registry}; within a shard a tenant's appends always
+    ride one WAL stream, so the tenant's device order is its sequence
+    order and its durable prefix is well-defined.
+
+    The datapath is BtrLog-style per-stream batching: {!submit} only
+    enqueues the append (callable from any context); one writer
+    process per (shard, stream) drains its queue in bounded batches —
+    encode {!Dbms.Log_record.Update}[/]{!Dbms.Log_record.Commit} pairs
+    tagged with {!Rapilog.Tenant} txids, one {!Dbms.Wal.force}, then
+    acknowledge every entry of the batch. An acknowledgement therefore
+    implies the trusted logger admitted the batch, and the logger's
+    contract makes it durable across OS crashes and power cuts within
+    the PSU window — the same contract the single-tenant scenarios
+    sweep, now auditable {e per tenant} ({!Recover.audit}).
+
+    On power failure the tier stops submitting and the writers park;
+    whatever was acknowledged before the cut is the durability
+    obligation. Open-loop arrival clients ([clients] many, tenant
+    [1 + c mod tenants] each, exponential think times from split rng
+    streams) stop at [horizon], so a simulation embedding a tier
+    always drains. *)
+
+type config = {
+  shards : int;  (** S logger domains *)
+  devices_per_shard : int;
+      (** D devices under each shard's logger; striped when > 1 *)
+  streams_per_shard : int;  (** parallel WAL streams per shard *)
+  buckets : int;  (** registry bucket-table size (power of two) *)
+  tenants : int;  (** tenant ids 1..tenants *)
+  clients : int;  (** open-loop arrival clients *)
+  mean_interval : Desim.Time.span;
+      (** mean exponential inter-arrival time per client *)
+  payload_bytes : int;  (** append payload size *)
+  horizon : Desim.Time.span;  (** arrivals stop at this simulated time *)
+  batch_max_bytes : int;
+      (** upper bound on one writer batch's encoded bytes — keeps a
+          backlogged stream's force well under the trusted ring's
+          capacity *)
+  logger : Rapilog.Trusted_logger.config;  (** per-shard logger config *)
+  hot_tenant : int;
+      (** noisy-neighbor axis: extra clients hammer this tenant
+          (0 = none) *)
+  hot_clients : int;  (** how many extra clients the hot tenant gets *)
+  hot_interval : Desim.Time.span;  (** their mean inter-arrival time *)
+  chunk_sectors : int;  (** stripe chunk when [devices_per_shard > 1] *)
+}
+
+val default_config : config
+(** 2 shards × 1 device, 1 stream each, 1024 buckets, 16 tenants,
+    32 clients at 20 ms mean think, 128-byte payloads, 1 s horizon,
+    64 KiB batches, default logger, no hot tenant. *)
+
+type t
+
+val attach :
+  Desim.Sim.t ->
+  vmm:Hypervisor.Vmm.t ->
+  power:Power.Power_domain.t ->
+  config:config ->
+  ?first_device:Storage.Block.t ->
+  make_device:(unit -> Storage.Block.t) ->
+  unit ->
+  t
+(** Build the whole tier: per-shard devices (shard 0's first member is
+    [first_device] when given — how a scenario shares its log device
+    with the tier), loggers, WALs, writer processes and arrival
+    clients. The loggers register their devices with [power]
+    themselves; the tier additionally registers a power-fail hook that
+    stops submissions at the cut instant. *)
+
+val config : t -> config
+val registry : t -> Registry.t
+
+val wal_config : t -> Dbms.Wal.config
+(** The per-shard WAL layout (identical for every shard): master block
+    and streams one {!Dbms.Wal.default_config} region above the
+    default layout. Recovery of any shard's device uses exactly this
+    config ({!Recover.shard_result}). *)
+
+val shard_count : t -> int
+
+val shard_physical : t -> int -> Storage.Block.t
+(** The shard's raw device (the stripe when [devices_per_shard > 1]) —
+    what post-crash recovery reads. *)
+
+val shard_frontend : t -> int -> Storage.Block.t
+(** The paravirtual frontend the shard's WAL writes through. *)
+
+val shard_members : t -> int -> Storage.Block.t array
+(** The physical devices under the shard: the stripe members when
+    [devices_per_shard > 1], else the single device. *)
+
+val shard_logger : t -> int -> Rapilog.Trusted_logger.t
+
+val loggers : t -> Rapilog.Trusted_logger.t list
+(** Every shard's trusted logger, shard order — what a crash sweep
+    attaches invariant monitors to and quiesces after an OS crash. *)
+
+val submit : t -> tenant:int -> unit
+(** Enqueue one append for the tenant: allocate the next sequence
+    number, route through the registry, and signal the stream's
+    writer. Callable from any context; a no-op once the tier has
+    stopped (power failure) or for out-of-range tenants. *)
+
+val split_shard : t -> source:int -> target:int -> int
+(** Rebalance: move the upper half of [source]'s buckets to [target]
+    ({!Registry.split}). Returns the number of buckets moved. Safe
+    while traffic is flowing — see the rebalance protocol in
+    [docs/SHARDING.md]. *)
+
+val stopped : t -> bool
+(** The tier saw a power failure and stopped accepting submissions. *)
+
+val pending : t -> int
+(** Appends enqueued or in flight but not yet acknowledged. *)
+
+val quiesce : t -> unit
+(** Wait until every queue has drained and every shard logger's buffer
+    is empty — after this, every acknowledged append is on durable
+    media. Must run in a process; returns immediately if the tier has
+    stopped (a cut tier can never drain). *)
+
+val submitted : t -> int
+(** Appends accepted by {!submit} over the whole run. *)
+
+val acked : t -> int
+(** Appends acknowledged (durable per the logger contract). *)
+
+val tenant_count : t -> int
+(** The configured number of tenants. *)
+
+val tenant_submitted : t -> tenant:int -> int
+(** Appends the tenant ever submitted (= its last allocated seq). *)
+
+val tenant_acked_count : t -> tenant:int -> int
+
+val tenant_is_acked : t -> tenant:int -> seq:int -> bool
+(** Whether the tenant's append [seq] was acknowledged — the durability
+    obligation {!Recover.audit} checks per sequence number. *)
+
+val tenant_percentile : t -> tenant:int -> p:float -> float
+(** Exact percentile ([p] in 0..100) of the tenant's acknowledged
+    append latencies in µs; [nan] if it has none. *)
+
+type stats = {
+  st_submitted : int;
+  st_acked : int;
+  st_p50_us : float;  (** aggregate ack latency, all tenants *)
+  st_p99_us : float;
+  st_shard_acked : int array;
+  st_shard_p99_us : float array;
+  st_active_tenants : int;  (** tenants with at least one ack *)
+  st_tenant_p99_med_us : float;  (** median of per-tenant p99s *)
+  st_tenant_p99_max_us : float;  (** worst per-tenant p99 *)
+}
+
+val stats : t -> stats
+(** Aggregate and per-tenant latency summary. When a {!Desim.Metrics}
+    registry was ambient at {!attach} time, the same numbers also live
+    there ([shard.append_us], [shard.submitted], [shard.acked],
+    [shard.<i>.append_us]) and this call additionally folds every
+    per-tenant p99 into the registry's [shard.tenant_p99_us]
+    histogram. *)
