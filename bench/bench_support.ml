@@ -12,11 +12,11 @@ type experiment = {
 }
 
 let base_config ~quick =
-  {
-    Scenario.default with
-    Scenario.warmup = (if quick then Time.ms 200 else Time.ms 400);
-    duration = (if quick then Time.ms 800 else Time.sec 2);
-  }
+  Scen.Builder.(
+    start ()
+    |> warmup (if quick then Time.ms 200 else Time.ms 400)
+    |> duration (if quick then Time.ms 800 else Time.sec 2)
+    |> build)
 
 let client_sweep ~quick = if quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16; 32; 64 ]
 

@@ -78,13 +78,15 @@ let fig2 =
         let clients = if quick then [ 1; 8 ] else [ 1; 8; 32 ] in
         let modes = [ Scenario.Native_sync; Scenario.Virt_sync; Scenario.Rapilog ] in
         List.iter
-          (fun profile ->
-            let config = { (base_config ~quick) with Scenario.profile } in
+          (fun engine ->
+            let config =
+              Scen.Builder.(start ~base:(base_config ~quick) () |> profile engine |> build)
+            in
             let rows = throughput_sweep ~config ~clients ~modes in
             Report.series
               ~title:
                 (Printf.sprintf "engine profile: %s"
-                   profile.Dbms.Engine_profile.name)
+                   engine.Dbms.Engine_profile.name)
               ~x_label:"clients"
               ~columns:(List.map Scenario.mode_name modes)
               ~rows)
@@ -101,9 +103,7 @@ let fig3 =
       "TPC-C-lite throughput vs clients on the SATA SSD, all modes";
     run =
       (fun ~quick ->
-        let config =
-          { (base_config ~quick) with Scenario.device = Scenario.Flash Storage.Ssd.default }
-        in
+        let config = Scen.Builder.(start ~base:(base_config ~quick) () |> ssd |> build) in
         sweep_report ~title:"Fig 3: TPC-C-lite throughput vs clients, SSD"
           ~config ~clients:(client_sweep ~quick) ~modes:all_modes;
         Report.note

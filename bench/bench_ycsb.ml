@@ -18,24 +18,18 @@ let fig9 =
         let fractions = if quick then [ 0.0; 0.5; 0.95 ] else [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ] in
         let rows =
           List.map
-            (fun read_fraction ->
-              let run mode =
+            (fun fraction ->
+              let run m =
                 steady
-                  {
-                    (base_config ~quick) with
-                    Scenario.mode;
-                    clients = 8;
-                    workload =
-                      Scenario.Ycsb
-                        {
-                          Workload.Ycsb_lite.default_config with
-                          Workload.Ycsb_lite.read_fraction;
-                        };
-                  }
+                  Scen.Builder.(
+                    start ~base:(base_config ~quick) ()
+                    |> mode m |> clients 8
+                    |> workload (Scenario.Ycsb Workload.Ycsb_lite.default_config)
+                    |> read_fraction fraction |> build)
               in
               let sync = run Scenario.Virt_sync in
               let rapi = run Scenario.Rapilog in
-              ( read_fraction,
+              ( fraction,
                 [
                   sync.Experiment.throughput;
                   rapi.Experiment.throughput;

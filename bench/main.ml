@@ -18,7 +18,7 @@ let experiments =
   @ Bench_restart.experiments @ Bench_commit_delay.experiments
   @ Bench_metrics.experiments @ Bench_replication.experiments
   @ Bench_commit_path.experiments @ Bench_sharded.experiments
-  @ [ Bench_micro.experiment ]
+  @ [ Bench_scenarios.experiment; Bench_micro.experiment ]
 
 let usage () =
   print_endline "usage: main.exe [--quick] [--list] [--metrics] [--only ID]...";

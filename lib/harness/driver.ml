@@ -108,11 +108,69 @@ let spawn_loader (built : Scenario.built) track ~after_load =
          load rows;
          after_load ()))
 
-let spawn_clients (built : Scenario.built) track =
+(* Open-loop load: one dispatcher paces arrivals on the process's own
+   clock; transactions queue in front of a fixed worker pool, so when
+   the system falls behind, the backlog — and the sojourn time each
+   acknowledgement reports — grows instead of the offered rate
+   silently dropping. The sampler splits the simulation's root rng at
+   spawn, an event every replay executes identically, so arrival
+   instants are bit-identical across replays, the crash sweep and the
+   parallel fan-out. *)
+let spawn_open_loop (built : Scenario.built) track ~shape =
+  let sim = built.Scenario.sim in
+  let engine = built.Scenario.engine in
+  let sampler = Workload.Arrival.create (Sim.rng sim) shape in
+  let queue = Channel.create sim in
+  let t0 = Sim.now sim in
   ignore
-    (Workload.Client.spawn ~vmm:built.Scenario.vmm
-       { Workload.Client.think_time = built.Scenario.config.Scenario.think_time }
-       ~count:built.Scenario.config.Scenario.clients
-       ~gen:(fun ~client:_ -> built.Scenario.generator.Scenario.next_txn ())
-       ~engine:built.Scenario.engine
-       ~on_commit:(fun ~client:_ result -> record_ack track built.Scenario.sim result))
+    (Hypervisor.Vmm.spawn_guest built.Scenario.vmm ~name:"arrivals" (fun () ->
+         while true do
+           let since = Time.diff (Sim.now sim) t0 in
+           Process.sleep (Workload.Arrival.next_gap sampler ~since);
+           Channel.send queue (Sim.now sim)
+         done));
+  for worker = 0 to built.Scenario.config.Scenario.clients - 1 do
+    ignore
+      (Hypervisor.Vmm.spawn_guest built.Scenario.vmm
+         ~name:(Printf.sprintf "worker-%d" worker)
+         (fun () ->
+           while true do
+             let arrived = Channel.recv queue in
+             let ops = built.Scenario.generator.Scenario.next_txn () in
+             let result = Dbms.Engine.exec engine ops in
+             (* Latency is the arrival-to-ack sojourn: queueing behind a
+                saturated pool is precisely the signal an open-loop
+                workload exists to expose. *)
+             let sojourn = Time.diff (Sim.now sim) arrived in
+             record_ack track sim { result with Dbms.Engine.latency = sojourn }
+           done))
+  done
+
+let churn_gate (built : Scenario.built) schedule =
+  let sim = built.Scenario.sim in
+  let clients = built.Scenario.config.Scenario.clients in
+  let t0 = Sim.now sim in
+  fun ~client ->
+    let rec park () =
+      let now = Time.diff (Sim.now sim) t0 in
+      if not (Workload.Churn.active schedule ~clients ~client ~now) then begin
+        Process.sleep (Workload.Churn.until_change schedule ~clients ~client ~now);
+        park ()
+      end
+    in
+    park ()
+
+let spawn_clients (built : Scenario.built) track =
+  match built.Scenario.config.Scenario.arrival with
+  | Workload.Arrival.Open_loop shape -> spawn_open_loop built track ~shape
+  | Workload.Arrival.Closed_loop ->
+      let gate =
+        Option.map (churn_gate built) built.Scenario.config.Scenario.churn
+      in
+      ignore
+        (Workload.Client.spawn ~vmm:built.Scenario.vmm ?gate
+           { Workload.Client.think_time = built.Scenario.config.Scenario.think_time }
+           ~count:built.Scenario.config.Scenario.clients
+           ~gen:(fun ~client:_ -> built.Scenario.generator.Scenario.next_txn ())
+           ~engine:built.Scenario.engine
+           ~on_commit:(fun ~client:_ result -> record_ack track built.Scenario.sim result))

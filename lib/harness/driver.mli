@@ -41,5 +41,12 @@ val spawn_loader : Scenario.built -> tracking -> after_load:(unit -> unit) -> un
     process, then call [after_load] (still inside the process). *)
 
 val spawn_clients : Scenario.built -> tracking -> unit
-(** Launch the scenario's closed-loop clients; every commit is folded
-    into [tracking]. *)
+(** Launch the scenario's load: closed-loop clients (optionally gated
+    by the config's {!Workload.Churn} schedule), or — when the config's
+    arrival axis is {!Workload.Arrival.Open_loop} — an arrival
+    dispatcher feeding a [clients]-wide worker pool, with each
+    acknowledgement's latency recorded as the arrival-to-ack sojourn
+    (queue wait included). Every commit is folded into [tracking].
+    This is the single spawn point every experiment shares, so a new
+    arrival process automatically inherits the steady-state runs, the
+    crash-surface sweep and the perf gates. *)

@@ -69,6 +69,8 @@ type config = {
   clients : int;
   think_time : Time.span;
   workload : workload_kind;
+  arrival : Workload.Arrival.process;
+  churn : Workload.Churn.schedule option;
   warmup : Time.span;
   duration : Time.span;
   seed : int64;
@@ -93,6 +95,8 @@ let default =
     clients = 8;
     think_time = Time.zero_span;
     workload = Tpcc Workload.Tpcc_lite.default_config;
+    arrival = Workload.Arrival.Closed_loop;
+    churn = None;
     warmup = Time.ms 500;
     duration = Time.sec 3;
     seed = 42L;

@@ -95,8 +95,22 @@ type config = {
           array; 1 for a single device, ignored for [single_disk] *)
   profile : Dbms.Engine_profile.t;
   clients : int;
+      (** closed-loop client count — or, under an open-loop arrival
+          process, the size of the worker pool arrivals queue onto *)
   think_time : Desim.Time.span;
   workload : workload_kind;
+  arrival : Workload.Arrival.process;
+      (** how clients offer load (default [Closed_loop], the legacy
+          behaviour). [Open_loop shape] spawns a dispatcher driven by
+          the arrival process instead: transactions arrive on the
+          process's clock whether or not the system kept up, queue in
+          front of the [clients]-wide worker pool, and report their
+          full sojourn (queue wait included) as latency. *)
+  churn : Workload.Churn.schedule option;
+      (** join/leave gating of the closed-loop clients (default none —
+          the fleet is always fully joined). Meaningless under an
+          open-loop arrival process; {!Scen.validate} rejects the
+          combination. *)
   warmup : Desim.Time.span;
   duration : Desim.Time.span;  (** measurement window *)
   seed : int64;

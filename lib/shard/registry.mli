@@ -36,7 +36,9 @@ val owned : t -> int -> int
 
 val split : t -> source:int -> target:int -> int
 (** Reassign the upper half (by bucket index) of [source]'s buckets to
-    [target], bump the {!epoch}, and return how many buckets moved.
+    [target] and return how many buckets moved. The {!epoch} is bumped
+    only when at least one bucket actually moved — a split of an
+    already-empty source changes nothing and is a no-op.
     In-flight appends already routed to [source] complete there; new
     arrivals for the moved tenants route to [target] with their
     sequence numbers continuing — the rebalance protocol needs no
@@ -44,7 +46,8 @@ val split : t -> source:int -> target:int -> int
     durable prefixes (see [docs/SHARDING.md]). *)
 
 val epoch : t -> int
-(** Rebalance epoch: 0 at creation, +1 per {!split}. *)
+(** Rebalance epoch: 0 at creation, +1 per {!split} that moved at
+    least one bucket. *)
 
 val moves : t -> int
 (** Total buckets moved by all splits so far. *)

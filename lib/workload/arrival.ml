@@ -1,0 +1,118 @@
+open Desim
+
+type shape =
+  | Poisson of { rate : float }
+  | Flash_crowd of {
+      base : float;
+      mult : float;
+      at : Time.span;
+      decay : Time.span;
+    }
+  | Diurnal of { mean : float; amplitude : float; period : Time.span }
+
+type process = Closed_loop | Open_loop of shape
+
+let shape_name = function
+  | Poisson _ -> "poisson"
+  | Flash_crowd _ -> "flash-crowd"
+  | Diurnal _ -> "diurnal"
+
+let process_name = function
+  | Closed_loop -> "closed-loop"
+  | Open_loop shape -> shape_name shape
+
+let pi = 4.0 *. atan 1.0
+
+let rate_at shape t =
+  let t_s = Time.span_to_float_sec t in
+  match shape with
+  | Poisson { rate } -> rate
+  | Flash_crowd { base; mult; at; decay } ->
+      let at_s = Time.span_to_float_sec at in
+      if t_s < at_s then base
+      else
+        let decay_s = Time.span_to_float_sec decay in
+        base *. (1.0 +. ((mult -. 1.0) *. exp (-.(t_s -. at_s) /. decay_s)))
+  | Diurnal { mean; amplitude; period } ->
+      let period_s = Time.span_to_float_sec period in
+      mean *. (1.0 +. (amplitude *. sin (2.0 *. pi *. t_s /. period_s)))
+
+let max_rate = function
+  | Poisson { rate } -> rate
+  | Flash_crowd { base; mult; _ } -> base *. Float.max 1.0 mult
+  | Diurnal { mean; amplitude; _ } -> mean *. (1.0 +. amplitude)
+
+let expected_arrivals shape ~until =
+  let t_s = Time.span_to_float_sec until in
+  match shape with
+  | Poisson { rate } -> rate *. t_s
+  | Flash_crowd { base; mult; at; decay } ->
+      let at_s = Time.span_to_float_sec at in
+      let flat = base *. Float.min t_s at_s in
+      if t_s <= at_s then flat
+      else
+        let decay_s = Time.span_to_float_sec decay in
+        let dt = t_s -. at_s in
+        flat
+        +. (base *. dt)
+        +. (base *. (mult -. 1.0) *. decay_s *. (1.0 -. exp (-.dt /. decay_s)))
+  | Diurnal { mean; amplitude; period } ->
+      let period_s = Time.span_to_float_sec period in
+      let w = 2.0 *. pi /. period_s in
+      (mean *. t_s) +. (mean *. amplitude /. w *. (1.0 -. cos (w *. t_s)))
+
+let validate_shape = function
+  | Poisson { rate } ->
+      if rate <= 0.0 then Error "poisson arrival rate must be > 0" else Ok ()
+  | Flash_crowd { base; mult; at; decay } ->
+      if base <= 0.0 then Error "flash-crowd base rate must be > 0"
+      else if mult < 1.0 then Error "flash-crowd multiplier must be >= 1"
+      else if Time.compare_span at Time.zero_span < 0 then
+        Error "flash-crowd onset must be >= 0"
+      else if Time.compare_span decay Time.zero_span <= 0 then
+        Error "flash-crowd decay constant must be > 0"
+      else Ok ()
+  | Diurnal { mean; amplitude; period } ->
+      if mean <= 0.0 then Error "diurnal mean rate must be > 0"
+      else if amplitude < 0.0 || amplitude > 1.0 then
+        Error "diurnal amplitude must be in [0, 1]"
+      else if Time.compare_span period Time.zero_span <= 0 then
+        Error "diurnal period must be > 0"
+      else Ok ()
+
+type t = { shape : shape; rng : Rng.t; lambda_max : float }
+
+let create rng shape =
+  (match validate_shape shape with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Arrival.create: " ^ msg));
+  { shape; rng = Rng.split rng; lambda_max = max_rate shape }
+
+(* Ogata thinning: candidate gaps from Exp(lambda_max), each kept with
+   probability rate(t)/lambda_max. The candidate stream and the
+   accept/reject draws come from one private split stream, so the whole
+   arrival sequence is a pure function of (seed, elapsed time) — replays
+   and parallel fan-outs see identical arrivals. *)
+let next_gap t ~since =
+  let rec candidate now =
+    let gap = Rng.exponential t.rng ~mean:(1.0 /. t.lambda_max) in
+    let cand = now +. gap in
+    if Rng.float t.rng *. t.lambda_max
+       <= rate_at t.shape (Time.span_of_float_sec cand)
+    then cand
+    else candidate cand
+  in
+  let since_s = Time.span_to_float_sec since in
+  let at = candidate since_s in
+  Time.sub_span (Time.span_of_float_sec at) since
+
+let times shape ~seed ~until ~limit =
+  let sampler = create (Rng.create seed) shape in
+  let rec go acc since n =
+    if n >= limit then List.rev acc
+    else
+      let at = Time.add_span since (next_gap sampler ~since) in
+      if Time.compare_span at until > 0 then List.rev acc
+      else go (at :: acc) at (n + 1)
+  in
+  go [] Time.zero_span 0

@@ -1,0 +1,70 @@
+(** Open-loop arrival processes.
+
+    The closed-loop clients the harness always had issue the next
+    transaction the instant the previous acknowledgement returns —
+    offered load tracks service capacity, so queueing never shows. An
+    {e open-loop} process offers work on its own clock: transactions
+    arrive when the arrival process says so whether or not the system
+    kept up, which is what exposes latency cliffs under bursts.
+
+    Arrivals are an inhomogeneous Poisson process with intensity
+    [rate_at shape t] (arrivals per second, [t] relative to the start of
+    the process), sampled by Ogata thinning against {!max_rate}. The
+    sampler draws from one private split of the simulation's seeded rng
+    stream, so the whole arrival sequence is a pure function of
+    (seed, time): replays, the crash-surface sweep and the parallel
+    fan-out all see bit-identical arrival instants. *)
+
+type shape =
+  | Poisson of { rate : float }
+      (** homogeneous: constant [rate] arrivals per second *)
+  | Flash_crowd of {
+      base : float;  (** steady rate before the crowd, arrivals/s *)
+      mult : float;  (** rate steps to [base * mult] at onset, [>= 1] *)
+      at : Desim.Time.span;  (** onset, relative to process start *)
+      decay : Desim.Time.span;
+          (** exponential decay constant of the burst back to [base] *)
+    }
+      (** a flash crowd: rate step [x mult] at [at], then
+          [rate(t) = base * (1 + (mult-1) * exp (-(t-at)/decay))] *)
+  | Diurnal of { mean : float; amplitude : float; period : Desim.Time.span }
+      (** sinusoidal day/night load:
+          [rate(t) = mean * (1 + amplitude * sin (2 pi t / period))],
+          [amplitude] in [\[0, 1\]] *)
+
+type process = Closed_loop | Open_loop of shape
+(** How a scenario's clients offer load: the legacy closed loop, or an
+    open-loop dispatcher driven by [shape] feeding a worker pool. *)
+
+val shape_name : shape -> string
+val process_name : process -> string
+
+val rate_at : shape -> Desim.Time.span -> float
+(** Closed-form intensity at elapsed time [t], arrivals per second. *)
+
+val max_rate : shape -> float
+(** A tight upper bound on {!rate_at} over all [t] — the thinning
+    envelope. *)
+
+val expected_arrivals : shape -> until:Desim.Time.span -> float
+(** Closed-form [integral of rate_at over [0, until]] — the expected
+    arrival count, which the property tests hold the sampler to. *)
+
+val validate_shape : shape -> (unit, string) result
+(** Parameter sanity (positive rates, multiplier [>= 1], amplitude in
+    [\[0, 1\]], positive time constants) with an actionable message. *)
+
+type t
+(** A sampler owning a private split of the given rng stream. *)
+
+val create : Desim.Rng.t -> shape -> t
+(** Raises [Invalid_argument] when {!validate_shape} rejects. *)
+
+val next_gap : t -> since:Desim.Time.span -> Desim.Time.span
+(** Gap from elapsed time [since] to the next arrival ([>= 0]). The
+    dispatcher calls this once per arrival with its own elapsed clock. *)
+
+val times : shape -> seed:int64 -> until:Desim.Time.span -> limit:int -> Desim.Time.span list
+(** The arrival instants in [\[0, until\]] (at most [limit] of them)
+    from a fresh sampler seeded with [seed] — the reference stream the
+    determinism and empirical-rate properties check. *)

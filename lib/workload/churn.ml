@@ -1,0 +1,44 @@
+open Desim
+
+type schedule = {
+  period : Time.span;
+  active_fraction : float;
+  staggered : bool;
+}
+
+let default = { period = Time.ms 500; active_fraction = 0.5; staggered = true }
+
+let validate { period; active_fraction; staggered = _ } =
+  if Time.compare_span period Time.zero_span <= 0 then
+    Error "churn period must be > 0"
+  else if active_fraction <= 0.0 || active_fraction > 1.0 then
+    Error "churn active fraction must be in (0, 1]"
+  else Ok ()
+
+(* All schedule arithmetic is exact integer nanoseconds: client [i]'s
+   cycle is the global period shifted by [i * period / clients] (when
+   staggered), and the client is joined for the first
+   [active_fraction * period] of each of its cycles. Pure in
+   (schedule, clients, client, now) — no rng, so replays and the crash
+   sweep see identical join/leave instants. *)
+let phase_ns schedule ~clients ~client ~now =
+  let period = Time.span_to_ns schedule.period in
+  let offset =
+    if schedule.staggered && clients > 0 then client * period / clients else 0
+  in
+  let t = Time.span_to_ns now + offset in
+  (t mod period, period)
+
+let active_ns schedule period =
+  let on = int_of_float (Float.round (schedule.active_fraction *. float_of_int period)) in
+  max 1 (min period on)
+
+let active schedule ~clients ~client ~now =
+  let phase, period = phase_ns schedule ~clients ~client ~now in
+  phase < active_ns schedule period
+
+let until_change schedule ~clients ~client ~now =
+  let phase, period = phase_ns schedule ~clients ~client ~now in
+  let on = active_ns schedule period in
+  let gap = if phase < on then on - phase else period - phase in
+  Time.ns (max 1 gap)

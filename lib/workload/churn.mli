@@ -1,0 +1,31 @@
+(** Elastic client churn: deterministic join/leave schedules.
+
+    A churn schedule gates closed-loop clients on and off, modelling an
+    elastic client population (sessions joining and leaving) rather than
+    a fixed fleet. Client [i] of [clients] is {e joined} during the
+    first [active_fraction] of each period of its own cycle; with
+    [staggered] set, client [i]'s cycle is shifted by
+    [i * period / clients] so the population ramps smoothly instead of
+    breathing in lockstep.
+
+    All schedule arithmetic is exact integer nanoseconds and pure in
+    (schedule, clients, client, now) — no randomness — so replays and
+    the crash-surface sweep see identical join/leave instants. *)
+
+type schedule = {
+  period : Desim.Time.span;  (** one full join/leave cycle *)
+  active_fraction : float;  (** joined fraction of each cycle, [0 < f <= 1] *)
+  staggered : bool;  (** shift client [i] by [i * period / clients] *)
+}
+
+val default : schedule
+(** 500 ms cycles, half the fleet joined, staggered. *)
+
+val validate : schedule -> (unit, string) result
+
+val active : schedule -> clients:int -> client:int -> now:Desim.Time.span -> bool
+(** Is [client] (of [clients]) joined at elapsed time [now]? *)
+
+val until_change : schedule -> clients:int -> client:int -> now:Desim.Time.span -> Desim.Time.span
+(** Strictly positive gap from [now] to the client's next join/leave
+    transition — what a parked client sleeps. *)

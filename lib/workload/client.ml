@@ -4,8 +4,9 @@ type config = { think_time : Time.span }
 
 let default_config = { think_time = Time.zero_span }
 
-let client_loop config ~client ~gen ~engine ~on_commit () =
+let client_loop config ~gate ~client ~gen ~engine ~on_commit () =
   while true do
+    (match gate with Some gate -> gate ~client | None -> ());
     let ops = gen ~client in
     let result = Dbms.Engine.exec engine ops in
     on_commit ~client result;
@@ -13,9 +14,9 @@ let client_loop config ~client ~gen ~engine ~on_commit () =
       Process.sleep config.think_time
   done
 
-let spawn ~vmm config ~count ~gen ~engine ~on_commit =
+let spawn ~vmm ?gate config ~count ~gen ~engine ~on_commit =
   assert (count > 0);
   List.init count (fun client ->
       Hypervisor.Vmm.spawn_guest vmm
         ~name:(Printf.sprintf "client-%d" client)
-        (client_loop config ~client ~gen ~engine ~on_commit))
+        (client_loop config ~gate ~client ~gen ~engine ~on_commit))

@@ -12,6 +12,7 @@ val default_config : config
 
 val spawn :
   vmm:Hypervisor.Vmm.t ->
+  ?gate:(client:int -> unit) ->
   config ->
   count:int ->
   gen:(client:int -> Dbms.Engine.op list) ->
@@ -20,4 +21,6 @@ val spawn :
   Desim.Process.handle list
 (** [on_commit] runs at the instant the client receives the commit
     acknowledgement — the harness uses it to maintain the expected-state
-    model and the measurement window counters. *)
+    model and the measurement window counters. [gate] (default none)
+    runs before each transaction is drawn and may block — churn
+    schedules ({!Churn}) park a left client there until it rejoins. *)

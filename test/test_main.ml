@@ -7,4 +7,4 @@ let () =
    @ Test_rapilog.suites @ Test_workload.suites @ Test_harness.suites
    @ Test_crash_surface.suites @ Test_crash_journal.suites
    @ Test_net.suites @ Test_quorum.suites @ Test_shard.suites
-   @ Test_model_check.suites @ Test_audit_teeth.suites)
+   @ Test_model_check.suites @ Test_audit_teeth.suites @ Test_scen.suites)

@@ -77,10 +77,11 @@ let registry_split_law (shards, splits) =
   List.iter
     (fun (source, target) ->
       let source = source mod shards and target = target mod shards in
-      if source <> target then begin
-        ignore (Shard.Registry.split reg ~source ~target);
-        incr applied
-      end)
+      (* epoch counts splits that moved something: repeated splits can
+         drain a source to zero buckets, and a split of an empty source
+         is a no-op that must not bump the epoch *)
+      if source <> target && Shard.Registry.split reg ~source ~target > 0 then
+        incr applied)
     splits;
   total_owned reg = buckets
   && Shard.Registry.epoch reg = !applied
